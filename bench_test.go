@@ -1,0 +1,186 @@
+package peel
+
+// One benchmark per paper table/figure (regenerating its data at reduced
+// fidelity — run cmd/peelsim for full-fidelity tables), plus micro-
+// benchmarks for the algorithmic kernels (tree construction, prefix
+// covers, header codec, exact solver).
+
+import (
+	"math/rand"
+	"testing"
+
+	"peel/internal/experiments"
+	"peel/internal/prefix"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+func benchOpts() experiments.Options {
+	o := experiments.Quick()
+	o.Samples = 4
+	return o
+}
+
+func benchFigure(b *testing.B, run func(experiments.Options) (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.X) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkFig1RingTreeOptimalBandwidth regenerates Figure 1 (bandwidth
+// consumption of Ring/Tree/Optimal broadcast in a 2-spine/2-leaf fabric).
+func BenchmarkFig1RingTreeOptimalBandwidth(b *testing.B) { benchFigure(b, experiments.Fig1) }
+
+// BenchmarkFig3RSBFHeader regenerates Figure 3 (RSBF Bloom-filter header
+// size vs fat-tree degree at FPR 1–20%).
+func BenchmarkFig3RSBFHeader(b *testing.B) { benchFigure(b, experiments.Fig3) }
+
+// BenchmarkFig4OrcaControllerOverhead regenerates Figure 4 (Orca CCT with
+// vs without SDN flow-setup delay, 1024 GPUs).
+func BenchmarkFig4OrcaControllerOverhead(b *testing.B) { benchFigure(b, experiments.Fig4) }
+
+// BenchmarkFig5MessageSizeSweep regenerates Figure 5 (mean/p99 CCT vs
+// message size for all six schemes at 30% load).
+func BenchmarkFig5MessageSizeSweep(b *testing.B) { benchFigure(b, experiments.Fig5) }
+
+// BenchmarkFig6ScaleSweep regenerates Figure 6 (CCT vs broadcast scale at
+// 64 MB).
+func BenchmarkFig6ScaleSweep(b *testing.B) { benchFigure(b, experiments.Fig6) }
+
+// BenchmarkFig7FailureSweep regenerates Figure 7 (CCT vs failed-link
+// percentage on the asymmetric leaf–spine).
+func BenchmarkFig7FailureSweep(b *testing.B) { benchFigure(b, experiments.Fig7) }
+
+// BenchmarkStateAndHeader regenerates the §3.2 switch-state table (k−1
+// rules vs naive entries vs header bytes).
+func BenchmarkStateAndHeader(b *testing.B) { benchFigure(b, experiments.StateTable) }
+
+// BenchmarkGuardTimerAblation regenerates the §4 sender-side guard-timer
+// ablation.
+func BenchmarkGuardTimerAblation(b *testing.B) { benchFigure(b, experiments.GuardAblation) }
+
+// BenchmarkLayerPeelingApprox regenerates the §2.3 approximation study
+// (greedy vs exact Steiner vs lower bound).
+func BenchmarkLayerPeelingApprox(b *testing.B) { benchFigure(b, experiments.ApproxStudy) }
+
+// BenchmarkAggregateBandwidth regenerates the "23% less than rings"
+// aggregate-bandwidth headline.
+func BenchmarkAggregateBandwidth(b *testing.B) { benchFigure(b, experiments.BandwidthStudy) }
+
+// ---- algorithmic kernels ----
+
+// BenchmarkLayerPeelingTree measures the greedy tree construction on the
+// Fig. 7 fabric (16×48 leaf–spine, 10% failures, 64 destinations).
+func BenchmarkLayerPeelingTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := topology.LeafSpine(16, 48, 2)
+	g.FailRandomFraction(0.10, topology.TierLinks(topology.Spine, topology.Leaf), rng)
+	hosts := g.Hosts()
+	src, dests := hosts[0], hosts[1:65]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := steiner.LayerPeeling(g, src, dests); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSymmetricOptimalTree measures the Lemma 2.1 construction on an
+// 8-ary fat-tree with 64 destinations.
+func BenchmarkSymmetricOptimalTree(b *testing.B) {
+	g := topology.FatTree(8)
+	hosts := g.Hosts()
+	src, dests := hosts[0], hosts[1:65]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := steiner.SymmetricOptimal(g, src, dests); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactSteiner measures the Dreyfus–Wagner yardstick at its
+// working size (9 terminals on a 196-node fabric).
+func BenchmarkExactSteiner(b *testing.B) {
+	g := topology.LeafSpine(8, 12, 2)
+	hosts := g.Hosts()
+	src, dests := hosts[0], hosts[1:9]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := steiner.ExactSmall(g, src, dests); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanGroup measures full PEEL planning (prefix covers + packet
+// trees) for a 64-host group on a 64-ary fat-tree's identifier spaces.
+func BenchmarkPlanGroup(b *testing.B) {
+	g := topology.FatTree(8)
+	planner, err := NewPlanner(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := g.Hosts()
+	src, members := hosts[0], hosts[1:65]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.PlanGroup(src, members); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactCover measures the trie cover selection for a fragmented
+// 32-ToR pod.
+func BenchmarkExactCover(b *testing.B) {
+	s := prefix.Space{M: 5}
+	ids := []uint32{0, 1, 2, 3, 5, 8, 9, 10, 11, 17, 21, 22, 23, 28, 30, 31}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExactCover(ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeaderCodec measures ⟨prefix,len⟩ encode+decode round trips.
+func BenchmarkHeaderCodec(b *testing.B) {
+	c := prefix.Codec{M: 6} // k=128
+	h := prefix.Header{ToR: prefix.Prefix{Value: 0b101, Len: 3}, Host: prefix.Prefix{Value: 0b01, Len: 2}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := c.Encode(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFatTreeConstruction measures building the 64-ary, 65,536-host
+// fabric the paper's headline quotes.
+func BenchmarkFatTreeConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := topology.FatTree(64)
+		if g.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command peelplan plans a PEEL multicast group on a k-ary fat-tree and
+// prints what the data plane would carry: one line per prefix packet with
+// its ⟨prefix,len⟩ header (and hex encoding), the receivers it serves,
+// and its over-coverage, plus the switch-state bill.
+//
+// Usage:
+//
+//	peelplan -k 8 -src 0 -members 1-31
+//	peelplan -k 8 -src 0 -members 1,5,9-12,20 -budget 1 -torfilter
+//
+// Host indices are positions in the fabric's host list (0 … k³/4−1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"peel"
+)
+
+func main() {
+	k := flag.Int("k", 8, "fat-tree arity (even)")
+	srcIdx := flag.Int("src", 0, "source host index")
+	membersSpec := flag.String("members", "", "member host indices, e.g. 1,5,9-12")
+	budget := flag.Int("budget", 0, "max prefixes (packets) per destination pod; 0 = exact cover")
+	torFilter := flag.Bool("torfilter", false, "model membership-filtering ToRs (§3.4)")
+	flag.Parse()
+
+	if *membersSpec == "" {
+		fmt.Fprintln(os.Stderr, "peelplan: -members is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	idxs, err := parseIndices(*membersSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	g := peel.FatTree(*k)
+	planner, err := peel.NewPlanner(g)
+	if err != nil {
+		fatal(err)
+	}
+	hosts := g.Hosts()
+	if *srcIdx < 0 || *srcIdx >= len(hosts) {
+		fatal(fmt.Errorf("source index %d out of range (fabric has %d hosts)", *srcIdx, len(hosts)))
+	}
+	src := hosts[*srcIdx]
+	members := make([]peel.NodeID, 0, len(idxs))
+	for _, i := range idxs {
+		if i < 0 || i >= len(hosts) {
+			fatal(fmt.Errorf("member index %d out of range (fabric has %d hosts)", i, len(hosts)))
+		}
+		members = append(members, hosts[i])
+	}
+
+	plan, err := planner.PlanGroupOpts(src, members, peel.PlanOptions{PacketBudget: *budget, ToRFilter: *torFilter})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("fabric: %d-ary fat-tree, %d hosts; source %s; %d members\n",
+		*k, len(hosts), g.Node(src).Name, len(plan.Members))
+	fmt.Printf("header: %d byte(s) per packet\n\n", plan.HeaderBytes)
+	fmt.Printf("%-4s %-5s %-10s %-10s %-10s %-10s %-9s %s\n",
+		"pkt", "pod", "tor-pfx", "host-pfx", "hdr(hex)", "receivers", "over", "tree-links")
+	totalLinks := 0
+	for i := range plan.Packets {
+		p := &plan.Packets[i]
+		enc, err := planner.Codec.Encode(p.Header)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-4d %-5d %-10s %-10s %-10x %-10d %2d/%-6d %d\n",
+			i, p.Header.Pod,
+			p.Header.ToR.Format(planner.ToRSpace.M),
+			p.Header.Host.Format(planner.HostSpace.M),
+			enc, len(p.Receivers), p.OverToRs, p.OverHosts, p.Tree.Cost())
+		totalLinks += p.Tree.Cost()
+	}
+
+	opt, err := peel.OptimalTree(g, src, members)
+	if err != nil {
+		fatal(err)
+	}
+	s := peel.StateFor(*k)
+	fmt.Printf("\ntotals: %d packets, %d link-copies (optimal steiner: %d, +%.0f%%), %d over-covered hosts\n",
+		len(plan.Packets), totalLinks, opt.Cost(),
+		100*float64(totalLinks-opt.Cost())/float64(opt.Cost()), plan.TotalOverHosts())
+	fmt.Printf("switch state: %d static rules per aggregation switch (naive per-group: %.3g)\n",
+		s.PEELRules, s.NaiveEntries)
+}
+
+// parseIndices parses "1,5,9-12" into a sorted index list.
+func parseIndices(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, fmt.Errorf("bad range %q: %v", part, err)
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil {
+				return nil, fmt.Errorf("bad range %q: %v", part, err)
+			}
+			if b < a {
+				return nil, fmt.Errorf("bad range %q: end before start", part)
+			}
+			for i := a; i <= b; i++ {
+				out = append(out, i)
+			}
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad index %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no member indices in %q", spec)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "peelplan:", err)
+	os.Exit(1)
+}

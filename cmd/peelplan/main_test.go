@@ -1,0 +1,41 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIndices(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"1,5,9-12", []int{1, 5, 9, 10, 11, 12}, false},
+		{"3", []int{3}, false},
+		{"0-2", []int{0, 1, 2}, false},
+		{" 4 , 6 ", []int{4, 6}, false},
+		{"7-7", []int{7}, false},
+		{"", nil, true},
+		{"5-2", nil, true},
+		{"a", nil, true},
+		{"1-b", nil, true},
+		{",,,", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseIndices(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("%q: expected error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%q: got %v want %v", c.in, got, c.want)
+		}
+	}
+}

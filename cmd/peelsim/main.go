@@ -1,0 +1,150 @@
+// Command peelsim regenerates the paper's tables and figures from the
+// simulation and analytic models in this repository.
+//
+// Usage:
+//
+//	peelsim [flags] <experiment> [<experiment>...]
+//	peelsim all
+//
+// Experiments: fig1 fig3 fig4 fig5 fig6 fig7 state guard approx bandwidth
+//
+// Flags:
+//
+//	-samples N   collectives per configuration point (default 40)
+//	-seed S      workload/simulation seed (default 1)
+//	-frames F    simulation frames per message (default 128)
+//	-load L      offered load for Poisson workloads (default 0.30)
+//	-quick       reduced-fidelity settings (tests/smoke)
+//	-csv         emit comma-separated values instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"peel/internal/experiments"
+	"peel/internal/metrics"
+)
+
+var runners = map[string]func(experiments.Options) (*experiments.Result, error){
+	"fig1":          experiments.Fig1,
+	"fig3":          experiments.Fig3,
+	"fig4":          experiments.Fig4,
+	"fig5":          experiments.Fig5,
+	"fig6":          experiments.Fig6,
+	"fig7":          experiments.Fig7,
+	"state":         experiments.StateTable,
+	"guard":         experiments.GuardAblation,
+	"approx":        experiments.ApproxStudy,
+	"bandwidth":     experiments.BandwidthStudy,
+	"fragmentation": experiments.FragmentationStudy,
+	"deployment":    experiments.DeploymentStudy,
+	"multipath":     experiments.MultipathStudy,
+	"allgather":     experiments.AllGatherStudy,
+	"loss":          experiments.LossStudy,
+	"rail":          experiments.RailStudy,
+	"isolation":     experiments.IsolationStudy,
+}
+
+// order fixes the "all" execution sequence (cheap analytic ones first).
+var order = []string{
+	"state", "fig1", "fig3", "approx", "fragmentation", "bandwidth",
+	"fig7", "guard", "deployment", "multipath", "allgather", "loss", "rail", "isolation", "fig4", "fig6", "fig5",
+}
+
+func main() {
+	samples := flag.Int("samples", 0, "collectives per configuration point")
+	seed := flag.Int64("seed", 0, "workload/simulation seed")
+	frames := flag.Int64("frames", 0, "simulation frames per message")
+	load := flag.Float64("load", 0, "offered load for Poisson workloads")
+	quick := flag.Bool("quick", false, "reduced-fidelity settings")
+	csv := flag.Bool("csv", false, "CSV output")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opts := experiments.Defaults()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *samples > 0 {
+		opts.Samples = *samples
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *frames > 0 {
+		opts.FramesPerMessage = *frames
+	}
+	if *load > 0 {
+		opts.Load = *load
+	}
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = order
+	}
+	failed := 0
+	for _, name := range names {
+		run, ok := runners[strings.ToLower(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "peelsim: unknown experiment %q\n", name)
+			failed++
+			continue
+		}
+		start := time.Now()
+		res, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peelsim: %s: %v\n", name, err)
+			failed++
+			continue
+		}
+		if *csv {
+			printCSV(res)
+		} else {
+			fmt.Print(res.Render())
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func printCSV(r *experiments.Result) {
+	fmt.Printf("# %s\n", r.Name)
+	emit := func(kind string, ss []metrics.Series) {
+		for _, s := range ss {
+			fmt.Printf("%s,%s", kind, s.Label)
+			for i := range r.X {
+				if i < len(s.Y) {
+					fmt.Printf(",%g", s.Y[i])
+				} else {
+					fmt.Print(",")
+				}
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("x,%s", r.XLabel)
+	for _, x := range r.X {
+		fmt.Printf(",%g", x)
+	}
+	fmt.Println()
+	emit("mean", r.Mean)
+	emit("p99", r.P99)
+	for _, n := range r.Notes {
+		fmt.Printf("# %s\n", n)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: peelsim [flags] <experiment>...\nexperiments: %s all\n", strings.Join(order, " "))
+	flag.PrintDefaults()
+}

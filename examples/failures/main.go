@@ -1,0 +1,81 @@
+// Failures: exercise the layer-peeling greedy (§2.3) on an asymmetric
+// Clos — the paper's Fig. 7 leaf–spine with random spine–leaf failures —
+// and measure its optimality gap against the exact Steiner solver and the
+// max(F,|D|) lower bound at increasing failure rates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"peel"
+)
+
+func main() {
+	fmt.Println("layer-peeling vs exact Steiner under failures")
+	fmt.Println("fabric: 8 spines × 12 leaves × 2 hosts, 8 receivers per group")
+	fmt.Printf("%8s %10s %10s %10s %12s\n", "fail%", "greedy", "exact", "lowerbnd", "greedy/exact")
+
+	for _, pct := range []float64{0, 2, 5, 10, 20} {
+		var gSum, eSum, lSum float64
+		var worst float64 = 1
+		n := 0
+		for trial := 0; trial < 25; trial++ {
+			rng := rand.New(rand.NewSource(int64(pct*100) + int64(trial)))
+			g := peel.LeafSpine(8, 12, 2)
+			peel.FailRandomSwitchLinks(g, pct/100, rng)
+
+			hosts := g.Hosts()
+			rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+			src, dests := hosts[0], hosts[1:9]
+
+			tree, stats, err := peel.LayerPeeling(g, src, dests)
+			if err != nil {
+				continue // a destination was cut off; skip the trial
+			}
+			exact, err := peel.ExactSteinerCost(g, src, dests)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lb, err := peel.SteinerLowerBound(g, src, dests)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_ = stats
+			gSum += float64(tree.Cost())
+			eSum += float64(exact)
+			lSum += float64(lb)
+			if r := float64(tree.Cost()) / float64(exact); r > worst {
+				worst = r
+			}
+			n++
+		}
+		fmt.Printf("%8.0f %10.2f %10.2f %10.2f %11.3fx (worst %.3fx over %d trials)\n",
+			pct, gSum/float64(n), eSum/float64(n), lSum/float64(n), gSum/eSum, worst, n)
+	}
+
+	// One concrete walk-through, Fig. 2 style: show the tree the greedy
+	// builds when a spine has lost most of its downlinks.
+	fmt.Println("\nwalk-through: degraded spine forces the greedy around it")
+	g := peel.LeafSpine(2, 3, 1)
+	// Fail spine1's links to leaf1 and leaf2: only spine0 still covers
+	// all leaves, and the greedy must pick it (max coverage).
+	spines := g.NodesOfKind(peel.Spine)
+	leaves := g.NodesOfKind(peel.Leaf)
+	g.FailLink(g.LinkBetween(spines[1], leaves[1]))
+	g.FailLink(g.LinkBetween(spines[1], leaves[2]))
+	hosts := g.Hosts()
+	tree, stats, err := peel.LayerPeeling(g, hosts[0], []peel.NodeID{hosts[1], hosts[2]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  F=%d, switches added by greedy=%d, tree cost=%d\n", stats.F, stats.SwitchesAdded, tree.Cost())
+	for _, m := range tree.Members {
+		parent := "-"
+		if p := tree.Parent[m]; p >= 0 {
+			parent = g.Node(p).Name
+		}
+		fmt.Printf("  %-14s <- %s\n", g.Node(m).Name, parent)
+	}
+}

@@ -1,0 +1,70 @@
+// Simulate: run one 256-GPU broadcast end-to-end on the packet-level
+// simulator under every scheme the paper evaluates, and print the
+// collective completion times and aggregate fabric bytes side by side —
+// a miniature of Fig. 5's comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"peel/internal/collective"
+	"peel/internal/controller"
+	"peel/internal/core"
+	"peel/internal/netsim"
+	"peel/internal/sim"
+	"peel/internal/topology"
+	"peel/internal/workload"
+)
+
+func main() {
+	const (
+		gpus = 256
+		msg  = int64(64) << 20 // 64 MB
+	)
+	fmt.Printf("one %d-GPU broadcast of %d MB on an 8-ary fat-tree (128 hosts)\n\n", gpus, msg>>20)
+	fmt.Printf("%-14s %14s %16s %12s\n", "scheme", "CCT", "fabric bytes", "vs optimal")
+
+	type outcome struct {
+		cct   sim.Time
+		bytes int64
+	}
+	results := map[collective.Scheme]outcome{}
+	for _, scheme := range collective.AllSchemes {
+		g := topology.FatTree(8)
+		eng := &sim.Engine{}
+		cfg := netsim.DefaultConfig()
+		cfg.FrameBytes = 256 << 10
+		net := netsim.New(g, eng, cfg)
+		planner, err := core.NewPlanner(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl := workload.NewCluster(g, 8)
+		ctrl := controller.New(rand.New(rand.NewSource(42)))
+		runner := collective.NewRunner(net, cl, planner, ctrl)
+
+		cols, err := cl.Generate(1, 0.3, cfg.LinkBps, workload.Spec{GPUs: gpus, Bytes: msg}, rand.New(rand.NewSource(7)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cct sim.Time
+		if err := runner.Start(cols[0], scheme, func(d sim.Time) { cct = d }); err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Run(200_000_000); err != nil {
+			log.Fatal(err)
+		}
+		results[scheme] = outcome{cct: cct, bytes: net.TotalBytes()}
+	}
+	opt := results[collective.Optimal].cct
+	for _, scheme := range collective.AllSchemes {
+		r := results[scheme]
+		fmt.Printf("%-14s %14v %16d %11.2fx\n", scheme, r.cct.Duration(), r.bytes, float64(r.cct)/float64(opt))
+	}
+
+	fmt.Println("\n(the paper's Fig. 5/6: PEEL tracks the optimal tree; Orca pays the")
+	fmt.Println(" SDN setup; unicast ring/tree pay per-hop re-transmission of the")
+	fmt.Println(" message. Regenerate the full figures with: go run ./cmd/peelsim all)")
+}

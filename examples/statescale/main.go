@@ -1,0 +1,49 @@
+// Statescale: the paper's switch-state headline across fabric degrees —
+// PEEL's k−1 pre-installed rules versus naive per-group multicast entries
+// and versus RSBF's Bloom-filter headers, for fat-trees from 256 to half
+// a million hosts.
+package main
+
+import (
+	"fmt"
+
+	"peel"
+	"peel/internal/bloom"
+)
+
+func main() {
+	fmt.Println("switch state & packet overhead vs fabric degree (k-ary fat-tree)")
+	fmt.Printf("%5s %9s %11s %16s %10s %14s\n",
+		"k", "hosts", "PEEL rules", "naive entries", "PEEL hdr", "RSBF hdr@5%")
+	for _, k := range []int{8, 16, 32, 64, 128} {
+		s := peel.StateFor(k)
+		rsbf := "-"
+		if k <= 64 {
+			rsbf = fmt.Sprintf("%d B", bloom.PerPacketOverheadBytes(k, 0.05))
+		}
+		fmt.Printf("%5d %9d %11d %16.3g %8d B %14s\n",
+			s.K, s.Hosts, s.PEELRules, s.NaiveEntries, s.HeaderBytes, rsbf)
+	}
+
+	fmt.Println("\nthe k=64 headline (65,536 hosts):")
+	s := peel.StateFor(64)
+	fmt.Printf("  naive per-group state:  %.3g entries per aggregation switch\n", s.NaiveEntries)
+	fmt.Printf("  PEEL static state:      %d entries, installed once, never touched\n", s.PEELRules)
+	fmt.Printf("  PEEL packet overhead:   %d bits (%d bytes) per packet\n", s.HeaderBits, s.HeaderBytes)
+	fmt.Printf("  RSBF packet overhead:   %d bytes at a generous 20%% FPR (> one %d B MTU)\n",
+		bloom.PerPacketOverheadBytes(64, 0.20), bloom.MTU)
+
+	// The full pre-installed table for one 64-ary aggregation switch, as
+	// it would be pushed at deployment: every power-of-two rack block.
+	rt, err := peel.NewRuleTable(32)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\none 64-ary aggregation switch's full TCAM (%d rules):\n", rt.NumEntries())
+	count := 0
+	for l := 0; l <= 5; l++ {
+		fmt.Printf("  /%d rules: %d blocks of %d ToRs\n", l, 1<<l, 32>>l)
+		count += 1 << l
+	}
+	fmt.Printf("  total %d = k−1 ✓\n", count)
+}

@@ -1,0 +1,3 @@
+module peel
+
+go 1.23

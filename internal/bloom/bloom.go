@@ -1,0 +1,158 @@
+// Package bloom models RSBF-style Bloom-filter multicast headers (paper
+// §3.1, Fig. 3): schemes that push the multicast tree's forwarding state
+// into a per-packet Bloom filter, trading switch TCAM for header bytes.
+//
+// Two layers are provided:
+//
+//   - an analytical model (HeaderBits/PerPacketOverhead) sizing the filter
+//     for a target false-positive ratio over the multicast tree's
+//     (switch, egress-port) set, reproducing Fig. 3's curves; and
+//   - a real Bloom filter (Filter) with double hashing, used by tests to
+//     verify the analytical FPR empirically and by the redundant-traffic
+//     estimate (false positives spray packets onto off-tree links).
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"peel/internal/topology"
+)
+
+// HeaderBits returns the Bloom-filter size in bits needed to encode n
+// elements at false-positive probability p: m = −n·ln p ⁄ (ln 2)².
+func HeaderBits(n int, p float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("bloom: fpr %v out of (0,1)", p))
+	}
+	return int(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+}
+
+// OptimalHashes returns the hash-function count minimizing the FPR for the
+// given bits-per-element ratio: k = (m/n)·ln 2, at least 1.
+func OptimalHashes(mBits, n int) int {
+	if n == 0 {
+		return 1
+	}
+	k := int(math.Round(float64(mBits) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// TreeElements counts the elements an RSBF header must encode for a
+// multicast tree: one per (switch, egress port) pair, i.e. one per tree
+// edge leaving a switch. For a broadcast to all hosts of a k-ary fat-tree
+// this is every downward edge of the spanning tree plus the up-path.
+func TreeElements(g *topology.Graph, treeLinks int) int {
+	_ = g // shape-only model; kept for symmetry with future per-tree use
+	return treeLinks
+}
+
+// BroadcastTreeEdges returns, in closed form, the edge count of the
+// bandwidth-optimal whole-fabric broadcast tree in a k-ary fat-tree: the
+// tree must include every host drop (k³/4), every ToR (fed by one agg–tor
+// edge each), one agg per pod feeding the pod plus the (k/2−1) remaining
+// aggs... — in the optimal broadcast every switch that feeds receivers
+// appears once. We count: host edges k³/4 + tor feeds k²/2 + agg feeds
+// (one core→agg per pod) k + the up path (3 edges). This matches the
+// per-port state RSBF must carry for a full-bisection broadcast.
+func BroadcastTreeEdges(k int) int {
+	hosts := k * k * k / 4
+	torFeeds := k * k / 2
+	aggFeeds := k
+	return hosts + torFeeds + aggFeeds + 3
+}
+
+// PerPacketOverheadBytes reproduces Fig. 3's y-axis: the RSBF header size
+// in bytes for a whole-fabric broadcast in a k-ary fat-tree at the target
+// false-positive ratio.
+func PerPacketOverheadBytes(k int, fpr float64) int {
+	bits := HeaderBits(BroadcastTreeEdges(k), fpr)
+	return (bits + 7) / 8
+}
+
+// MTU is the Ethernet payload budget Fig. 3 compares against.
+const MTU = 1500
+
+// Filter is a concrete Bloom filter over (switch, port) elements using
+// FNV-1a double hashing (Kirsch–Mitzenmacher).
+type Filter struct {
+	bits   []uint64
+	mBits  uint64
+	hashes int
+	n      int
+}
+
+// NewFilter sizes a filter for n elements at the target FPR.
+func NewFilter(n int, fpr float64) *Filter {
+	m := HeaderBits(n, fpr)
+	if m < 64 {
+		m = 64
+	}
+	return &Filter{
+		bits:   make([]uint64, (m+63)/64),
+		mBits:  uint64(m),
+		hashes: OptimalHashes(m, n),
+	}
+}
+
+// SizeBits returns the filter's bit length.
+func (f *Filter) SizeBits() int { return int(f.mBits) }
+
+// hash2 derives the two independent FNV-based hash values for an element.
+func hash2(sw topology.NodeID, port int) (uint64, uint64) {
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(sw))
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(port))
+	h1 := fnv.New64a()
+	h1.Write(buf[:])
+	a := h1.Sum64()
+	h2 := fnv.New64()
+	h2.Write(buf[:])
+	b := h2.Sum64() | 1 // odd, so all slots are reachable
+	return a, b
+}
+
+// Add inserts a (switch, egress port) element.
+func (f *Filter) Add(sw topology.NodeID, port int) {
+	a, b := hash2(sw, port)
+	for i := 0; i < f.hashes; i++ {
+		idx := (a + uint64(i)*b) % f.mBits
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether the element may have been inserted (no false
+// negatives; false positives at roughly the design FPR).
+func (f *Filter) Contains(sw topology.NodeID, port int) bool {
+	a, b := hash2(sw, port)
+	for i := 0; i < f.hashes; i++ {
+		idx := (a + uint64(i)*b) % f.mBits
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of inserted elements.
+func (f *Filter) Len() int { return f.n }
+
+// ExpectedRedundantLinks estimates, for a switch with total egress ports
+// and inTree of them on the multicast tree, how many off-tree ports a
+// false-positive test would wrongly replicate to: (total−inTree)·fpr.
+// Summed over switches this is RSBF's redundant-traffic term (§3.1).
+func ExpectedRedundantLinks(total, inTree int, fpr float64) float64 {
+	if total < inTree {
+		return 0
+	}
+	return float64(total-inTree) * fpr
+}

@@ -1,0 +1,145 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"peel/internal/topology"
+)
+
+func TestHeaderBitsFormula(t *testing.T) {
+	// 1000 elements at 1%: m = 1000·ln(100)/ln2² ≈ 9585 bits.
+	got := HeaderBits(1000, 0.01)
+	if got < 9580 || got > 9590 {
+		t.Fatalf("HeaderBits(1000,0.01)=%d want ≈9585", got)
+	}
+	if HeaderBits(0, 0.01) != 0 {
+		t.Fatal("zero elements need zero bits")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fpr out of range must panic")
+		}
+	}()
+	HeaderBits(10, 1.5)
+}
+
+func TestFig3ShapeHeaderExceedsMTUPastK32(t *testing.T) {
+	// Fig. 3's claim: even at a generous 20% FPR, the RSBF header exceeds
+	// one full 1500 B MTU once k > 32 — while small fabrics stay under.
+	if b := PerPacketOverheadBytes(64, 0.20); b <= MTU {
+		t.Fatalf("k=64 fpr=20%%: %d B, expected > MTU", b)
+	}
+	if b := PerPacketOverheadBytes(8, 0.20); b >= MTU {
+		t.Fatalf("k=8 fpr=20%%: %d B, expected < MTU", b)
+	}
+	// Monotone in k and in 1/fpr.
+	prev := 0
+	for _, k := range []int{4, 8, 16, 32, 64} {
+		b := PerPacketOverheadBytes(k, 0.05)
+		if b <= prev {
+			t.Fatalf("overhead not increasing at k=%d: %d <= %d", k, b, prev)
+		}
+		prev = b
+	}
+	if PerPacketOverheadBytes(32, 0.01) <= PerPacketOverheadBytes(32, 0.20) {
+		t.Fatal("tighter FPR must cost more header")
+	}
+}
+
+func TestBroadcastTreeEdgesClosedForm(t *testing.T) {
+	// k=4: 16 hosts + 8 tor feeds + 4 agg feeds + 3 up = 31.
+	if got := BroadcastTreeEdges(4); got != 31 {
+		t.Fatalf("BroadcastTreeEdges(4)=%d want 31", got)
+	}
+	// Must grow like k³/4.
+	if got := BroadcastTreeEdges(64); got < 65536 {
+		t.Fatalf("BroadcastTreeEdges(64)=%d want ≥ 65536 (host edges alone)", got)
+	}
+}
+
+func TestFilterNoFalseNegatives(t *testing.T) {
+	f := NewFilter(500, 0.05)
+	for i := 0; i < 500; i++ {
+		f.Add(topology.NodeID(i%37), i)
+	}
+	if f.Len() != 500 {
+		t.Fatalf("len=%d", f.Len())
+	}
+	for i := 0; i < 500; i++ {
+		if !f.Contains(topology.NodeID(i%37), i) {
+			t.Fatalf("false negative for element %d", i)
+		}
+	}
+}
+
+func TestFilterEmpiricalFPRNearDesign(t *testing.T) {
+	const n = 2000
+	for _, design := range []float64{0.01, 0.05, 0.20} {
+		f := NewFilter(n, design)
+		for i := 0; i < n; i++ {
+			f.Add(topology.NodeID(i), 1)
+		}
+		fp := 0
+		const probes = 20000
+		for i := 0; i < probes; i++ {
+			if f.Contains(topology.NodeID(1_000_000+i), 2) {
+				fp++
+			}
+		}
+		got := float64(fp) / probes
+		if got > design*2.0+0.002 {
+			t.Errorf("design fpr %.2f: empirical %.4f too high", design, got)
+		}
+		if design >= 0.05 && got < design/4 {
+			t.Errorf("design fpr %.2f: empirical %.4f suspiciously low (sizing bug?)", design, got)
+		}
+	}
+}
+
+func TestOptimalHashes(t *testing.T) {
+	// 10 bits/element → k ≈ 6.9 → 7.
+	if k := OptimalHashes(10000, 1000); k != 7 {
+		t.Fatalf("OptimalHashes=%d want 7", k)
+	}
+	if k := OptimalHashes(10, 1000); k != 1 {
+		t.Fatalf("tiny filters must clamp to 1 hash, got %d", k)
+	}
+	if k := OptimalHashes(100, 0); k != 1 {
+		t.Fatalf("n=0 must yield 1 hash, got %d", k)
+	}
+}
+
+func TestExpectedRedundantLinks(t *testing.T) {
+	if got := ExpectedRedundantLinks(64, 4, 0.05); math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("got %v want 3.0", got)
+	}
+	if got := ExpectedRedundantLinks(4, 8, 0.05); got != 0 {
+		t.Fatalf("inverted ports must clamp to 0, got %v", got)
+	}
+}
+
+// Property: the filter never produces false negatives, for arbitrary
+// element sets.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := func(elems []uint16, fprRaw uint8) bool {
+		if len(elems) == 0 {
+			return true
+		}
+		fpr := 0.01 + float64(fprRaw%20)/100
+		fl := NewFilter(len(elems), fpr)
+		for _, e := range elems {
+			fl.Add(topology.NodeID(e>>4), int(e&0xf))
+		}
+		for _, e := range elems {
+			if !fl.Contains(topology.NodeID(e>>4), int(e&0xf)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

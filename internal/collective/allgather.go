@@ -1,0 +1,160 @@
+package collective
+
+import (
+	"fmt"
+
+	"peel/internal/netsim"
+
+	"peel/internal/core"
+	"peel/internal/sim"
+	"peel/internal/topology"
+	"peel/internal/workload"
+)
+
+// AllGather support — the other bandwidth-bound collective the paper's
+// motivation cites (network-offloaded broadcast/allgather, [23]). Every
+// member starts with one shard of size Bytes/N; afterwards every member
+// holds all N shards. Two data paths:
+//
+//   - Ring: the classic NCCL algorithm. Shard s travels the ring from its
+//     owner through N−1 successors; each node forwards a shard onward as
+//     soon as it holds it. Bandwidth-optimal in aggregate ((N−1)/N of the
+//     total per link), but the last shard serializes N−1 hops.
+//   - Multicast (Optimal or PEEL): every member multicasts its shard to
+//     the group over its own tree, all N trees concurrently active.
+//
+// StartAllGather completes when every member holds every shard, plus the
+// NVLink stage for the gathered message.
+func (r *Runner) StartAllGather(c *workload.Collective, s Scheme, done func(cct sim.Time)) error {
+	n := len(c.Hosts)
+	if n < 2 {
+		start := r.Net.Engine.Now()
+		r.Net.Engine.After(r.nvlinkStage(c.Bytes), func() { done(r.Net.Engine.Now() - start) })
+		return nil
+	}
+	ag := &allGather{
+		in:    &instance{r: r, c: c, startedAt: r.Net.Engine.Now(), userDone: done},
+		shard: c.Bytes / int64(n),
+	}
+	if ag.shard == 0 {
+		ag.shard = 1
+	}
+	// Completion: every host must collect the other n−1 shards.
+	ag.pending = make(map[topology.NodeID]int, n)
+	for _, h := range c.Hosts {
+		ag.pending[h] = n - 1
+	}
+	ag.remaining = n * (n - 1)
+
+	switch s {
+	case Ring:
+		return ag.startRing()
+	case Optimal, PEEL:
+		return ag.startMulticast(s)
+	}
+	return fmt.Errorf("collective: allgather does not support scheme %q", s)
+}
+
+type allGather struct {
+	in        *instance
+	shard     int64
+	pending   map[topology.NodeID]int
+	remaining int
+}
+
+// gotShard records that host h received one shard it lacked.
+func (ag *allGather) gotShard(h topology.NodeID) {
+	if ag.pending[h] <= 0 {
+		return
+	}
+	ag.pending[h]--
+	ag.remaining--
+	if ag.remaining > 0 {
+		return
+	}
+	in := ag.in
+	eng := in.r.Net.Engine
+	eng.After(in.r.nvlinkStage(in.c.Bytes), func() {
+		in.userDone(eng.Now() - in.startedAt)
+	})
+}
+
+// startRing wires the classic ring allgather: flows i→i+1 (mod n); each
+// node injects its own shard immediately and forwards each received shard
+// unless the successor owns it.
+func (ag *allGather) startRing() error {
+	in := ag.in
+	hosts := in.c.Hosts
+	n := len(hosts)
+	params := in.r.Net.Cfg.DCQCN
+	flows := make([]*netsim.Flow, n)
+	for i := 0; i < n; i++ {
+		f, err := in.unicastFlow(hosts[i], hosts[(i+1)%n], params)
+		if err != nil {
+			return err
+		}
+		flows[i] = f
+	}
+	for i := 0; i < n; i++ {
+		succ := (i + 1) % n
+		flows[i].OnChunk(func(_ topology.NodeID, shardID int) {
+			// The successor now holds shard shardID.
+			ag.gotShard(hosts[succ])
+			// Forward onward unless the next node is the shard's owner.
+			if (succ+1)%n != shardID {
+				flows[succ].Send(shardID, ag.shard)
+			}
+		})
+	}
+	for i := 0; i < n; i++ {
+		// Each node launches its own shard around the ring.
+		flows[i].Send(i, ag.shard)
+	}
+	return nil
+}
+
+// startMulticast runs n concurrent shard broadcasts, one tree per member.
+// PEEL plans prefix packets per member; Optimal uses the exact tree.
+func (ag *allGather) startMulticast(s Scheme) error {
+	in := ag.in
+	hosts := in.c.Hosts
+	params := in.r.Net.Cfg.DCQCN
+	if s == PEEL {
+		params = params.WithGuard()
+	}
+	for i, src := range hosts {
+		var others []topology.NodeID
+		for j, h := range hosts {
+			if j != i {
+				others = append(others, h)
+			}
+		}
+		if s == PEEL && in.r.Planner != nil {
+			plan, err := in.r.Planner.PlanGroup(src, others)
+			if err != nil {
+				return err
+			}
+			for pi := range plan.Packets {
+				pkt := &plan.Packets[pi]
+				f, err := in.r.Net.NewMulticastFlow(pkt.Tree, pkt.Receivers, params)
+				if err != nil {
+					return err
+				}
+				f.OnChunk(func(recv topology.NodeID, _ int) { ag.gotShard(recv) })
+				f.Send(i, ag.shard)
+			}
+			continue
+		}
+		tree, err := core.BuildTree(in.r.Net.G, src, others)
+		if err != nil {
+			return err
+		}
+		f, err := in.r.Net.NewMulticastFlow(tree, others, params)
+		if err != nil {
+			return err
+		}
+		f.OnChunk(func(recv topology.NodeID, _ int) { ag.gotShard(recv) })
+		f.Send(i, ag.shard)
+	}
+	return nil
+}

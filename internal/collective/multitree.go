@@ -1,0 +1,66 @@
+package collective
+
+import (
+	"fmt"
+
+	"peel/internal/netsim"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+// startMultiTree runs the multicast-vs-multipath exploration of §2.3's
+// open question: instead of funnelling the whole message onto one Steiner
+// tree's links, build up to `trees` equal-cost tree variants (differing
+// in their core-tier choices) and stripe the message's chunks across them
+// round-robin. Striping re-gains the path diversity load balancers want,
+// at the cost of proportionally more switch replication state.
+func (in *instance) startMultiTree(trees int) error {
+	if trees < 1 {
+		return fmt.Errorf("collective: multitree needs >=1 trees")
+	}
+	in.initCompletion()
+	sizes := in.chunkSizes()
+	params := in.r.Net.Cfg.DCQCN.WithGuard()
+	receivers := in.c.Receivers()
+
+	total := len(sizes)
+	counts := map[topology.NodeID]int{}
+	seen := map[string]bool{}
+	var flows []*netsim.Flow
+	for v := 0; len(flows) < trees && v < trees*4; v++ {
+		tree, err := steiner.SymmetricOptimalVariant(in.r.Net.G, in.c.Source(), receivers, uint64(v))
+		if err != nil {
+			return err
+		}
+		sig := treeSignature(tree)
+		if seen[sig] {
+			continue // identical variant (small fabrics wrap around)
+		}
+		seen[sig] = true
+		f, err := in.r.Net.NewMulticastFlow(tree, receivers, params)
+		if err != nil {
+			return err
+		}
+		f.OnChunk(func(recv topology.NodeID, chunk int) {
+			counts[recv]++
+			if counts[recv] == total {
+				in.hostComplete(recv)
+			}
+		})
+		flows = append(flows, f)
+	}
+	for c := range sizes {
+		flows[c%len(flows)].Send(c, sizes[c])
+	}
+	return nil
+}
+
+// treeSignature fingerprints a tree by its member sequence, detecting
+// wrapped-around variants.
+func treeSignature(t *steiner.Tree) string {
+	sig := make([]byte, 0, len(t.Members)*4)
+	for _, m := range t.Members {
+		sig = append(sig, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
+	}
+	return string(sig)
+}

@@ -1,0 +1,216 @@
+// Package collective implements the Broadcast algorithms the paper
+// evaluates (§4): unicast Ring and Binary Tree with 8-chunk pipelined
+// forwarding (as in NCCL), the bandwidth-optimal Steiner multicast, Orca's
+// controller-installed multicast with host-assisted last-hop fan-out, PEEL
+// with static power-of-two prefixes, and PEEL with programmable-core
+// refinement. All schemes run over the internal/netsim fabric and report
+// collective completion time (CCT): collective initiation until the
+// message has reached every GPU, including the final NVLink stage.
+package collective
+
+import (
+	"fmt"
+
+	"peel/internal/controller"
+	"peel/internal/core"
+	"peel/internal/dcqcn"
+	"peel/internal/netsim"
+	"peel/internal/routing"
+	"peel/internal/sim"
+	"peel/internal/topology"
+	"peel/internal/workload"
+)
+
+// Scheme names a broadcast algorithm.
+type Scheme string
+
+// The paper's six schemes, plus the guard-timer ablation variant.
+const (
+	Ring      Scheme = "ring"
+	BinTree   Scheme = "tree"
+	Optimal   Scheme = "optimal"
+	Orca      Scheme = "orca"
+	PEEL      Scheme = "peel"
+	PEELCores Scheme = "peel+cores"
+	// PEELNoGuard is PEEL reacting to every CNP (no sender-side guard
+	// timer) — the §4 congestion-control ablation baseline.
+	PEELNoGuard Scheme = "peel-noguard"
+	// OrcaInstant is Orca with a zero-delay controller: Fig. 4's
+	// "without controller overhead" curve (same data path, no setup).
+	OrcaInstant Scheme = "orca-instant"
+	// PEELToRFilter is PEEL with membership-filtering ToRs: over-covered
+	// traffic is dropped at the ToR instead of reaching non-member hosts
+	// (the "ToRs that filter" deployment tier of §3.4).
+	PEELToRFilter Scheme = "peel-torfilter"
+	// PEELCoresFiltered combines programmable cores with filtering ToRs.
+	PEELCoresFiltered Scheme = "peel+cores-torfilter"
+	// MultiTree1/2/4 stripe the message's chunks across 1, 2 or 4
+	// equal-cost Steiner tree variants — the multicast-vs-multipath
+	// exploration of §2.3's open question (MultiTree1 is the single-tree
+	// control with identical chunking).
+	// DblBinTree is NCCL's double binary tree: two complementary trees
+	// each carrying half the chunks (Fig. 1's "double binary trees").
+	DblBinTree Scheme = "dtree"
+	MultiTree1 Scheme = "multitree-1"
+	MultiTree2 Scheme = "multitree-2"
+	MultiTree4 Scheme = "multitree-4"
+)
+
+// AllSchemes lists every scheme in the paper's legend order.
+var AllSchemes = []Scheme{Ring, BinTree, Optimal, Orca, PEEL, PEELCores}
+
+// Runner starts collectives on a shared simulated fabric.
+type Runner struct {
+	Net     *netsim.Network
+	Cluster *workload.Cluster
+	// Planner is required for PEEL/PEELCores on fat-trees; nil elsewhere
+	// (PEEL then uses the layer-peeling tree directly).
+	Planner *core.Planner
+	// Ctrl models the SDN controller for Orca and PEELCores.
+	Ctrl *controller.Model
+	// Chunks is the pipelining depth for Ring/Tree/Orca relays (the
+	// paper divides each message into eight chunks).
+	Chunks int
+
+	// NVLinkLatency is the fixed intra-host stage latency added once the
+	// NIC has the full message.
+	NVLinkLatency sim.Time
+
+	flowKey uint64
+}
+
+// NewRunner wires a runner with the paper's defaults.
+func NewRunner(net *netsim.Network, cl *workload.Cluster, pl *core.Planner, ctrl *controller.Model) *Runner {
+	return &Runner{
+		Net:           net,
+		Cluster:       cl,
+		Planner:       pl,
+		Ctrl:          ctrl,
+		Chunks:        8,
+		NVLinkLatency: 2 * sim.Microsecond,
+	}
+}
+
+// nvlinkStage returns the intra-host broadcast time over NVLink/NVSwitch
+// once the message reaches a host NIC.
+func (r *Runner) nvlinkStage(bytes int64) sim.Time {
+	return r.NVLinkLatency + sim.Time(float64(bytes*8)/r.Net.Cfg.NVLinkBps*1e12)
+}
+
+// nextKey yields a unique ECMP flow key.
+func (r *Runner) nextKey() uint64 {
+	r.flowKey++
+	return r.flowKey*0x9e3779b97f4a7c15 + 0x1234567
+}
+
+// Start launches collective c under scheme s at the current simulated
+// time. done fires once every member host (and, after the NVLink stage,
+// every GPU) holds the full message, receiving the CCT.
+func (r *Runner) Start(c *workload.Collective, s Scheme, done func(cct sim.Time)) error {
+	if len(c.Hosts) < 2 {
+		// Single-host collective: NVLink only.
+		start := r.Net.Engine.Now()
+		r.Net.Engine.After(r.nvlinkStage(c.Bytes), func() { done(r.Net.Engine.Now() - start) })
+		return nil
+	}
+	inst := &instance{r: r, c: c, startedAt: r.Net.Engine.Now(), userDone: done}
+	switch s {
+	case Ring:
+		return inst.startRing()
+	case BinTree:
+		return inst.startBinTree()
+	case DblBinTree:
+		return inst.startDblBinTree()
+	case Optimal:
+		return inst.startOptimal()
+	case Orca:
+		return inst.startOrca(true)
+	case OrcaInstant:
+		return inst.startOrca(false)
+	case PEEL:
+		return inst.startPEEL(false, true, core.PlanOptions{})
+	case PEELCores:
+		return inst.startPEEL(true, true, core.PlanOptions{})
+	case PEELNoGuard:
+		return inst.startPEEL(false, false, core.PlanOptions{})
+	case PEELToRFilter:
+		return inst.startPEEL(false, true, core.PlanOptions{ToRFilter: true})
+	case PEELCoresFiltered:
+		return inst.startPEEL(true, true, core.PlanOptions{ToRFilter: true})
+	case MultiTree1:
+		return inst.startMultiTree(1)
+	case MultiTree2:
+		return inst.startMultiTree(2)
+	case MultiTree4:
+		return inst.startMultiTree(4)
+	}
+	return fmt.Errorf("collective: unknown scheme %q", s)
+}
+
+// instance tracks one in-flight collective.
+type instance struct {
+	r         *Runner
+	c         *workload.Collective
+	startedAt sim.Time
+	userDone  func(sim.Time)
+
+	pendingHosts int
+	hostDone     map[topology.NodeID]bool
+	finished     bool
+
+	orcaGot  map[topology.NodeID]int // per-peer chunk counts (Orca relays)
+	startErr error                   // deferred-start failure (see failStart)
+}
+
+// initCompletion arms completion tracking over the receiver hosts.
+func (in *instance) initCompletion() {
+	in.hostDone = make(map[topology.NodeID]bool, len(in.c.Receivers()))
+	in.pendingHosts = len(in.c.Receivers())
+}
+
+// hostComplete marks a receiver host as holding the full message; when the
+// last completes, the NVLink stage runs and the CCT is reported.
+func (in *instance) hostComplete(h topology.NodeID) {
+	if in.hostDone[h] || in.finished {
+		return
+	}
+	in.hostDone[h] = true
+	in.pendingHosts--
+	if in.pendingHosts > 0 {
+		return
+	}
+	in.finished = true
+	eng := in.r.Net.Engine
+	eng.After(in.r.nvlinkStage(in.c.Bytes), func() {
+		in.userDone(eng.Now() - in.startedAt)
+	})
+}
+
+// chunkSizes splits the message into the pipelining chunks.
+func (in *instance) chunkSizes() []int64 {
+	n := in.r.Chunks
+	if n < 1 {
+		n = 1
+	}
+	if int64(n) > in.c.Bytes {
+		n = int(in.c.Bytes)
+	}
+	base := in.c.Bytes / int64(n)
+	sizes := make([]int64, n)
+	var used int64
+	for i := 0; i < n-1; i++ {
+		sizes[i] = base
+		used += base
+	}
+	sizes[n-1] = in.c.Bytes - used
+	return sizes
+}
+
+// unicastFlow builds a paced flow between two hosts over an ECMP path.
+func (in *instance) unicastFlow(src, dst topology.NodeID, params dcqcn.Params) (*netsim.Flow, error) {
+	path := routing.ECMPPath(in.r.Net.G, src, dst, in.r.nextKey())
+	if path == nil {
+		return nil, fmt.Errorf("collective: no path %d->%d", src, dst)
+	}
+	return in.r.Net.NewUnicastFlow(path, params)
+}

@@ -1,0 +1,50 @@
+// Package controller models the centralized SDN controller that Orca
+// depends on for per-group rule installation and that PEEL's optional
+// two-stage refinement uses in the background (§3.1, §3.3).
+//
+// Following the paper, flow-setup latency is drawn from a normal
+// distribution N(10 ms, 5 ms) (He et al. [16,17]), truncated below at a
+// configurable floor so a lucky sample cannot finish before the request
+// even reaches the controller.
+package controller
+
+import (
+	"math/rand"
+
+	"peel/internal/sim"
+)
+
+// Model samples controller flow-setup delays.
+type Model struct {
+	Mean   sim.Time
+	StdDev sim.Time
+	Floor  sim.Time
+	rng    *rand.Rand
+}
+
+// New returns the paper's N(10ms, 5ms) controller with a 100 µs floor.
+func New(rng *rand.Rand) *Model {
+	return &Model{
+		Mean:   10 * sim.Millisecond,
+		StdDev: 5 * sim.Millisecond,
+		Floor:  100 * sim.Microsecond,
+		rng:    rng,
+	}
+}
+
+// SetupDelay draws one flow-setup latency sample.
+func (m *Model) SetupDelay() sim.Time {
+	d := sim.Time(m.rng.NormFloat64()*float64(m.StdDev)) + m.Mean
+	if d < m.Floor {
+		d = m.Floor
+	}
+	return d
+}
+
+// Install schedules fn once the controller has finished pushing rules for
+// a new group, returning the sampled delay.
+func (m *Model) Install(eng *sim.Engine, fn func()) sim.Time {
+	d := m.SetupDelay()
+	eng.After(d, fn)
+	return d
+}

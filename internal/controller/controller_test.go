@@ -1,0 +1,56 @@
+package controller
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peel/internal/sim"
+)
+
+func TestSetupDelayDistribution(t *testing.T) {
+	m := New(rand.New(rand.NewSource(1)))
+	var sum, sumSq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		d := m.SetupDelay().Seconds()
+		if d < m.Floor.Seconds() {
+			t.Fatalf("sample %v below floor", d)
+		}
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	// Truncation at the floor pulls the mean slightly above 10 ms.
+	if mean < 0.0095 || mean > 0.0115 {
+		t.Fatalf("mean %v want ≈0.010 (N(10ms,5ms))", mean)
+	}
+	if std < 0.004 || std > 0.006 {
+		t.Fatalf("std %v want ≈0.005", std)
+	}
+}
+
+func TestInstallSchedulesAfterDelay(t *testing.T) {
+	m := New(rand.New(rand.NewSource(2)))
+	var eng sim.Engine
+	var firedAt sim.Time = -1
+	d := m.Install(&eng, func() { firedAt = eng.Now() })
+	eng.Run(0)
+	if firedAt != d {
+		t.Fatalf("fired at %v, delay was %v", firedAt, d)
+	}
+	if d < m.Floor {
+		t.Fatalf("delay %v below floor", d)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := New(rand.New(rand.NewSource(7)))
+	b := New(rand.New(rand.NewSource(7)))
+	for i := 0; i < 100; i++ {
+		if a.SetupDelay() != b.SetupDelay() {
+			t.Fatal("same seed must give same delays")
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"peel/internal/prefix"
+	"peel/internal/topology"
+)
+
+// PlanOptions tune the static-prefix stage, exploring the paper's §3.4
+// open questions:
+//
+//   - PacketBudget caps the prefixes (and hence upward message copies)
+//     per destination pod; when the exact cover needs more, adjacent
+//     blocks are merged at the cost of over-coverage (the "adaptive
+//     prefix packing" direction). 0 means unbudgeted (exact cover).
+//   - ToRFilter models membership-filtering ToRs (the "ToRs that filter"
+//     deployment tier): over-covered ToRs still receive the packet, but
+//     drop it instead of fanning out to non-member hosts, eliminating
+//     host-level redundant traffic.
+type PlanOptions struct {
+	PacketBudget int
+	ToRFilter    bool
+}
+
+// PlanGroupOpts is PlanGroup with explicit options; PlanGroup is
+// equivalent to PlanGroupOpts with the zero options.
+func (pl *Planner) PlanGroupOpts(src topology.NodeID, members []topology.NodeID, opts PlanOptions) (*Plan, error) {
+	g := pl.G
+	if g.Node(src).Kind != topology.Host {
+		return nil, fmt.Errorf("core: source %d is not a host", src)
+	}
+	plan := &Plan{Source: src, HeaderBytes: pl.Codec.EncodedLen()}
+	seen := map[topology.NodeID]bool{src: true}
+	byPod := map[int][]topology.NodeID{}
+	for _, m := range members {
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		if g.Node(m).Kind != topology.Host {
+			return nil, fmt.Errorf("core: member %d is not a host", m)
+		}
+		plan.Members = append(plan.Members, m)
+		byPod[g.PodOf(m)] = append(byPod[g.PodOf(m)], m)
+	}
+	if len(plan.Members) == 0 {
+		return plan, nil
+	}
+
+	pods := make([]int, 0, len(byPod))
+	for p := range byPod {
+		pods = append(pods, p)
+	}
+	sort.Ints(pods)
+
+	for _, pod := range pods {
+		torIDs := map[uint32][]topology.NodeID{}
+		for _, m := range byPod[pod] {
+			id := uint32(g.ToRIndexOf(m))
+			torIDs[id] = append(torIDs[id], m)
+		}
+		ids := make([]uint32, 0, len(torIDs))
+		for id := range torIDs {
+			ids = append(ids, id)
+		}
+		var cover []prefix.Prefix
+		var err error
+		if opts.PacketBudget > 0 {
+			cover, err = pl.ToRSpace.BudgetedCover(ids, opts.PacketBudget)
+		} else {
+			cover, err = pl.ToRSpace.ExactCover(ids)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, torPfx := range cover {
+			pkt, err := pl.buildPacketOpts(src, pod, torPfx, torIDs, opts)
+			if err != nil {
+				return nil, err
+			}
+			plan.Packets = append(plan.Packets, *pkt)
+		}
+	}
+	return plan, nil
+}
+
+// buildPacketOpts is buildPacket with filtering options applied.
+func (pl *Planner) buildPacketOpts(src topology.NodeID, pod int, torPfx prefix.Prefix,
+	torIDs map[uint32][]topology.NodeID, opts PlanOptions) (*Packet, error) {
+
+	g := pl.G
+	slotSet := map[uint32]bool{}
+	var receivers []topology.NodeID
+	lo, hi := torPfx.Block(pl.ToRSpace.M)
+	for id := lo; id < hi; id++ {
+		for _, m := range torIDs[id] {
+			slotSet[uint32(g.HostSlotOf(m))] = true
+			receivers = append(receivers, m)
+		}
+	}
+	if len(receivers) == 0 {
+		return nil, fmt.Errorf("core: prefix %v covers no members", torPfx)
+	}
+	slots := make([]uint32, 0, len(slotSet))
+	for s := range slotSet {
+		slots = append(slots, s)
+	}
+	hostCover, err := pl.HostSpace.BudgetedCover(slots, 1)
+	if err != nil {
+		return nil, err
+	}
+	hostPfx := hostCover[0]
+
+	b := newTreeBuilder(g, src)
+	srcToR := g.EdgeSwitchOf(src)
+	if srcToR == topology.None {
+		return nil, fmt.Errorf("core: source %d has no live uplink", src)
+	}
+	b.attach(srcToR, src)
+
+	var podAgg topology.NodeID
+	if pod == g.PodOf(src) {
+		podAgg = firstLive(g, srcToR, topology.Agg)
+		if podAgg == topology.None {
+			return nil, fmt.Errorf("core: tor %d has no live agg uplink", srcToR)
+		}
+		b.attach(podAgg, srcToR)
+	} else {
+		srcAgg := firstLive(g, srcToR, topology.Agg)
+		if srcAgg == topology.None {
+			return nil, fmt.Errorf("core: tor %d has no live agg uplink", srcToR)
+		}
+		b.attach(srcAgg, srcToR)
+		core := firstLive(g, srcAgg, topology.Core)
+		if core == topology.None {
+			return nil, fmt.Errorf("core: agg %d has no live core uplink", srcAgg)
+		}
+		b.attach(core, srcAgg)
+		podAgg = aggInPod(g, core, pod)
+		if podAgg == topology.None {
+			return nil, fmt.Errorf("core: core %d cannot reach pod %d", core, pod)
+		}
+		b.attach(podAgg, core)
+	}
+
+	overToRs, overHosts := 0, 0
+	hlo, hhi := hostPfx.Block(pl.HostSpace.M)
+	memberSet := map[topology.NodeID]bool{}
+	for _, r := range receivers {
+		memberSet[r] = true
+	}
+	for id := lo; id < hi; id++ {
+		tor := torInPod(g, pod, int(id))
+		if tor == topology.None {
+			return nil, fmt.Errorf("core: pod %d has no tor %d", pod, id)
+		}
+		if !b.tree.Contains(tor) {
+			b.attach(tor, podAgg)
+		}
+		torHasMembers := len(torIDs[id]) > 0
+		if !torHasMembers {
+			overToRs++
+			if opts.ToRFilter {
+				continue // filtering ToR drops the packet entirely
+			}
+		}
+		for slot := hlo; slot < hhi; slot++ {
+			h := g.HostByCoord(pod, int(id), int(slot))
+			if h == topology.None || h == src {
+				continue
+			}
+			if !memberSet[h] {
+				if opts.ToRFilter {
+					continue // filtering ToR forwards to members only
+				}
+				overHosts++
+			}
+			b.attach(h, tor)
+		}
+	}
+	sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
+	return &Packet{
+		Header:    prefix.Header{Pod: pod, ToR: torPfx, Host: hostPfx},
+		Tree:      b.tree,
+		Receivers: receivers,
+		OverToRs:  overToRs,
+		OverHosts: overHosts,
+	}, nil
+}

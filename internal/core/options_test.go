@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"peel/internal/topology"
+)
+
+// fragmented picks members on ToRs 0 and 2 with partial racks in one pod:
+// the worst case for power-of-two aggregation.
+func fragmentedGroup(g *topology.Graph) (topology.NodeID, []topology.NodeID) {
+	src := g.HostByCoord(0, 0, 0)
+	var members []topology.NodeID
+	for _, tor := range []int{0, 2} {
+		for slot := 0; slot < 3; slot++ {
+			members = append(members, g.HostByCoord(3, tor, slot))
+		}
+	}
+	return src, members
+}
+
+func TestPacketBudgetTradesPacketsForRedundancy(t *testing.T) {
+	g := topology.FatTree(8)
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, members := fragmentedGroup(g)
+
+	exact, err := pl.PlanGroupOpts(src, members, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Packets) != 2 {
+		t.Fatalf("exact plan has %d packets, want 2 (ToRs {0,2})", len(exact.Packets))
+	}
+
+	budgeted, err := pl.PlanGroupOpts(src, members, PlanOptions{PacketBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(budgeted.Packets) != 1 {
+		t.Fatalf("budget-1 plan has %d packets", len(budgeted.Packets))
+	}
+	// Fewer packets, more over-coverage: the merged 0** block pulls in
+	// ToRs 1 and 3.
+	if budgeted.Packets[0].OverToRs < exact.Packets[0].OverToRs+exact.Packets[1].OverToRs+1 {
+		t.Fatalf("budgeted plan shows no extra ToR over-coverage: %+v", budgeted.Packets[0])
+	}
+	// All members still served exactly once.
+	served := map[topology.NodeID]bool{}
+	for _, p := range budgeted.Packets {
+		if err := p.Tree.Validate(g, p.Receivers); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range p.Receivers {
+			if served[r] {
+				t.Fatalf("member %d served twice", r)
+			}
+			served[r] = true
+		}
+	}
+	if len(served) != len(members) {
+		t.Fatalf("served %d of %d members", len(served), len(members))
+	}
+}
+
+func TestToRFilterRemovesHostOverCoverage(t *testing.T) {
+	g := topology.FatTree(8)
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, members := fragmentedGroup(g)
+
+	base, err := pl.PlanGroupOpts(src, members, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TotalOverHosts() == 0 {
+		t.Fatal("fragmented group should over-cover hosts without filtering")
+	}
+	filtered, err := pl.PlanGroupOpts(src, members, PlanOptions{ToRFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.TotalOverHosts() != 0 {
+		t.Fatalf("filtering ToRs left %d over-covered hosts", filtered.TotalOverHosts())
+	}
+	// The filtered trees must contain no non-member host leaves.
+	memberSet := map[topology.NodeID]bool{src: true}
+	for _, m := range members {
+		memberSet[m] = true
+	}
+	for _, p := range filtered.Packets {
+		for _, n := range p.Tree.Members {
+			if g.Node(n).Kind == topology.Host && !memberSet[n] {
+				t.Fatalf("filtered tree still reaches non-member host %d", n)
+			}
+		}
+		if err := p.Tree.Validate(g, p.Receivers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Filtering must never lose a member.
+	served := 0
+	for _, p := range filtered.Packets {
+		served += len(p.Receivers)
+	}
+	if served != len(members) {
+		t.Fatalf("served %d of %d members", served, len(members))
+	}
+}
+
+func TestBudgetWithFilterCombined(t *testing.T) {
+	g := topology.FatTree(8)
+	pl, _ := NewPlanner(g)
+	src, members := fragmentedGroup(g)
+	plan, err := pl.PlanGroupOpts(src, members, PlanOptions{PacketBudget: 1, ToRFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Packets) != 1 || plan.TotalOverHosts() != 0 {
+		t.Fatalf("combined plan: %d packets, %d over-hosts", len(plan.Packets), plan.TotalOverHosts())
+	}
+	// Over-covered ToRs are still reached (they filter, not the agg), so
+	// the count remains visible for accounting.
+	if plan.Packets[0].OverToRs == 0 {
+		t.Fatal("budget-1 must over-cover ToRs on this group")
+	}
+}
+
+// Property: for random groups and budgets, plans serve every member
+// exactly once, trees validate, and the packet count respects the budget.
+func TestQuickPlanOptsInvariants(t *testing.T) {
+	g := topology.FatTree(8)
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	f := func(seed int64, nRaw, budgetRaw uint8, filter bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%50
+		perm := rng.Perm(len(hosts))
+		src := hosts[perm[0]]
+		members := make([]topology.NodeID, n)
+		for i := 0; i < n; i++ {
+			members[i] = hosts[perm[1+i]]
+		}
+		opts := PlanOptions{PacketBudget: int(budgetRaw) % 4, ToRFilter: filter}
+		plan, err := pl.PlanGroupOpts(src, members, opts)
+		if err != nil {
+			return false
+		}
+		served := map[topology.NodeID]int{}
+		perPod := map[int]int{}
+		for _, p := range plan.Packets {
+			if p.Tree.Validate(g, p.Receivers) != nil {
+				return false
+			}
+			perPod[p.Header.Pod]++
+			for _, r := range p.Receivers {
+				served[r]++
+			}
+			if filter && p.OverHosts != 0 {
+				return false
+			}
+		}
+		if opts.PacketBudget > 0 {
+			for _, n := range perPod {
+				if n > opts.PacketBudget {
+					return false
+				}
+			}
+		}
+		for _, m := range plan.Members {
+			if served[m] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

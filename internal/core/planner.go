@@ -1,0 +1,212 @@
+// Package core is PEEL itself: the planner that turns a multicast group
+// into (a) the static power-of-two prefix packets the source emits
+// (§3.2), (b) the per-packet delivery trees those prefixes induce in the
+// fabric — including the over-covered ToRs and hosts that receive and
+// discard — and (c) the controller-refined exact tree used by the
+// optional two-stage refinement with programmable cores (§3.3).
+//
+// On failure-free fat-trees the planner uses the fabric's regularity
+// directly; on asymmetric fabrics (failed links) tree construction falls
+// back to the layer-peeling heuristic of §2.3 via BuildTree.
+package core
+
+import (
+	"fmt"
+
+	"peel/internal/prefix"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+// Planner plans PEEL multicast for one fat-tree fabric.
+type Planner struct {
+	G *topology.Graph
+	// ToRSpace is the per-pod ToR identifier space (m = log₂(k/2)).
+	ToRSpace prefix.Space
+	// HostSpace is the per-ToR host identifier space.
+	HostSpace prefix.Space
+	// Codec encodes the two-tuple packet header.
+	Codec prefix.Codec
+}
+
+// NewPlanner validates the fabric and derives the identifier spaces.
+func NewPlanner(g *topology.Graph) (*Planner, error) {
+	if g.K == 0 {
+		return nil, fmt.Errorf("core: PEEL prefix planning requires a fat-tree fabric")
+	}
+	ts, err := prefix.SpaceForFanout(g.K / 2)
+	if err != nil {
+		return nil, err
+	}
+	hs, err := prefix.SpaceForFanout(g.HostsPerEdge)
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{G: g, ToRSpace: ts, HostSpace: hs, Codec: prefix.Codec{M: ts.M}}, nil
+}
+
+// Packet is one prefix-addressed copy the source emits: its header, the
+// delivery tree the pre-installed rules induce, and redundancy accounting.
+type Packet struct {
+	Header prefix.Header
+	// Tree is the packet's delivery tree rooted at the source, including
+	// over-covered ToRs and hosts.
+	Tree *steiner.Tree
+	// Receivers are the group members this packet serves.
+	Receivers []topology.NodeID
+	// OverToRs / OverHosts count non-member devices the prefix rules
+	// reach; their traffic is discarded on arrival.
+	OverToRs  int
+	OverHosts int
+}
+
+// Plan is the full PEEL send plan for one group.
+type Plan struct {
+	Source  topology.NodeID
+	Members []topology.NodeID
+	// Packets: the static prefix stage (one multicast copy each).
+	Packets []Packet
+	// Refined is the controller-computed exact tree for the programmable-
+	// core stage (§3.3); nil until BuildRefined is called.
+	Refined *steiner.Tree
+	// HeaderBytes is the per-packet header overhead.
+	HeaderBytes int
+}
+
+// TotalOverHosts sums host-level over-coverage across packets.
+func (p *Plan) TotalOverHosts() int {
+	n := 0
+	for i := range p.Packets {
+		n += p.Packets[i].OverHosts
+	}
+	return n
+}
+
+// PlanGroup builds the static-prefix plan for a broadcast from src to the
+// member hosts (deduplicated; src excluded) with default options: exact
+// per-pod covers and stateless (non-filtering) ToRs. It requires the
+// canonical fat-tree links it uses to be live. See PlanGroupOpts for the
+// §3.4 knobs (packet budgets, filtering ToRs).
+func (pl *Planner) PlanGroup(src topology.NodeID, members []topology.NodeID) (*Plan, error) {
+	return pl.PlanGroupOpts(src, members, PlanOptions{})
+}
+
+// BuildRefined computes the controller's exact set-cover tree (§3.3): the
+// bandwidth-optimal tree over the member hosts, with replication at the
+// programmable cores and no over-coverage.
+func (pl *Planner) BuildRefined(plan *Plan) error {
+	t, err := steiner.SymmetricOptimal(pl.G, plan.Source, plan.Members)
+	if err != nil {
+		return err
+	}
+	plan.Refined = t
+	return nil
+}
+
+// BuildTree constructs a multicast tree for an arbitrary (possibly failed)
+// fabric: the symmetric-optimal construction when it applies, otherwise
+// the §2.3 layer-peeling greedy. This is the tree-construction entry
+// point the Fig. 7 robustness experiment exercises.
+func BuildTree(g *topology.Graph, src topology.NodeID, dests []topology.NodeID) (*steiner.Tree, error) {
+	if g.NumFailedLinks() == 0 {
+		if t, err := steiner.SymmetricOptimal(g, src, dests); err == nil {
+			return t, nil
+		}
+	}
+	t, _, err := steiner.LayerPeeling(g, src, dests)
+	return t, err
+}
+
+// StateSummary reports the paper's headline switch-state numbers for a
+// k-ary fat-tree: PEEL's pre-installed rules per aggregation switch vs
+// naive per-group entries, and the per-packet header cost.
+type StateSummary struct {
+	K            int
+	Hosts        int
+	PEELRules    int
+	NaiveEntries float64
+	HeaderBits   int
+	HeaderBytes  int
+}
+
+// StateFor computes the summary without building the fabric.
+func StateFor(k int) StateSummary {
+	shape := topology.Shape(k)
+	return StateSummary{
+		K:            k,
+		Hosts:        shape.Hosts,
+		PEELRules:    k - 1,
+		NaiveEntries: prefix.NaiveGroupEntries(k),
+		HeaderBits:   prefix.HeaderBits(k),
+		HeaderBytes:  prefix.HeaderBytes(k),
+	}
+}
+
+// treeBuilder assembles steiner.Tree values edge by edge.
+type treeBuilder struct {
+	g    *topology.Graph
+	tree *steiner.Tree
+}
+
+func newTreeBuilder(g *topology.Graph, src topology.NodeID) *treeBuilder {
+	parent := make([]topology.NodeID, g.NumNodes())
+	for i := range parent {
+		parent[i] = topology.None
+	}
+	return &treeBuilder{g: g, tree: &steiner.Tree{
+		Source:  src,
+		Parent:  parent,
+		Members: []topology.NodeID{src},
+	}}
+}
+
+// attach adds child under parent; adding an existing member is a no-op
+// when the parent matches and a panic otherwise (plan inconsistency).
+func (b *treeBuilder) attach(child, parent topology.NodeID) {
+	if b.tree.Contains(child) {
+		if b.tree.Parent[child] != parent && child != b.tree.Source {
+			panic(fmt.Sprintf("core: node %d attached under both %d and %d", child, b.tree.Parent[child], parent))
+		}
+		return
+	}
+	if b.g.LinkBetween(parent, child) < 0 {
+		panic(fmt.Sprintf("core: no live link %d-%d", parent, child))
+	}
+	b.tree.Parent[child] = parent
+	b.tree.Members = append(b.tree.Members, child)
+}
+
+func firstLive(g *topology.Graph, n topology.NodeID, kind topology.Kind) topology.NodeID {
+	best := topology.None
+	for _, he := range g.Adj(n) {
+		if g.Link(he.Link).Failed {
+			continue
+		}
+		if g.Node(he.Peer).Kind == kind && (best == topology.None || he.Peer < best) {
+			best = he.Peer
+		}
+	}
+	return best
+}
+
+func aggInPod(g *topology.Graph, core topology.NodeID, pod int) topology.NodeID {
+	for _, he := range g.Adj(core) {
+		if g.Link(he.Link).Failed {
+			continue
+		}
+		if p := g.Node(he.Peer); p.Kind == topology.Agg && p.Pod == pod {
+			return he.Peer
+		}
+	}
+	return topology.None
+}
+
+func torInPod(g *topology.Graph, pod, index int) topology.NodeID {
+	// ToRs were added pod by pod in construction order; derive via a host
+	// under the ToR, which HostByCoord can address directly.
+	h := g.HostByCoord(pod, index, 0)
+	if h == topology.None {
+		return topology.None
+	}
+	return h - 1 // FatTree construction order: a ToR immediately precedes its first host
+}

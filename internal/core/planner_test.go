@@ -1,0 +1,333 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"peel/internal/topology"
+)
+
+func TestPlanPaperExample(t *testing.T) {
+	// §3.2's example: an 8-ary pod, receivers on ToRs 010,011,100,101,
+	// 110,111 → two packets: 01*/2 and 1**/1. Reproduce with an 8-ary
+	// fat-tree, the source in pod 0 and members filling ToRs 2..7 wait —
+	// a pod has k/2=4 ToRs; spread the example across ToR ids 2,3 of pod 1
+	// and all of pod 2 instead, yielding one packet per aggregable block.
+	g := topology.FatTree(8)
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.HostByCoord(0, 0, 0)
+	var members []topology.NodeID
+	for _, tor := range []int{2, 3} { // pod 1, ToRs 2,3 → prefix 1*
+		for slot := 0; slot < 4; slot++ {
+			members = append(members, g.HostByCoord(1, tor, slot))
+		}
+	}
+	for tor := 0; tor < 4; tor++ { // pod 2 fully → prefix **
+		for slot := 0; slot < 4; slot++ {
+			members = append(members, g.HostByCoord(2, tor, slot))
+		}
+	}
+	plan, err := pl.PlanGroup(src, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Packets) != 2 {
+		t.Fatalf("packets=%d want 2", len(plan.Packets))
+	}
+	p0, p1 := plan.Packets[0], plan.Packets[1]
+	if p0.Header.Pod != 1 || p0.Header.ToR.Format(2) != "1*" {
+		t.Fatalf("packet0 header %+v, want pod1 1*", p0.Header)
+	}
+	if p1.Header.Pod != 2 || p1.Header.ToR.Format(2) != "**" {
+		t.Fatalf("packet1 header %+v, want pod2 **", p1.Header)
+	}
+	if p0.OverToRs != 0 || p0.OverHosts != 0 || p1.OverToRs != 0 || p1.OverHosts != 0 {
+		t.Fatalf("aligned full-rack groups must have zero over-coverage: %+v %+v", p0, p1)
+	}
+	if plan.HeaderBytes >= 8 {
+		t.Fatalf("header %d B, must be <8 B", plan.HeaderBytes)
+	}
+	// Every member must be a receiver of exactly one packet.
+	got := map[topology.NodeID]int{}
+	for _, p := range plan.Packets {
+		for _, r := range p.Receivers {
+			got[r]++
+		}
+	}
+	if len(got) != len(members) {
+		t.Fatalf("receivers=%d want %d", len(got), len(members))
+	}
+	for m, n := range got {
+		if n != 1 {
+			t.Fatalf("member %d served by %d packets", m, n)
+		}
+	}
+}
+
+func TestPlanOverCoverage(t *testing.T) {
+	// Fragmented placement: members on ToRs 0 and 2 of one pod (no
+	// aligned pair) plus a partial rack → ToR- and host-level redundancy.
+	g := topology.FatTree(8)
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.HostByCoord(0, 0, 0)
+	var members []topology.NodeID
+	for _, tor := range []int{0, 2} {
+		for slot := 0; slot < 3; slot++ { // 3 of 4 slots: host over-coverage
+			members = append(members, g.HostByCoord(3, tor, slot))
+		}
+	}
+	plan, err := pl.PlanGroup(src, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ToRs {0,2} have exact cover {00, 10}: two packets, no ToR overshoot.
+	if len(plan.Packets) != 2 {
+		t.Fatalf("packets=%d want 2", len(plan.Packets))
+	}
+	if plan.TotalOverHosts() != 2 { // one spare host slot per covered rack
+		t.Fatalf("over-hosts=%d want 2", plan.TotalOverHosts())
+	}
+	// Each packet's tree must span its receivers.
+	for _, p := range plan.Packets {
+		if err := p.Tree.Validate(g, p.Receivers); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPlanSamePodAndSameToR(t *testing.T) {
+	g := topology.FatTree(4)
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.HostByCoord(1, 0, 0)
+	members := []topology.NodeID{
+		g.HostByCoord(1, 0, 1), // same rack
+		g.HostByCoord(1, 1, 0), // same pod other rack
+	}
+	plan, err := pl.PlanGroup(src, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plan.Packets {
+		if err := p.Tree.Validate(g, p.Receivers); err != nil {
+			t.Fatal(err)
+		}
+		// Same-pod packets must not touch any core switch.
+		for _, m := range p.Tree.Members {
+			if g.Node(m).Kind == topology.Core {
+				t.Fatal("same-pod packet crossed a core")
+			}
+		}
+	}
+}
+
+func TestPlanDedupsMembers(t *testing.T) {
+	g := topology.FatTree(4)
+	pl, _ := NewPlanner(g)
+	src := g.Hosts()[0]
+	m := g.Hosts()[5]
+	plan, err := pl.PlanGroup(src, []topology.NodeID{m, m, src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Members) != 1 {
+		t.Fatalf("members=%d want 1", len(plan.Members))
+	}
+}
+
+func TestPlanEmptyGroup(t *testing.T) {
+	g := topology.FatTree(4)
+	pl, _ := NewPlanner(g)
+	plan, err := pl.PlanGroup(g.Hosts()[0], nil)
+	if err != nil || len(plan.Packets) != 0 {
+		t.Fatalf("empty group: %+v %v", plan, err)
+	}
+}
+
+func TestBuildRefinedMatchesOptimal(t *testing.T) {
+	g := topology.FatTree(8)
+	pl, _ := NewPlanner(g)
+	rng := rand.New(rand.NewSource(2))
+	hosts := g.Hosts()
+	rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+	src, members := hosts[0], hosts[1:40]
+	plan, err := pl.PlanGroup(src, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.BuildRefined(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Refined.Validate(g, members); err != nil {
+		t.Fatal(err)
+	}
+	// The refined tree has no over-coverage: its hosts are exactly the
+	// members plus the source.
+	hostsInTree := 0
+	for _, m := range plan.Refined.Members {
+		if g.Node(m).Kind == topology.Host {
+			hostsInTree++
+		}
+	}
+	if hostsInTree != len(members)+1 {
+		t.Fatalf("refined tree spans %d hosts, want %d", hostsInTree, len(members)+1)
+	}
+}
+
+func TestBuildTreeFallsBackUnderFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := topology.LeafSpine(16, 48, 2)
+	g.FailRandomFraction(0.08, topology.TierLinks(topology.Spine, topology.Leaf), rng)
+	hosts := g.Hosts()
+	src, dests := hosts[0], hosts[10:20]
+	tr, err := BuildTree(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(g, dests); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateForHeadlines(t *testing.T) {
+	// The paper's headline: 64-ary fat-tree (65,536 hosts) needs just 63
+	// rules, down from over four billion, with <8 B of header.
+	s := StateFor(64)
+	if s.Hosts != 65536 {
+		t.Fatalf("hosts=%d", s.Hosts)
+	}
+	if s.PEELRules != 63 {
+		t.Fatalf("rules=%d want 63", s.PEELRules)
+	}
+	if s.NaiveEntries < 4e9 {
+		t.Fatalf("naive=%g want >4e9", s.NaiveEntries)
+	}
+	if s.HeaderBytes >= 8 {
+		t.Fatalf("header=%dB want <8", s.HeaderBytes)
+	}
+	if s128 := StateFor(128); s128.PEELRules != 127 || s128.Hosts != 524288 {
+		t.Fatalf("k=128: %+v", s128)
+	}
+}
+
+func TestNewPlannerRejectsLeafSpine(t *testing.T) {
+	if _, err := NewPlanner(topology.LeafSpine(2, 2, 2)); err == nil {
+		t.Fatal("leaf-spine has no pods; planner must reject it")
+	}
+}
+
+// Property: for random groups on an 8-ary fat-tree, every plan (a) serves
+// each member exactly once, (b) yields valid per-packet trees, (c) emits
+// at most k/2−?… — at most one packet per member ToR, and (d) reports
+// over-coverage consistent with the trees' non-member hosts.
+func TestQuickPlanInvariants(t *testing.T) {
+	g := topology.FatTree(8)
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%60
+		perm := rng.Perm(len(hosts))
+		src := hosts[perm[0]]
+		members := make([]topology.NodeID, n)
+		for i := 0; i < n; i++ {
+			members[i] = hosts[perm[1+i]]
+		}
+		plan, err := pl.PlanGroup(src, members)
+		if err != nil {
+			return false
+		}
+		served := map[topology.NodeID]int{}
+		torSet := map[topology.NodeID]bool{}
+		overHosts := 0
+		for _, p := range plan.Packets {
+			if p.Tree.Validate(g, p.Receivers) != nil {
+				return false
+			}
+			for _, r := range p.Receivers {
+				served[r]++
+			}
+			// count non-member host leaves
+			for _, m := range p.Tree.Members {
+				nd := g.Node(m)
+				if nd.Kind == topology.ToR {
+					torSet[m] = true
+				}
+				if nd.Kind == topology.Host && m != src {
+					isMember := false
+					for _, r := range p.Receivers {
+						if r == m {
+							isMember = true
+							break
+						}
+					}
+					if !isMember {
+						overHosts++
+					}
+				}
+			}
+		}
+		if overHosts != plan.TotalOverHosts() {
+			return false
+		}
+		for _, m := range plan.Members {
+			if served[m] != 1 {
+				return false
+			}
+		}
+		return len(plan.Packets) <= n // never more packets than members
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanGroupErrorPaths(t *testing.T) {
+	g := topology.FatTree(4)
+	pl, _ := NewPlanner(g)
+	hosts := g.Hosts()
+	tor := g.NodesOfKind(topology.ToR)[0]
+	if _, err := pl.PlanGroup(tor, hosts[:2]); err == nil {
+		t.Fatal("switch source must be rejected")
+	}
+	if _, err := pl.PlanGroup(hosts[0], []topology.NodeID{tor}); err == nil {
+		t.Fatal("switch member must be rejected")
+	}
+	// Source with a failed uplink cannot plan.
+	g2 := topology.FatTree(4)
+	pl2, _ := NewPlanner(g2)
+	h := g2.Hosts()[0]
+	g2.FailLink(g2.Adj(h)[0].Link)
+	if _, err := pl2.PlanGroup(h, g2.Hosts()[4:6]); err == nil {
+		t.Fatal("source without uplink must fail")
+	}
+}
+
+func TestBuildRefinedFailsUnderImpossibleFabric(t *testing.T) {
+	g := topology.FatTree(4)
+	pl, _ := NewPlanner(g)
+	hosts := g.Hosts()
+	plan, err := pl.PlanGroup(hosts[0], hosts[8:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the member uplinks: the refined (exact) tree cannot be built.
+	for _, m := range plan.Members {
+		g.FailLink(g.Adj(m)[0].Link)
+	}
+	if err := pl.BuildRefined(plan); err == nil {
+		t.Fatal("refinement over severed members must fail")
+	}
+}

@@ -1,0 +1,180 @@
+package dcqcn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"peel/internal/sim"
+)
+
+func TestStartsAtLineRate(t *testing.T) {
+	s := NewSender(DefaultParams())
+	if s.Rate() != 100e9 {
+		t.Fatalf("rate=%v want line rate", s.Rate())
+	}
+	s.Tick(10 * sim.Millisecond) // no CNPs → stays at line rate
+	if s.Rate() != 100e9 {
+		t.Fatalf("rate drifted to %v without congestion", s.Rate())
+	}
+}
+
+func TestCNPCutsRate(t *testing.T) {
+	s := NewSender(DefaultParams())
+	if !s.OnCNP(sim.Microsecond) {
+		t.Fatal("first CNP must react")
+	}
+	// alpha starts at 1 → first cut halves the rate.
+	if s.Rate() != 50e9 {
+		t.Fatalf("rate=%v want 50e9 after first cut", s.Rate())
+	}
+	if s.Reactions() != 1 {
+		t.Fatalf("reactions=%d", s.Reactions())
+	}
+}
+
+func TestRepeatedCNPsFloorAtMinRate(t *testing.T) {
+	s := NewSender(DefaultParams())
+	for i := 0; i < 200; i++ {
+		s.OnCNP(sim.Time(i) * sim.Millisecond)
+	}
+	if s.Rate() < DefaultParams().MinRateBps {
+		t.Fatalf("rate %v fell below floor", s.Rate())
+	}
+}
+
+func TestRecoveryReturnsTowardLineRate(t *testing.T) {
+	s := NewSender(DefaultParams())
+	s.OnCNP(0)
+	cut := s.Rate()
+	// After a long quiet period the rate must recover substantially.
+	s.Tick(50 * sim.Millisecond)
+	if s.Rate() <= cut {
+		t.Fatalf("no recovery: %v <= %v", s.Rate(), cut)
+	}
+	if s.Rate() > DefaultParams().LineRateBps {
+		t.Fatalf("rate %v above line rate", s.Rate())
+	}
+	// Eventually back at (or near) line rate thanks to hyper increase.
+	s.Tick(2 * sim.Second)
+	if s.Rate() < 0.99*DefaultParams().LineRateBps {
+		t.Fatalf("rate %v failed to re-reach line rate", s.Rate())
+	}
+}
+
+func TestFastRecoveryHalvesTowardTarget(t *testing.T) {
+	p := DefaultParams()
+	s := NewSender(p)
+	s.OnCNP(0)
+	target := s.rt
+	before := s.Rate()
+	s.Tick(p.IncreaseTimer) // one fast-recovery step
+	want := (target + before) / 2
+	if s.Rate() != want {
+		t.Fatalf("rate=%v want %v", s.Rate(), want)
+	}
+}
+
+func TestGuardTimerSuppressesBurst(t *testing.T) {
+	p := DefaultParams().WithGuard()
+	s := NewSender(p)
+	// A multicast incast: 64 receivers all CNP within a few µs.
+	applied := 0
+	for i := 0; i < 64; i++ {
+		if s.OnCNP(sim.Time(i) * sim.Microsecond) {
+			applied++
+		}
+	}
+	if applied != 2 { // t=0 and t=50µs fall in separate guard windows
+		t.Fatalf("applied=%d want 2 (one per 50µs window)", applied)
+	}
+	if s.Ignored() != 62 {
+		t.Fatalf("ignored=%d want 62", s.Ignored())
+	}
+	// Without the guard, all 64 react and the rate collapses.
+	n := NewSender(DefaultParams())
+	for i := 0; i < 64; i++ {
+		n.OnCNP(sim.Time(i) * sim.Microsecond)
+	}
+	if n.Rate() >= s.Rate() {
+		t.Fatalf("guardless rate %v should collapse below guarded %v", n.Rate(), s.Rate())
+	}
+}
+
+func TestGuardWindowReopens(t *testing.T) {
+	s := NewSender(DefaultParams().WithGuard())
+	if !s.OnCNP(0) {
+		t.Fatal("first CNP must apply")
+	}
+	if s.OnCNP(49 * sim.Microsecond) {
+		t.Fatal("CNP inside guard window must be suppressed")
+	}
+	if !s.OnCNP(51 * sim.Microsecond) {
+		t.Fatal("CNP after guard window must apply")
+	}
+}
+
+func TestAlphaDecays(t *testing.T) {
+	p := DefaultParams()
+	s := NewSender(p)
+	s.OnCNP(0)
+	a0 := s.alpha
+	s.Tick(20 * p.AlphaTimer)
+	if s.alpha >= a0 {
+		t.Fatalf("alpha did not decay: %v >= %v", s.alpha, a0)
+	}
+	// A decayed alpha makes the next cut gentler.
+	r := s.Rate()
+	s.OnCNP(20 * p.AlphaTimer)
+	if s.Rate() < r*(1-a0/2)-1 {
+		t.Fatal("cut with decayed alpha should be gentler than the first")
+	}
+}
+
+// Property: the rate always stays within [MinRate, LineRate] under any
+// interleaving of CNPs and ticks with increasing timestamps.
+func TestQuickRateBounded(t *testing.T) {
+	p := DefaultParams().WithGuard()
+	f := func(steps []uint16) bool {
+		s := NewSender(p)
+		now := sim.Time(0)
+		for _, st := range steps {
+			now += sim.Time(st) * sim.Microsecond
+			if st%3 == 0 {
+				s.OnCNP(now)
+			} else {
+				s.Tick(now)
+			}
+			if s.Rate() < p.MinRateBps-1 || s.Rate() > p.LineRateBps+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the guard timer never allows two reactions closer than the
+// guard interval.
+func TestQuickGuardSpacing(t *testing.T) {
+	p := DefaultParams().WithGuard()
+	f := func(gaps []uint8) bool {
+		s := NewSender(p)
+		now := sim.Time(0)
+		last := sim.Time(-1)
+		for _, gp := range gaps {
+			now += sim.Time(gp) * sim.Microsecond
+			if s.OnCNP(now) {
+				if last >= 0 && now-last < p.GuardTimer {
+					return false
+				}
+				last = now
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (§4) plus the switch-state and approximation headlines. Each
+// Fig* function returns a structured Result whose series correspond to
+// the curves in the paper; cmd/peelsim prints them and EXPERIMENTS.md
+// records paper-vs-measured shape comparisons.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"peel/internal/collective"
+	"peel/internal/controller"
+	"peel/internal/core"
+	"peel/internal/metrics"
+	"peel/internal/netsim"
+	"peel/internal/sim"
+	"peel/internal/topology"
+	"peel/internal/workload"
+)
+
+// Options tunes experiment fidelity. Zero values pick full-fidelity
+// defaults; Quick() shrinks everything for tests and benchmarks.
+type Options struct {
+	// Samples is the number of collectives simulated per configuration
+	// point (the CCT distribution's sample count).
+	Samples int
+	// Seed drives workload generation and the simulator's RNGs.
+	Seed int64
+	// FramesPerMessage controls simulation granularity: the frame size is
+	// message/FramesPerMessage clamped to [4 KiB, 4 MiB]. Coarser frames
+	// rescale absolute times identically across schemes (DESIGN.md).
+	FramesPerMessage int64
+	// Load is the offered load for Poisson workloads (the paper: 0.30).
+	Load float64
+	// MaxEvents bounds each simulation run (safety).
+	MaxEvents uint64
+}
+
+// Defaults returns full-fidelity options.
+func Defaults() Options {
+	return Options{Samples: 40, Seed: 1, FramesPerMessage: 128, Load: 0.30, MaxEvents: 600_000_000}
+}
+
+// Quick returns reduced-fidelity options for tests and benchmarks.
+func Quick() Options {
+	return Options{Samples: 6, Seed: 1, FramesPerMessage: 32, Load: 0.30, MaxEvents: 120_000_000}
+}
+
+func (o Options) normalized() Options {
+	d := Defaults()
+	if o.Samples <= 0 {
+		o.Samples = d.Samples
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.FramesPerMessage <= 0 {
+		o.FramesPerMessage = d.FramesPerMessage
+	}
+	if o.Load <= 0 {
+		o.Load = d.Load
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = d.MaxEvents
+	}
+	return o
+}
+
+// frameFor picks the simulation frame for a message size.
+func (o Options) frameFor(msgBytes int64) int64 {
+	f := msgBytes / o.FramesPerMessage
+	if f < 4<<10 {
+		f = 4 << 10
+	}
+	if f > 4<<20 {
+		f = 4 << 20
+	}
+	return f
+}
+
+// configFor builds a netsim config whose congestion thresholds scale with
+// the frame size, preserving the paper's DCQCN setup in MTU-relative
+// terms (Kmin≈3.3 MTU, Kmax≈133 MTU, 12 MB ≈ 8000 MTU of buffer).
+func (o Options) configFor(msgBytes int64, seed int64) netsim.Config {
+	cfg := netsim.DefaultConfig()
+	f := o.frameFor(msgBytes)
+	cfg.FrameBytes = f
+	cfg.ECNKminBytes = 10 * f / 3
+	cfg.ECNKmaxBytes = 133 * f
+	cfg.BufferBytes = 8000 * f
+	cfg.Seed = seed
+	return cfg
+}
+
+// Result is one figure's regenerated data: X values plus mean- and
+// p99-CCT series per scheme (or scheme-free values for analytic figures).
+type Result struct {
+	Name   string
+	XLabel string
+	X      []float64
+	Mean   []metrics.Series
+	P99    []metrics.Series
+	Notes  []string
+}
+
+// Render prints the figure's series as aligned tables.
+func (r *Result) Render() string {
+	out := fmt.Sprintf("== %s ==\n", r.Name)
+	if len(r.Mean) > 0 {
+		out += "mean:\n" + metrics.Table(r.XLabel, r.X, r.Mean)
+	}
+	if len(r.P99) > 0 {
+		out += "p99:\n" + metrics.Table(r.XLabel, r.X, r.P99)
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// runWorkload simulates one (fabric, scheme, workload) combination and
+// returns the CCT samples. Every collective must complete; a stall is an
+// error (it would silently bias the tail otherwise).
+func runWorkload(build func() *topology.Graph, usePlanner bool, scheme collective.Scheme,
+	cols []*workload.Collective, cfg netsim.Config, gpusPerHost int, maxEvents uint64) (*metrics.Samples, *netsim.Network, error) {
+
+	g := build()
+	eng := &sim.Engine{}
+	net := netsim.New(g, eng, cfg)
+	var planner *core.Planner
+	if usePlanner {
+		var err error
+		planner, err = core.NewPlanner(g)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	cl := workload.NewCluster(g, gpusPerHost)
+	ctrl := controller.New(rand.New(rand.NewSource(cfg.Seed * 7919)))
+	runner := collective.NewRunner(net, cl, planner, ctrl)
+
+	samples := &metrics.Samples{}
+	completed := 0
+	var startErr error
+	for _, c := range cols {
+		c := c
+		eng.At(c.Arrival, func() {
+			if err := runner.Start(c, scheme, func(cct sim.Time) {
+				samples.AddTime(cct)
+				completed++
+			}); err != nil && startErr == nil {
+				startErr = err
+			}
+		})
+	}
+	if err := eng.Run(maxEvents); err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s: %w", scheme, err)
+	}
+	if startErr != nil {
+		return nil, nil, startErr
+	}
+	if completed != len(cols) {
+		return nil, nil, fmt.Errorf("experiments: %s: %d/%d collectives completed", scheme, completed, len(cols))
+	}
+	return samples, net, nil
+}
+
+// sweepCCT runs a full scheme × X sweep, generating an identical workload
+// per X for every scheme (same seed ⇒ same arrivals and placements).
+func sweepCCT(name, xLabel string, xs []float64, schemes []collective.Scheme,
+	build func() *topology.Graph, usePlanner bool, gpusPerHost int,
+	gen func(x float64, rng *rand.Rand, cl *workload.Cluster) ([]*workload.Collective, error),
+	cfgFor func(x float64) netsim.Config, maxEvents uint64, seed int64) (*Result, error) {
+
+	res := &Result{Name: name, XLabel: xLabel, X: xs}
+	for _, s := range schemes {
+		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: xs})
+		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: xs})
+	}
+	for _, x := range xs {
+		// One workload per X, shared verbatim across schemes.
+		gWork := build()
+		clWork := workload.NewCluster(gWork, gpusPerHost)
+		rng := rand.New(rand.NewSource(seed + int64(x*1000)))
+		cols, err := gen(x, rng, clWork)
+		if err != nil {
+			return nil, err
+		}
+		for si, s := range schemes {
+			cfg := cfgFor(x)
+			samples, _, err := runWorkload(build, usePlanner, s, cols, cfg, gpusPerHost, maxEvents)
+			if err != nil {
+				return nil, fmt.Errorf("%s @ %s=%v: %w", name, xLabel, x, err)
+			}
+			res.Mean[si].Y = append(res.Mean[si].Y, samples.Mean())
+			res.P99[si].Y = append(res.P99[si].Y, samples.P99())
+		}
+	}
+	return res, nil
+}

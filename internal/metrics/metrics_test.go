@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"peel/internal/sim"
+)
+
+func TestMeanAndPercentiles(t *testing.T) {
+	var s Samples
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Mean(); got != 50.5 {
+		t.Fatalf("mean=%v", got)
+	}
+	if got := s.P99(); got != 99 {
+		t.Fatalf("p99=%v", got)
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Fatalf("p50=%v", got)
+	}
+	if got := s.Max(); got != 100 {
+		t.Fatalf("max=%v", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Fatalf("min=%v", got)
+	}
+	if s.N() != 100 {
+		t.Fatalf("n=%d", s.N())
+	}
+}
+
+func TestEmptySamples(t *testing.T) {
+	var s Samples
+	for _, v := range []float64{s.Mean(), s.P99(), s.Min(), s.StdDev()} {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty sample stat = %v, want NaN", v)
+		}
+	}
+}
+
+func TestAddTime(t *testing.T) {
+	var s Samples
+	s.AddTime(250 * sim.Millisecond)
+	if got := s.Mean(); got != 0.25 {
+		t.Fatalf("mean=%v", got)
+	}
+}
+
+func TestAddAfterPercentileKeepsCorrectness(t *testing.T) {
+	var s Samples
+	s.Add(3)
+	s.Add(1)
+	_ = s.P99()
+	s.Add(2)
+	if got := s.Percentile(50); got != 2 {
+		t.Fatalf("p50 after interleaved add = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	var s Samples
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.StdDev(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("stddev=%v want 2", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Samples
+	s.Add(1)
+	sum := s.Summarize()
+	if sum.N != 1 || sum.Mean != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "n=1") {
+		t.Fatalf("summary string %q", sum.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table("msgMB", []float64{2, 4}, []Series{
+		{Label: "ring", Y: []float64{0.1, 0.2}},
+		{Label: "peel", Y: []float64{0.05}},
+	})
+	if !strings.Contains(out, "ring") || !strings.Contains(out, "peel") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder for short series:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("unexpected row count:\n%s", out)
+	}
+}
+
+// Property: percentiles are monotone in p and bracketed by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, aRaw, bRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Samples
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := s.Percentile(a), s.Percentile(b)
+		return pa <= pb && pa >= s.Min() && pb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package netsim is a discrete-event, frame-level datacenter network
+// simulator: the substrate substituting for the paper's OMNeT++ setup
+// (§4). It models store-and-forward switches with per-port egress queues,
+// shared switch buffers, ECN marking, PFC pause/resume, DCQCN-paced
+// senders, and native multicast replication, over fabrics from
+// internal/topology.
+//
+// Granularity: traffic moves in frames of Config.FrameBytes. Experiments
+// use frames coarser than the 1500 B MTU to bound event counts; this
+// rescales absolute times identically for every scheme and preserves the
+// ratios and crossovers the paper's figures report (see DESIGN.md).
+package netsim
+
+import (
+	"math/rand"
+
+	"peel/internal/dcqcn"
+	"peel/internal/sim"
+)
+
+// Config holds the fabric-wide simulation parameters. The defaults follow
+// the paper's experimental setup (§4): 100 Gb/s links, NVLink at 900 GB/s,
+// 12 MB switch buffers, ECN marking between 5 kB and 200 kB at 1%
+// probability, PFC stop/resume at 11% free buffer with 5-MTU hysteresis.
+type Config struct {
+	LinkBps       float64  // per-direction link bandwidth
+	NVLinkBps     float64  // intra-host GPU fabric bandwidth (bits/s)
+	PropDelay     sim.Time // per-link propagation delay
+	SwitchLatency sim.Time // per-hop forwarding latency
+	FrameBytes    int64    // simulation frame (coarse MTU)
+	BufferBytes   int64    // shared buffer per switch
+	ECNKminBytes  int64    // ECN marking lower threshold (per egress queue)
+	ECNKmaxBytes  int64    // ECN marking upper threshold
+	ECNPmax       float64  // marking probability at Kmax
+	PFCEnabled    bool
+	PFCFreeFrac   float64  // pause when free buffer fraction drops below this
+	NPInterval    sim.Time // receiver-side CNP coalescing interval
+	CNPDelay      sim.Time // CNP propagation delay back to the sender
+	// HostQueueFrames bounds the host NIC egress queue: a flow defers
+	// injection while its uplink already holds this many frames, so
+	// concurrent QPs arbitrate the NIC at line rate instead of dumping
+	// their messages into an unbounded queue.
+	HostQueueFrames int64
+	// LossRate drops each delivered frame with this probability,
+	// exercising the selective-repeat recovery the paper inherits from
+	// RDMA (§1 fn.1). 0 disables loss.
+	LossRate float64
+	// RepairRTO is the sender's repair-scan interval under loss: once
+	// injection finishes, missing frames are retransmitted each RTO until
+	// every receiver is whole.
+	RepairRTO sim.Time
+	DCQCN     dcqcn.Params
+	Seed      int64
+	MaxEvents uint64 // safety budget for Engine.Run (0 = unlimited)
+}
+
+// DefaultConfig returns the paper's §4 parameters with a 4 KiB simulation
+// frame (tests); experiments override FrameBytes per message size.
+func DefaultConfig() Config {
+	return Config{
+		LinkBps:         100e9,
+		NVLinkBps:       900e9 * 8, // 900 GB/s
+		PropDelay:       600 * sim.Nanosecond,
+		SwitchLatency:   300 * sim.Nanosecond,
+		FrameBytes:      4096,
+		BufferBytes:     12 << 20,
+		ECNKminBytes:    5 << 10,
+		ECNKmaxBytes:    200 << 10,
+		ECNPmax:         0.01,
+		PFCEnabled:      true,
+		PFCFreeFrac:     0.11,
+		NPInterval:      50 * sim.Microsecond,
+		CNPDelay:        4 * sim.Microsecond,
+		HostQueueFrames: 8,
+		LossRate:        0,
+		RepairRTO:       200 * sim.Microsecond,
+		DCQCN:           dcqcn.DefaultParams(),
+		Seed:            1,
+		MaxEvents:       0,
+	}
+}
+
+// pfcPauseThreshold returns the occupancy above which a switch asserts
+// pause toward its upstream neighbors.
+func (c Config) pfcPauseThreshold() int64 {
+	return int64(float64(c.BufferBytes) * (1 - c.PFCFreeFrac))
+}
+
+// pfcResumeThreshold applies the 5-MTU hysteresis below the pause point.
+func (c Config) pfcResumeThreshold() int64 {
+	return c.pfcPauseThreshold() - 5*c.FrameBytes
+}
+
+// txTime returns the serialization time of n bytes at the link rate.
+func (c Config) txTime(n int64) sim.Time {
+	return sim.Time(float64(n*8) / c.LinkBps * 1e12)
+}
+
+// newRNG derives a deterministic substream for a component.
+func (c Config) newRNG(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + salt))
+}

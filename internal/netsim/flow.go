@@ -1,0 +1,424 @@
+package netsim
+
+import (
+	"fmt"
+
+	"peel/internal/dcqcn"
+	"peel/internal/sim"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+// ChunkHandler observes per-receiver chunk completions. Collective
+// algorithms use it to drive pipelining (forward a chunk once fully
+// received) and to detect collective completion.
+type ChunkHandler func(receiver topology.NodeID, chunkID int)
+
+// Flow is one paced sender: either a unicast flow along a fixed path or a
+// multicast flow over a distribution tree. Frames are injected at the
+// DCQCN-controlled rate and travel through the store-and-forward fabric.
+type Flow struct {
+	net *Network
+	id  int
+
+	src  topology.NodeID
+	path []topology.NodeID // unicast route (src … dst); nil for multicast
+	tree *steiner.Tree     // multicast route; nil for unicast
+
+	receivers []topology.NodeID
+	recv      map[topology.NodeID]*recvState
+
+	sender  *dcqcn.Sender
+	onChunk ChunkHandler
+
+	chunks    []chunkState
+	nextChunk int   // first chunk not fully injected
+	offset    int64 // bytes of chunks[nextChunk] already injected
+	pacing    bool
+	closed    bool
+
+	// BytesInjected counts payload bytes the source has emitted; one
+	// multicast injection fans out downstream without re-counting here.
+	BytesInjected int64
+
+	// Retransmissions counts repair frames sent under loss.
+	Retransmissions int64
+
+	nextSeq int64
+	sent    []sentFrame // retransmission buffer (loss recovery)
+	repairs bool        // a repair scan is scheduled
+	repairQ []sentFrame // repairs awaiting paced injection
+}
+
+// sentFrame is the sender's retransmission record for one frame.
+type sentFrame struct {
+	seq        int64
+	chunkID    int
+	bytes      int64
+	lastRepair sim.Time // last retransmission (suppresses re-repair storms)
+}
+
+type chunkState struct {
+	id    int
+	bytes int64
+}
+
+type recvState struct {
+	gotChunk  map[int]int64 // chunkID → bytes received
+	doneChunk map[int]bool
+	gotSeq    map[int64]bool // de-dup under loss recovery
+	lastNP    sim.Time
+	hasNP     bool
+}
+
+// NewUnicastFlow creates a paced flow along the given host-to-host path
+// (from routing.ECMPPath). The final path node is the single receiver.
+func (n *Network) NewUnicastFlow(path []topology.NodeID, params dcqcn.Params) (*Flow, error) {
+	if len(path) < 2 {
+		return nil, fmt.Errorf("netsim: unicast path needs >=2 nodes")
+	}
+	if n.G.Node(path[0]).Kind != topology.Host || n.G.Node(path[len(path)-1]).Kind != topology.Host {
+		return nil, fmt.Errorf("netsim: unicast path endpoints must be hosts")
+	}
+	f := &Flow{
+		net:       n,
+		id:        len(n.flows),
+		src:       path[0],
+		path:      path,
+		receivers: []topology.NodeID{path[len(path)-1]},
+		sender:    dcqcn.NewSender(params),
+	}
+	f.initRecv()
+	n.flows = append(n.flows, f)
+	return f, nil
+}
+
+// NewMulticastFlow creates a paced flow over tree; receivers is the subset
+// of tree hosts whose delivery counts toward chunk completion (over-covered
+// hosts in PEEL's coarse prefixes receive and discard — their traffic is
+// modelled, their completion is not awaited).
+func (n *Network) NewMulticastFlow(tree *steiner.Tree, receivers []topology.NodeID, params dcqcn.Params) (*Flow, error) {
+	if len(receivers) == 0 {
+		return nil, fmt.Errorf("netsim: multicast flow needs receivers")
+	}
+	for _, r := range receivers {
+		if !tree.Contains(r) {
+			return nil, fmt.Errorf("netsim: receiver %d not in tree", r)
+		}
+	}
+	f := &Flow{
+		net:       n,
+		id:        len(n.flows),
+		src:       tree.Source,
+		tree:      tree,
+		receivers: append([]topology.NodeID(nil), receivers...),
+		sender:    dcqcn.NewSender(params),
+	}
+	f.initRecv()
+	n.flows = append(n.flows, f)
+	return f, nil
+}
+
+func (f *Flow) initRecv() {
+	f.recv = make(map[topology.NodeID]*recvState, len(f.receivers))
+	for _, r := range f.receivers {
+		f.recv[r] = &recvState{gotChunk: map[int]int64{}, doneChunk: map[int]bool{}, gotSeq: map[int64]bool{}}
+	}
+}
+
+// OnChunk registers the completion callback (one registration per flow).
+func (f *Flow) OnChunk(h ChunkHandler) { f.onChunk = h }
+
+// Rate exposes the current DCQCN rate (telemetry and tests).
+func (f *Flow) Rate() float64 { return f.sender.Rate() }
+
+// Sender exposes the DCQCN state for ablation accounting.
+func (f *Flow) Sender() *dcqcn.Sender { return f.sender }
+
+// Send queues a chunk of the given size for transmission. Chunks are
+// injected strictly in Send order.
+func (f *Flow) Send(chunkID int, bytes int64) {
+	if f.closed {
+		panic("netsim: Send on closed flow")
+	}
+	if bytes <= 0 {
+		panic(fmt.Sprintf("netsim: chunk %d has %d bytes", chunkID, bytes))
+	}
+	f.chunks = append(f.chunks, chunkState{id: chunkID, bytes: bytes})
+	f.kick()
+}
+
+// Close stops the flow after the current frame; queued-but-uninjected
+// bytes are dropped. Used by PEEL's two-stage refinement when the
+// controller-optimized tree takes over mid-collective (§3.3).
+func (f *Flow) Close() { f.closed = true }
+
+// Closed reports whether Close was called.
+func (f *Flow) Closed() bool { return f.closed }
+
+func (f *Flow) kick() {
+	if f.pacing || f.closed || f.nextChunk >= len(f.chunks) {
+		return
+	}
+	f.pacing = true
+	f.injectNext()
+}
+
+// injectNext emits one frame and reschedules itself at the paced rate.
+// Injection defers while the host uplink queue is full (NIC line-rate
+// arbitration across this host's QPs).
+func (f *Flow) injectNext() { f.inject(false) }
+
+// wake is the continuation a drained uplink invokes; it may inject even
+// while other flows still wait (it holds the freed slot).
+func (f *Flow) wake() { f.inject(true) }
+
+func (f *Flow) inject(fromWake bool) {
+	if f.closed || (f.nextChunk >= len(f.chunks) && len(f.repairQ) == 0) {
+		f.pacing = false
+		if fromWake {
+			// The freed NIC slot must not be swallowed by a flow that was
+			// closed while waiting: pass the wake along or the remaining
+			// waiters sleep forever once the queue drains.
+			if up := f.uplink(); up != nil {
+				up.wakeNext()
+			}
+		}
+		return
+	}
+	// NIC arbitration: a newly-pacing flow joins the waiter FIFO whenever
+	// it is non-empty (not only when the queue is full) — otherwise a flow
+	// whose pacing timer fires just before the drain-wakeup event at the
+	// same tick would steal the freed slot every round and starve the
+	// waiters. A woken flow owns the freed slot and bypasses the check.
+	if up := f.uplink(); up != nil {
+		full := up.qBytes >= f.net.Cfg.HostQueueFrames*f.net.Cfg.FrameBytes
+		if full || (!fromWake && len(up.waiters) > 0) {
+			up.waiters = append(up.waiters, f.wake)
+			return
+		}
+	}
+	var fr *frame
+	var size int64
+	if len(f.repairQ) > 0 {
+		// Repairs share the paced injection path (and hence the NIC
+		// arbitration and DCQCN pacing) with first transmissions.
+		sf := f.repairQ[0]
+		f.repairQ = f.repairQ[1:]
+		size = sf.bytes
+		fr = &frame{flow: f, chunkID: sf.chunkID, bytes: sf.bytes, hop: 0, at: f.src, seq: sf.seq}
+		f.Retransmissions++
+	} else {
+		cs := f.chunks[f.nextChunk]
+		size = f.net.Cfg.FrameBytes
+		if rem := cs.bytes - f.offset; rem < size {
+			size = rem
+		}
+		fr = &frame{flow: f, chunkID: cs.id, bytes: size, hop: 0, at: f.src, seq: f.nextSeq}
+		f.nextSeq++
+		if f.net.Cfg.LossRate > 0 {
+			f.sent = append(f.sent, sentFrame{seq: fr.seq, chunkID: fr.chunkID, bytes: fr.bytes})
+		}
+		f.BytesInjected += size
+		f.offset += size
+		if f.offset >= cs.bytes {
+			f.nextChunk++
+			f.offset = 0
+		}
+	}
+	f.firstHop(fr)
+	f.sender.Tick(f.net.Engine.Now())
+	if f.net.Cfg.LossRate > 0 && f.nextChunk >= len(f.chunks) && !f.repairs {
+		// All original frames injected: arm the selective-repeat repair
+		// loop in case losses left holes.
+		f.repairs = true
+		f.net.Engine.After(f.net.Cfg.RepairRTO, f.repairScan)
+	}
+	gap := sim.Time(float64(size*8) / f.sender.Rate() * 1e12)
+	if gap < sim.Picosecond {
+		gap = sim.Picosecond
+	}
+	f.net.Engine.After(gap, f.injectNext)
+}
+
+// repairScan finds frames some receiver still misses and queues them for
+// paced retransmission, once per RTO, until every receiver is whole — the
+// selective-repeat recovery the paper inherits from RDMA (§1 fn.1).
+// Receiver hole maps stand in for the protocol's ACK/NACK bookkeeping;
+// duplicates are discarded by sequence number on arrival. Repairs travel
+// the original path or tree and share the sender's paced injection (NIC
+// arbitration included), so they neither starve nor flood the fabric.
+func (f *Flow) repairScan() {
+	if f.closed || f.Done() {
+		// Allow re-arming: pipelined relays queue further chunks after
+		// the current ones complete, and those need repair too.
+		f.repairs = false
+		return
+	}
+	// A repair already queued or in flight must be given time to land
+	// before the same frame is re-queued.
+	now := f.net.Engine.Now()
+	cooldown := 4 * f.net.Cfg.RepairRTO
+	const maxQueued = 128
+	for i := range f.sent {
+		if len(f.repairQ) >= maxQueued {
+			break
+		}
+		sf := &f.sent[i]
+		if now-sf.lastRepair < cooldown && sf.lastRepair > 0 {
+			continue
+		}
+		needed := false
+		for _, rs := range f.recv {
+			if !rs.gotSeq[sf.seq] {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			continue
+		}
+		sf.lastRepair = now
+		f.repairQ = append(f.repairQ, *sf)
+	}
+	if len(f.repairQ) > 0 && !f.pacing {
+		f.pacing = true
+		f.injectNext()
+	}
+	f.net.Engine.After(f.net.Cfg.RepairRTO, f.repairScan)
+}
+
+// uplink returns the source host's first-hop channel (hosts have exactly
+// one live uplink toward the fabric).
+func (f *Flow) uplink() *channel {
+	if f.path != nil {
+		return f.net.Channel(f.src, f.path[1])
+	}
+	kids := f.tree.Children()[f.src]
+	if len(kids) == 0 {
+		return nil
+	}
+	return f.net.Channel(f.src, kids[0])
+}
+
+// firstHop places a fresh frame on the source host's uplink(s).
+func (f *Flow) firstHop(fr *frame) {
+	if f.path != nil {
+		f.net.send(fr, f.path[0], f.path[1])
+		return
+	}
+	for _, c := range f.tree.Children()[f.src] {
+		f.net.send(f.cloneFrame(fr), f.src, c)
+	}
+}
+
+func (f *Flow) cloneFrame(fr *frame) *frame {
+	cp := *fr
+	return &cp
+}
+
+// forward routes a frame onward from a switch.
+func (f *Flow) forward(fr *frame, at topology.NodeID) {
+	if f.path != nil {
+		fr.hop++
+		// Switches are interior path nodes, so hop+1 is always in range;
+		// the checks below catch route/topology inconsistencies early.
+		if fr.hop+1 >= len(f.path) || f.path[fr.hop] != at {
+			panic(fmt.Sprintf("netsim: unicast frame off path: at %d, hop %d of %v", at, fr.hop, f.path))
+		}
+		f.net.send(fr, at, f.path[fr.hop+1])
+		return
+	}
+	kids := f.tree.Children()[at]
+	if len(kids) == 0 {
+		return // over-covered interior with no members below; discard
+	}
+	// Replicate: reuse fr for the first child, copy for the rest.
+	for i := 1; i < len(kids); i++ {
+		f.net.send(f.cloneFrame(fr), at, kids[i])
+	}
+	f.net.send(fr, at, kids[0])
+}
+
+// receive consumes a frame at a host: receiver bookkeeping, chunk
+// completion callbacks, and CNP generation for ECN-marked frames.
+func (f *Flow) receive(fr *frame, at topology.NodeID) {
+	rs, isReceiver := f.recv[at]
+	if !isReceiver {
+		// Over-covered host: the NIC discards the frame without a QP, so
+		// no CNP is generated either (PEEL §3.2).
+		return
+	}
+	if fr.ecn {
+		f.noteCongestion(rs)
+	}
+	if f.net.Cfg.LossRate > 0 {
+		if rs.gotSeq[fr.seq] {
+			return // duplicate repair copy
+		}
+		rs.gotSeq[fr.seq] = true
+	}
+	rs.gotChunk[fr.chunkID] += fr.bytes
+	// Chunk size is known from the sender's queue; completion is when the
+	// receiver holds all bytes of that chunk.
+	want := f.chunkBytes(fr.chunkID)
+	if want > 0 && rs.gotChunk[fr.chunkID] >= want && !rs.doneChunk[fr.chunkID] {
+		rs.doneChunk[fr.chunkID] = true
+		if f.onChunk != nil {
+			f.onChunk(at, fr.chunkID)
+		}
+	}
+}
+
+func (f *Flow) chunkBytes(chunkID int) int64 {
+	for i := range f.chunks {
+		if f.chunks[i].id == chunkID {
+			return f.chunks[i].bytes
+		}
+	}
+	return 0
+}
+
+// noteCongestion implements the receiver-side NP coalescing: at most one
+// CNP per NPInterval per (flow, receiver), delivered to the sender after
+// CNPDelay. Whether the sender honors every CNP or applies PEEL's guard
+// timer is the DCQCN sender's configuration.
+func (f *Flow) noteCongestion(rs *recvState) {
+	now := f.net.Engine.Now()
+	if rs.hasNP && now-rs.lastNP < f.net.Cfg.NPInterval {
+		return
+	}
+	rs.hasNP = true
+	rs.lastNP = now
+	f.net.Engine.After(f.net.Cfg.CNPDelay, func() {
+		f.sender.OnCNP(f.net.Engine.Now())
+	})
+}
+
+// Done reports whether every receiver has completed every queued chunk.
+func (f *Flow) Done() bool {
+	if f.nextChunk < len(f.chunks) {
+		return false
+	}
+	for _, rs := range f.recv {
+		if len(rs.doneChunk) < len(f.chunks) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReceivedBytes returns how many payload bytes the receiver has so far
+// across all chunks (PEEL+programmable-cores uses it to find the resume
+// offset when the refined tree takes over).
+func (f *Flow) ReceivedBytes(receiver topology.NodeID) int64 {
+	rs, ok := f.recv[receiver]
+	if !ok {
+		return 0
+	}
+	var total int64
+	for _, b := range rs.gotChunk {
+		total += b
+	}
+	return total
+}

@@ -1,0 +1,179 @@
+package netsim
+
+import (
+	"testing"
+
+	"peel/internal/sim"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+func TestLossRecoveryUnicast(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossRate = 0.02
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	f := r.unicast(t, hosts[0], hosts[12])
+	done := false
+	f.OnChunk(func(topology.NodeID, int) { done = true })
+	f.Send(0, 2<<20)
+	if err := r.eng.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !done || !f.Done() {
+		t.Fatal("flow did not recover from loss")
+	}
+	if r.net.TotalDrops == 0 {
+		t.Fatal("2% loss produced no drops")
+	}
+	if f.Retransmissions == 0 {
+		t.Fatal("no retransmissions despite drops")
+	}
+	if got := f.ReceivedBytes(hosts[12]); got != 2<<20 {
+		t.Fatalf("receiver holds %d bytes, want full message (duplicates must not double-count)", got)
+	}
+}
+
+func TestLossRecoveryMulticast(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossRate = 0.01
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	src := hosts[0]
+	dests := hosts[4:12]
+	tree, err := steiner.SymmetricOptimal(r.g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.net.NewMulticastFlow(tree, dests, r.net.Cfg.DCQCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[topology.NodeID]bool{}
+	f.OnChunk(func(recv topology.NodeID, _ int) { got[recv] = true })
+	f.Send(0, 1<<20)
+	if err := r.eng.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(dests) {
+		t.Fatalf("only %d/%d receivers completed under loss", len(got), len(dests))
+	}
+	for _, d := range dests {
+		if b := f.ReceivedBytes(d); b != 1<<20 {
+			t.Fatalf("receiver %d holds %d bytes", d, b)
+		}
+	}
+}
+
+func TestLossSlowsCompletion(t *testing.T) {
+	run := func(loss float64) sim.Time {
+		cfg := DefaultConfig()
+		cfg.LossRate = loss
+		cfg.Seed = 5
+		r := newRig(t, cfg)
+		hosts := r.g.Hosts()
+		f := r.unicast(t, hosts[0], hosts[12])
+		var at sim.Time
+		f.OnChunk(func(topology.NodeID, int) { at = r.eng.Now() })
+		f.Send(0, 4<<20)
+		if err := r.eng.Run(100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if !f.Done() {
+			t.Fatal("flow incomplete")
+		}
+		return at
+	}
+	clean := run(0)
+	lossy := run(0.05)
+	if lossy <= clean {
+		t.Fatalf("5%% loss did not slow completion: %v vs %v", lossy, clean)
+	}
+}
+
+func TestNoLossNoRetransmissions(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	hosts := r.g.Hosts()
+	f := r.unicast(t, hosts[0], hosts[4])
+	f.Send(0, 1<<20)
+	if err := r.eng.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if f.Retransmissions != 0 || r.net.TotalDrops != 0 {
+		t.Fatalf("loss-free run shows drops=%d retrans=%d", r.net.TotalDrops, f.Retransmissions)
+	}
+}
+
+func TestClosedFlowStopsRepairing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossRate = 0.5 // brutal loss: repairs would run forever
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	f := r.unicast(t, hosts[0], hosts[12])
+	f.Send(0, 256<<10)
+	r.eng.At(2*sim.Millisecond, f.Close)
+	if err := r.eng.Run(30_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// The engine must drain: a closed flow's repair loop terminates.
+	if r.eng.Pending() != 0 {
+		t.Fatalf("%d events still pending after close", r.eng.Pending())
+	}
+}
+
+func TestPFCWatchdogBreaksStuckPause(t *testing.T) {
+	// Force a pause storm: minuscule shared buffers with heavy multicast
+	// replication. The watchdog must force-resume so the fabric drains
+	// and every flow completes — the regression test for the circular
+	// buffer dependency that once deadlocked the loss experiments.
+	cfg := DefaultConfig()
+	cfg.BufferBytes = 32 << 10
+	cfg.ECNKmaxBytes = 24 << 10
+	cfg.LossRate = 0.005
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	var flows []*Flow
+	for i := 0; i < 4; i++ {
+		f := r.unicast(t, hosts[i], hosts[15-i])
+		f.Send(0, 2<<20)
+		flows = append(flows, f)
+	}
+	if err := r.eng.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if !f.Done() {
+			t.Fatalf("flow deadlocked: %s\n%s", f.DebugState(), r.net.DebugStalledChannels())
+		}
+	}
+}
+
+func TestRepairRespectsBackpressure(t *testing.T) {
+	// With a congested uplink the repair loop must defer, not pile frames
+	// into the queue: the uplink queue stays bounded.
+	cfg := DefaultConfig()
+	cfg.LossRate = 0.05
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	src := hosts[0]
+	var flows []*Flow
+	for i := 1; i <= 3; i++ {
+		f := r.unicast(t, src, hosts[i*4])
+		f.Send(0, 4<<20)
+		flows = append(flows, f)
+	}
+	if err := r.eng.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if !f.Done() {
+			t.Fatal("flow incomplete under loss")
+		}
+	}
+	tel := r.net.Telemetry()
+	cap := (r.net.Cfg.HostQueueFrames + 2) * r.net.Cfg.FrameBytes
+	up := r.net.Channel(src, r.g.EdgeSwitchOf(src))
+	if up.maxQBytes > cap {
+		t.Fatalf("uplink high-water %d exceeds NIC cap %d (telemetry %s)", up.maxQBytes, cap, tel)
+	}
+}

@@ -1,0 +1,469 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"peel/internal/routing"
+	"peel/internal/sim"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+// rig bundles a network over a small leaf-spine for tests.
+type rig struct {
+	g   *topology.Graph
+	eng *sim.Engine
+	net *Network
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	g := topology.LeafSpine(2, 4, 4)
+	eng := &sim.Engine{}
+	return &rig{g: g, eng: eng, net: New(g, eng, cfg)}
+}
+
+func (r *rig) unicast(t *testing.T, src, dst topology.NodeID) *Flow {
+	t.Helper()
+	path := routing.ECMPPath(r.g, src, dst, uint64(src)<<20|uint64(dst))
+	if path == nil {
+		t.Fatalf("no path %d->%d", src, dst)
+	}
+	f, err := r.net.NewUnicastFlow(path, r.net.Cfg.DCQCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestUnicastDeliveryTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PFCEnabled = false
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	src, dst := hosts[0], hosts[1] // same leaf: host→leaf→host, 2 links, 1 switch
+	f := r.unicast(t, src, dst)
+	var doneAt sim.Time
+	f.OnChunk(func(recv topology.NodeID, chunk int) {
+		if recv != dst || chunk != 0 {
+			t.Errorf("unexpected completion %d/%d", recv, chunk)
+		}
+		doneAt = r.eng.Now()
+	})
+	const M = 1 << 20 // 1 MiB
+	f.Send(0, M)
+	if err := r.eng.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Done() {
+		t.Fatal("flow not done")
+	}
+	// Pipelined store-and-forward lower bound: M/BW + 1 frame on the second
+	// link + 2 props + 1 switch latency.
+	lower := cfg.txTime(M) + cfg.txTime(cfg.FrameBytes) + 2*cfg.PropDelay + cfg.SwitchLatency
+	if doneAt < lower {
+		t.Fatalf("completed at %v, below physical lower bound %v", doneAt, lower)
+	}
+	if doneAt > lower+lower/5 {
+		t.Fatalf("completed at %v, way above lower bound %v — unexpected stall", doneAt, lower)
+	}
+}
+
+func TestUnicastCrossLeafPath(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	src, dst := hosts[0], hosts[15] // different leaves: 4 links
+	f := r.unicast(t, src, dst)
+	done := false
+	f.OnChunk(func(topology.NodeID, int) { done = true })
+	f.Send(0, 64<<10)
+	if err := r.eng.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("cross-leaf chunk not delivered")
+	}
+	// Conservation: each of the 4 path links carried exactly the message.
+	var onLinks int64
+	for i := 0; i < r.g.NumLinks(); i++ {
+		onLinks += r.net.BytesOnLink(topology.LinkID(i))
+	}
+	if onLinks != 4*(64<<10) {
+		t.Fatalf("total link bytes %d, want %d", onLinks, 4*(64<<10))
+	}
+}
+
+func TestMulticastDeliversToAllReceivers(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	src := hosts[0]
+	dests := []topology.NodeID{hosts[2], hosts[5], hosts[9], hosts[13]}
+	tree, err := steiner.SymmetricOptimal(r.g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.net.NewMulticastFlow(tree, dests, r.net.Cfg.DCQCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[topology.NodeID]bool{}
+	f.OnChunk(func(recv topology.NodeID, chunk int) { got[recv] = true })
+	const M = 256 << 10
+	f.Send(0, M)
+	if err := r.eng.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(dests) {
+		t.Fatalf("delivered to %d receivers, want %d", len(got), len(dests))
+	}
+	if !f.Done() {
+		t.Fatal("flow not done")
+	}
+	// Every tree link carries exactly M bytes; off-tree links carry zero.
+	onTree := map[topology.LinkID]bool{}
+	for _, l := range tree.Links(r.g) {
+		onTree[l] = true
+	}
+	for i := 0; i < r.g.NumLinks(); i++ {
+		id := topology.LinkID(i)
+		b := r.net.BytesOnLink(id)
+		if onTree[id] && b != M {
+			t.Fatalf("tree link %d carried %d bytes, want %d", id, b, M)
+		}
+		if !onTree[id] && b != 0 {
+			t.Fatalf("off-tree link %d carried %d bytes", id, b)
+		}
+	}
+}
+
+func TestMulticastOverCoverage(t *testing.T) {
+	// A tree that includes one non-receiver host (PEEL over-coverage): the
+	// host's link carries bytes, but completion does not wait for it and
+	// it generates no CNPs.
+	cfg := DefaultConfig()
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	src := hosts[0]
+	member, extra := hosts[1], hosts[2]
+	tree, err := steiner.SymmetricOptimal(r.g, src, []topology.NodeID{member, extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.net.NewMulticastFlow(tree, []topology.NodeID{member}, r.net.Cfg.DCQCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Send(0, 64<<10)
+	if err := r.eng.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Done() {
+		t.Fatal("flow must complete without waiting for the over-covered host")
+	}
+	leaf := r.g.EdgeSwitchOf(extra)
+	if b := r.net.Channel(leaf, extra).BytesSent; b != 64<<10 {
+		t.Fatalf("over-covered host received %d bytes, want full message", b)
+	}
+	if f.ReceivedBytes(extra) != 0 {
+		t.Fatal("non-receiver must not be tracked")
+	}
+}
+
+func TestMulticastRejectsReceiverOutsideTree(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	hosts := r.g.Hosts()
+	tree, err := steiner.SymmetricOptimal(r.g, hosts[0], []topology.NodeID{hosts[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.net.NewMulticastFlow(tree, []topology.NodeID{hosts[5]}, r.net.Cfg.DCQCN); err == nil {
+		t.Fatal("receiver outside tree must be rejected")
+	}
+}
+
+func TestChunkPipeliningOrder(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	hosts := r.g.Hosts()
+	f := r.unicast(t, hosts[0], hosts[4])
+	var order []int
+	f.OnChunk(func(_ topology.NodeID, c int) { order = append(order, c) })
+	for c := 0; c < 8; c++ {
+		f.Send(c, 32<<10)
+	}
+	if err := r.eng.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 8 {
+		t.Fatalf("completed %d chunks, want 8", len(order))
+	}
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("chunks completed out of order: %v", order)
+		}
+	}
+}
+
+func TestIncastTriggersECNAndRateControl(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	// Three senders on the same leaf blast one destination host: the
+	// leaf→host egress queue must build, mark ECN, and slow the senders.
+	dst := hosts[3]
+	var flows []*Flow
+	for _, src := range []topology.NodeID{hosts[0], hosts[1], hosts[2]} {
+		f := r.unicast(t, src, dst)
+		f.Send(0, 8<<20)
+		flows = append(flows, f)
+	}
+	if err := r.eng.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if r.net.TotalECNMarks == 0 {
+		t.Fatal("incast produced no ECN marks")
+	}
+	reacted := false
+	for _, f := range flows {
+		if !f.Done() {
+			t.Fatal("incast flow did not finish")
+		}
+		if f.Sender().Reactions() > 0 {
+			reacted = true
+		}
+	}
+	if !reacted {
+		t.Fatal("no DCQCN reactions under 3:1 incast")
+	}
+}
+
+func TestPFCPausesWithoutDeadlock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BufferBytes = 64 << 10 // tiny shared buffer to force pauses
+	cfg.ECNKmaxBytes = 48 << 10
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	dst := hosts[3]
+	var flows []*Flow
+	for _, src := range []topology.NodeID{hosts[0], hosts[1], hosts[4], hosts[8]} {
+		f := r.unicast(t, src, dst)
+		f.Send(0, 4<<20)
+		flows = append(flows, f)
+	}
+	if err := r.eng.Run(80_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if r.net.PFCPauses == 0 {
+		t.Fatal("tiny buffer produced no PFC pauses")
+	}
+	for _, f := range flows {
+		if !f.Done() {
+			t.Fatal("flow deadlocked under PFC")
+		}
+	}
+	if r.net.InFlight() {
+		t.Fatal("frames still in flight after drain")
+	}
+}
+
+func TestGuardTimerReducesReactions(t *testing.T) {
+	// One multicast to many receivers through a congested fabric: the
+	// guarded sender must apply far fewer rate cuts than the unguarded
+	// one under the same CNP pressure.
+	run := func(guard bool) (reactions, ignored uint64, cct sim.Time) {
+		// Single spine: all traffic shares the leaf0→spine up-link, so
+		// marks land on the multicast frames *before* replication and fan
+		// out to every receiver — the CNP implosion of §4.
+		g := topology.LeafSpine(1, 4, 4)
+		eng := &sim.Engine{}
+		cfg := DefaultConfig()
+		cfg.ECNKminBytes = 2 << 10 // aggressive marking to generate CNPs
+		cfg.ECNKmaxBytes = 16 << 10
+		cfg.ECNPmax = 0.5
+		net := New(g, eng, cfg)
+		hosts := g.Hosts()
+		src := hosts[0]
+		dests := hosts[1:]
+		tree, err := steiner.SymmetricOptimal(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := cfg.DCQCN
+		if guard {
+			params = params.WithGuard()
+		}
+		f, err := net.NewMulticastFlow(tree, dests, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Background flows sharing the source leaf's up-link.
+		for _, bg := range [][2]topology.NodeID{{hosts[1], hosts[8]}, {hosts[2], hosts[12]}} {
+			path := routing.ECMPPath(g, bg[0], bg[1], uint64(bg[0]))
+			bf, err := net.NewUnicastFlow(path, cfg.DCQCN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bf.Send(0, 16<<20)
+		}
+		f.Send(0, 16<<20)
+		if err := eng.Run(200_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if !f.Done() {
+			t.Fatal("multicast flow unfinished")
+		}
+		return f.Sender().Reactions(), f.Sender().Ignored(), eng.Now()
+	}
+	rNo, _, _ := run(false)
+	rYes, ignored, _ := run(true)
+	if rNo == 0 {
+		t.Fatal("unguarded run saw no reactions; congestion model broken")
+	}
+	if rYes >= rNo {
+		t.Fatalf("guard did not reduce reactions: %d vs %d", rYes, rNo)
+	}
+	if ignored == 0 {
+		t.Fatal("guard suppressed no CNPs despite fan-in")
+	}
+}
+
+func TestCloseStopsInjection(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	hosts := r.g.Hosts()
+	f := r.unicast(t, hosts[0], hosts[4])
+	f.Send(0, 1<<20)
+	// Close shortly after start: far fewer bytes must be injected.
+	r.eng.At(5*sim.Microsecond, f.Close)
+	if err := r.eng.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if f.BytesInjected >= 1<<20 {
+		t.Fatalf("close did not stop injection: %d bytes", f.BytesInjected)
+	}
+	if f.Done() {
+		t.Fatal("closed flow must not report done")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	hosts := r.g.Hosts()
+	if _, err := r.net.NewUnicastFlow([]topology.NodeID{hosts[0]}, r.net.Cfg.DCQCN); err == nil {
+		t.Fatal("one-node path must be rejected")
+	}
+	leaf := r.g.NodesOfKind(topology.Leaf)[0]
+	if _, err := r.net.NewUnicastFlow([]topology.NodeID{leaf, hosts[0]}, r.net.Cfg.DCQCN); err == nil {
+		t.Fatal("non-host endpoint must be rejected")
+	}
+	f := r.unicast(t, hosts[0], hosts[4])
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero-byte chunk must panic")
+			}
+		}()
+		f.Send(0, 0)
+	}()
+	f.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Send after Close must panic")
+			}
+		}()
+		f.Send(1, 10)
+	}()
+}
+
+func TestTelemetrySnapshot(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	hosts := r.g.Hosts()
+	f := r.unicast(t, hosts[0], hosts[15]) // crosses the spine tier
+	f.Send(0, 256<<10)
+	if err := r.eng.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	tel := r.net.Telemetry()
+	if tel.TierBytes["host-leaf"] != 2*(256<<10) {
+		t.Fatalf("host-leaf bytes=%d want %d", tel.TierBytes["host-leaf"], 2*(256<<10))
+	}
+	if tel.TierBytes["leaf-spine"] != 2*(256<<10) {
+		t.Fatalf("leaf-spine bytes=%d want %d", tel.TierBytes["leaf-spine"], 2*(256<<10))
+	}
+	if tel.MaxQueueBytes <= 0 {
+		t.Fatal("no queue high-water mark recorded")
+	}
+	if tel.HotLink < 0 || tel.HotLinkBytes < 256<<10 {
+		t.Fatalf("hot link not identified: %+v", tel)
+	}
+	if tel.String() == "" {
+		t.Fatal("empty telemetry string")
+	}
+	// Utilization of the source uplink is positive and ≤ 1.
+	u := r.net.UtilizationOf(hosts[0], r.g.EdgeSwitchOf(hosts[0]))
+	if u <= 0 || u > 1.0001 {
+		t.Fatalf("utilization=%v", u)
+	}
+	if r.net.UtilizationOf(hosts[0], hosts[15]) != 0 {
+		t.Fatal("nonexistent channel must report zero utilization")
+	}
+}
+
+// Property: byte conservation. For any random set of loss-free unicast
+// flows, the bytes serialized on all links equal the sum over flows of
+// message × path length, and every receiver holds exactly its message.
+func TestQuickByteConservation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.LeafSpine(3, 4, 3)
+		eng := &sim.Engine{}
+		net := New(g, eng, DefaultConfig())
+		hosts := g.Hosts()
+		n := 1 + int(nRaw)%6
+		var expect int64
+		type fd struct {
+			flow *Flow
+			dst  topology.NodeID
+			msg  int64
+		}
+		var flows []fd
+		for i := 0; i < n; i++ {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			if src == dst {
+				continue
+			}
+			path := routing.ECMPPath(g, src, dst, uint64(seed)+uint64(i))
+			fl, err := net.NewUnicastFlow(path, net.Cfg.DCQCN)
+			if err != nil {
+				return false
+			}
+			msg := int64(1+rng.Intn(64)) << 10
+			fl.Send(0, msg)
+			expect += msg * int64(len(path)-1)
+			flows = append(flows, fd{fl, dst, msg})
+		}
+		if err := eng.Run(50_000_000); err != nil {
+			return false
+		}
+		var total int64
+		for i := 0; i < g.NumLinks(); i++ {
+			total += net.BytesOnLink(topology.LinkID(i))
+		}
+		if total != expect {
+			return false
+		}
+		for _, x := range flows {
+			if !x.flow.Done() || x.flow.ReceivedBytes(x.dst) != x.msg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,287 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"peel/internal/sim"
+	"peel/internal/topology"
+)
+
+// Network binds a topology to the event engine and owns every directed
+// channel, switch buffer, and active flow.
+type Network struct {
+	G      *topology.Graph
+	Engine *sim.Engine
+	Cfg    Config
+
+	chans   map[chanKey]*channel
+	inbound [][]*channel // channels whose destination is this node
+	nodes   []nodeState
+
+	flows  []*Flow
+	ecnRNG *rand.Rand
+
+	// TotalECNMarks counts marked frames fabric-wide (telemetry).
+	TotalECNMarks uint64
+	// PFCPauses counts pause assertions (telemetry).
+	PFCPauses uint64
+	// TotalDrops counts frames lost to the configured loss rate.
+	TotalDrops uint64
+	// PFCWatchdogFires counts forced resumes of switches stuck in pause —
+	// the PFC-storm watchdog production fabrics deploy against circular
+	// buffer dependencies.
+	PFCWatchdogFires uint64
+}
+
+type chanKey struct{ from, to topology.NodeID }
+
+type nodeState struct {
+	bufBytes int64 // sum of egress queue bytes (switches only)
+	paused   bool  // PFC asserted toward upstream
+}
+
+// channel is one direction of a link: a FIFO egress queue at `from`
+// serializing toward `to`.
+type channel struct {
+	net      *Network
+	from, to topology.NodeID
+	queue    []*frame
+	head     int
+	qBytes   int64
+	sending  bool
+
+	// BytesSent accumulates serialized payload bytes (link utilization /
+	// aggregate-bandwidth accounting for Fig. 1-style results).
+	BytesSent  int64
+	FramesSent int64
+
+	// waiters are flows blocked on NIC backpressure (host uplinks only),
+	// woken round-robin as frames drain.
+	waiters []func()
+
+	// maxQBytes is the queue-depth high-water mark (telemetry).
+	maxQBytes int64
+}
+
+// frame is one simulation quantum of one flow's traffic.
+type frame struct {
+	flow    *Flow
+	chunkID int
+	bytes   int64
+	ecn     bool
+	hop     int // unicast: index of the node the frame is currently at, within flow.path
+	at      topology.NodeID
+	seq     int64 // flow-scoped sequence number (loss recovery de-dup)
+}
+
+// New builds a Network over g. Failed links get no channels; trees and
+// paths must avoid them (they do — construction is failure-aware).
+func New(g *topology.Graph, eng *sim.Engine, cfg Config) *Network {
+	n := &Network{
+		G:       g,
+		Engine:  eng,
+		Cfg:     cfg,
+		chans:   make(map[chanKey]*channel, 2*g.NumLinks()),
+		inbound: make([][]*channel, g.NumNodes()),
+		nodes:   make([]nodeState, g.NumNodes()),
+		ecnRNG:  cfg.newRNG(7),
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(topology.LinkID(i))
+		for _, dir := range [2][2]topology.NodeID{{l.A, l.B}, {l.B, l.A}} {
+			ch := &channel{net: n, from: dir[0], to: dir[1]}
+			n.chans[chanKey{dir[0], dir[1]}] = ch
+			n.inbound[dir[1]] = append(n.inbound[dir[1]], ch)
+		}
+	}
+	return n
+}
+
+// Channel returns the directed channel from→to, or nil if absent.
+func (n *Network) Channel(from, to topology.NodeID) *channel {
+	return n.chans[chanKey{from, to}]
+}
+
+// BytesOnLink returns the payload bytes serialized on both directions of
+// the given link so far.
+func (n *Network) BytesOnLink(id topology.LinkID) int64 {
+	l := n.G.Link(id)
+	var total int64
+	if ch := n.Channel(l.A, l.B); ch != nil {
+		total += ch.BytesSent
+	}
+	if ch := n.Channel(l.B, l.A); ch != nil {
+		total += ch.BytesSent
+	}
+	return total
+}
+
+// TotalBytes returns the payload bytes serialized fabric-wide — the
+// aggregate bandwidth consumption the paper's Fig. 1 compares.
+func (n *Network) TotalBytes() int64 {
+	var total int64
+	for _, ch := range n.chans {
+		total += ch.BytesSent
+	}
+	return total
+}
+
+// InFlight reports whether any channel still holds or serializes frames.
+func (n *Network) InFlight() bool {
+	for _, ch := range n.chans {
+		if ch.sending || ch.head < len(ch.queue) {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue places a frame on the channel, applying ECN marking at switch
+// egress queues and PFC accounting, and starts serialization if idle.
+func (ch *channel) enqueue(f *frame) {
+	n := ch.net
+	// ECN marking decision uses the queue depth seen on arrival (DCQCN's
+	// egress marking), only at switch egress ports.
+	if n.G.Node(ch.from).Kind.IsSwitch() {
+		q := ch.qBytes
+		cfg := &n.Cfg
+		if q > cfg.ECNKmaxBytes {
+			f.ecn = true
+		} else if q > cfg.ECNKminBytes {
+			p := cfg.ECNPmax * float64(q-cfg.ECNKminBytes) / float64(cfg.ECNKmaxBytes-cfg.ECNKminBytes)
+			if n.ecnRNG.Float64() < p {
+				f.ecn = true
+			}
+		}
+		if f.ecn {
+			n.TotalECNMarks++
+		}
+	}
+	ch.queue = append(ch.queue, f)
+	ch.qBytes += f.bytes
+	if ch.qBytes > ch.maxQBytes {
+		ch.maxQBytes = ch.qBytes
+	}
+	if n.G.Node(ch.from).Kind.IsSwitch() {
+		ns := &n.nodes[ch.from]
+		ns.bufBytes += f.bytes
+		if n.Cfg.PFCEnabled && !ns.paused && ns.bufBytes > n.Cfg.pfcPauseThreshold() {
+			ns.paused = true
+			n.PFCPauses++
+			n.armPFCWatchdog(ch.from)
+		}
+	}
+	ch.maybeSend()
+}
+
+// maybeSend begins serializing the head frame if the channel is idle and
+// PFC permits: a congested switch asserts pause toward its upstream
+// neighbors, so a channel stops starting new frames while its
+// *destination* has pause asserted.
+func (ch *channel) maybeSend() {
+	if ch.sending || ch.head >= len(ch.queue) {
+		return
+	}
+	n := ch.net
+	if n.Cfg.PFCEnabled && n.G.Node(ch.to).Kind.IsSwitch() && n.nodes[ch.to].paused {
+		return // destination asserted PFC pause
+	}
+	ch.sending = true
+	f := ch.queue[ch.head]
+	n.Engine.After(n.Cfg.txTime(f.bytes), func() { ch.finishTx(f) })
+}
+
+// finishTx completes serialization: the frame leaves the queue, buffer
+// accounting updates (possibly releasing PFC), the frame propagates, and
+// the next queued frame starts.
+func (ch *channel) finishTx(f *frame) {
+	n := ch.net
+	ch.queue[ch.head] = nil
+	ch.head++
+	if ch.head > 64 && ch.head*2 > len(ch.queue) {
+		ch.queue = append(ch.queue[:0], ch.queue[ch.head:]...)
+		ch.head = 0
+	}
+	ch.qBytes -= f.bytes
+	ch.BytesSent += f.bytes
+	ch.FramesSent++
+	ch.sending = false
+
+	if n.G.Node(ch.from).Kind.IsSwitch() {
+		ns := &n.nodes[ch.from]
+		ns.bufBytes -= f.bytes
+		if n.Cfg.PFCEnabled && ns.paused && ns.bufBytes <= n.Cfg.pfcResumeThreshold() {
+			n.resume(ch.from)
+		}
+	}
+
+	to := ch.to
+	n.Engine.After(n.Cfg.PropDelay, func() { n.deliver(f, to) })
+	ch.wakeNext()
+	ch.maybeSend()
+}
+
+// resume clears a switch's pause and restarts its upstream channels.
+func (n *Network) resume(sw topology.NodeID) {
+	n.nodes[sw].paused = false
+	for _, in := range n.inbound[sw] {
+		in.maybeSend()
+	}
+}
+
+// armPFCWatchdog schedules a stuck-pause check. Global per-switch pause
+// (a simulator simplification of per-port PFC) can form circular buffer
+// dependencies under extreme backlog; real fabrics break such PFC storms
+// with a watchdog that force-resumes the port, and so does this model.
+func (n *Network) armPFCWatchdog(sw topology.NodeID) {
+	const watchdog = 5 * sim.Millisecond
+	n.Engine.After(watchdog, func() {
+		if n.nodes[sw].paused {
+			n.PFCWatchdogFires++
+			n.resume(sw)
+		}
+	})
+}
+
+// wakeNext hands the channel's freed slot to the next backpressured
+// sender (round-robin FIFO).
+func (ch *channel) wakeNext() {
+	if len(ch.waiters) == 0 {
+		return
+	}
+	w := ch.waiters[0]
+	ch.waiters = ch.waiters[1:]
+	ch.net.Engine.After(0, w)
+}
+
+// deliver hands a frame to its next node: hosts consume, switches forward
+// (replicating for multicast) after the forwarding latency. Under a
+// configured loss rate, the frame may vanish here instead (link error);
+// the sender's repair loop retransmits it.
+func (n *Network) deliver(f *frame, at topology.NodeID) {
+	if n.Cfg.LossRate > 0 && n.ecnRNG.Float64() < n.Cfg.LossRate {
+		n.TotalDrops++
+		return
+	}
+	f.at = at
+	node := n.G.Node(at)
+	if node.Kind == topology.Host {
+		f.flow.receive(f, at)
+		return
+	}
+	n.Engine.After(n.Cfg.SwitchLatency, func() { f.flow.forward(f, at) })
+}
+
+// send puts a fresh frame on the channel from→to; it panics on a missing
+// channel, which indicates a tree/path inconsistent with the topology.
+func (n *Network) send(f *frame, from, to topology.NodeID) {
+	ch := n.Channel(from, to)
+	if ch == nil {
+		panic(fmt.Sprintf("netsim: no channel %d->%d", from, to))
+	}
+	ch.enqueue(f)
+}
+
+// Flows returns every flow ever created on this network (telemetry).
+func (n *Network) Flows() []*Flow { return n.flows }

@@ -1,0 +1,149 @@
+package prefix
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Header is the per-packet PEEL tuple (§3.2): the ⟨prefix value, prefix
+// length⟩ selecting one pre-installed rule at the replication tier, plus
+// an optional second tuple for the next tier down (ToR→host fan-out —
+// "the same principles apply to other downward segments"). Pod identifies
+// the destination pod the tuple applies to; it rides in the packet's
+// ordinary destination address in a real deployment and costs no extra
+// header bits, so it is excluded from the size accounting.
+type Header struct {
+	Pod  int
+	ToR  Prefix // selects the agg→ToR replication block
+	Host Prefix // selects the ToR→host replication block
+}
+
+// TupleBits returns the encoded size in bits of one ⟨prefix,len⟩ tuple for
+// an m-bit identifier space: m bits of value + ⌈log₂(m+1)⌉ bits of length
+// (the paper's formula with m = log₂(k/2)).
+func TupleBits(m int) int {
+	return m + ceilLog2(m+1)
+}
+
+// HeaderBits returns the total PEEL header size in bits for a k-ary
+// fat-tree carrying both the ToR-tier and host-tier tuples. Both tiers
+// have m = log₂(k/2) bits in a canonical fat-tree.
+func HeaderBits(k int) int {
+	m := ceilLog2(k / 2)
+	return 2 * TupleBits(m)
+}
+
+// HeaderBytes returns HeaderBits rounded up to whole bytes. The paper's
+// claim: "well under 8 B even for k=128".
+func HeaderBytes(k int) int { return (HeaderBits(k) + 7) / 8 }
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Codec encodes and decodes Header tuples for a fixed identifier space.
+// Encoding is big-endian bit packing: [len | value] per tuple, ToR tuple
+// first. A real NIC would place these in an RDMA extension header.
+type Codec struct {
+	M int // identifier bits per tier
+}
+
+// EncodedLen returns the byte length of an encoded two-tuple header.
+func (c Codec) EncodedLen() int { return (2*TupleBits(c.M) + 7) / 8 }
+
+// Encode packs h into a fresh byte slice.
+func (c Codec) Encode(h Header) ([]byte, error) {
+	if err := c.check(h.ToR); err != nil {
+		return nil, err
+	}
+	if err := c.check(h.Host); err != nil {
+		return nil, err
+	}
+	// Values are stored left-aligned within the m-bit field so Decode can
+	// normalize them back with a right shift.
+	var bw bitWriter
+	lenBits := ceilLog2(c.M + 1)
+	bw.write(uint64(h.ToR.Len), lenBits)
+	bw.write(uint64(h.ToR.Value)<<(c.M-int(h.ToR.Len)), c.M)
+	bw.write(uint64(h.Host.Len), lenBits)
+	bw.write(uint64(h.Host.Value)<<(c.M-int(h.Host.Len)), c.M)
+	return bw.bytes(), nil
+}
+
+// Decode unpacks a header previously produced by Encode. Pod is not part
+// of the encoding (see Header) and is left zero.
+func (c Codec) Decode(b []byte) (Header, error) {
+	if len(b) < c.EncodedLen() {
+		return Header{}, fmt.Errorf("prefix: header too short: %d < %d bytes", len(b), c.EncodedLen())
+	}
+	br := bitReader{buf: b}
+	lenBits := ceilLog2(c.M + 1)
+	var h Header
+	h.ToR.Len = uint8(br.read(lenBits))
+	h.ToR.Value = uint32(br.read(c.M))
+	h.Host.Len = uint8(br.read(lenBits))
+	h.Host.Value = uint32(br.read(c.M))
+	if int(h.ToR.Len) > c.M || int(h.Host.Len) > c.M {
+		return Header{}, fmt.Errorf("prefix: decoded length exceeds space")
+	}
+	// Values travel left-aligned within the m-bit field; normalize back
+	// to canonical low-aligned form.
+	h.ToR.Value >>= uint32(c.M) - uint32(h.ToR.Len)
+	h.Host.Value >>= uint32(c.M) - uint32(h.Host.Len)
+	return h, nil
+}
+
+func (c Codec) check(p Prefix) error {
+	if int(p.Len) > c.M {
+		return fmt.Errorf("prefix: length %d exceeds %d-bit space", p.Len, c.M)
+	}
+	if p.Value >= 1<<p.Len {
+		return fmt.Errorf("prefix: value %d does not fit %d bits", p.Value, p.Len)
+	}
+	return nil
+}
+
+func (bw *bitWriter) write(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		bit := (v >> i) & 1
+		bw.cur |= byte(bit) << (7 - bw.nbits)
+		bw.nbits++
+		if bw.nbits == 8 {
+			bw.out = append(bw.out, bw.cur)
+			bw.cur, bw.nbits = 0, 0
+		}
+	}
+}
+
+type bitWriter struct {
+	out   []byte
+	cur   byte
+	nbits int
+}
+
+func (bw *bitWriter) bytes() []byte {
+	if bw.nbits > 0 {
+		bw.out = append(bw.out, bw.cur)
+		bw.cur, bw.nbits = 0, 0
+	}
+	return bw.out
+}
+
+type bitReader struct {
+	buf []byte
+	pos int
+}
+
+func (br *bitReader) read(n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx, bitIdx := br.pos/8, br.pos%8
+		bit := (br.buf[byteIdx] >> (7 - bitIdx)) & 1
+		v = v<<1 | uint64(bit)
+		br.pos++
+	}
+	return v
+}

@@ -1,0 +1,244 @@
+// Package prefix implements PEEL's hierarchical power-of-two cover sets
+// (paper §3.2): the deploy-once, touch-never data plane that replaces
+// per-group multicast entries with a fixed set of CIDR-style prefix rules.
+//
+// Every ToR in a pod gets an m = log₂(k/2)-bit identifier. An aggregation
+// switch pre-installs one forwarding entry per power-of-two aligned block
+// of that identifier space — 2^(m+1)−1 = k−1 entries total — and packets
+// carry a single ⟨prefix value, prefix length⟩ tuple selecting one of
+// them. Group membership therefore costs zero switch updates and
+// O(log k) header bits.
+package prefix
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Prefix is one power-of-two aligned block of the identifier space:
+// all IDs whose top Len bits equal Value. Len ranges 0 (everything)
+// through m (a single identifier).
+type Prefix struct {
+	Value uint32 // left-aligned within m bits: the block starts at Value<<(m-Len)
+	Len   uint8
+}
+
+// Block returns the half-open identifier interval [lo, hi) the prefix
+// covers in an m-bit space.
+func (p Prefix) Block(m int) (lo, hi uint32) {
+	width := uint32(1) << (m - int(p.Len))
+	lo = p.Value << (m - int(p.Len))
+	return lo, lo + width
+}
+
+// Size returns the number of identifiers covered in an m-bit space.
+func (p Prefix) Size(m int) int { return 1 << (m - int(p.Len)) }
+
+// Covers reports whether identifier id falls in the prefix's block.
+func (p Prefix) Covers(m int, id uint32) bool {
+	lo, hi := p.Block(m)
+	return id >= lo && id < hi
+}
+
+// String renders the prefix in the paper's "1**/1" style for an m-bit
+// space (String2 binds m via Formatter below; plain String uses len+value).
+func (p Prefix) String() string { return fmt.Sprintf("%b/%d", p.Value, p.Len) }
+
+// Format renders the prefix with trailing wildcard stars, e.g. "01*" for
+// m=3, value=0b01, len=2.
+func (p Prefix) Format(m int) string {
+	s := make([]byte, m)
+	for i := 0; i < m; i++ {
+		if i < int(p.Len) {
+			bit := (p.Value >> (int(p.Len) - 1 - i)) & 1
+			s[i] = '0' + byte(bit)
+		} else {
+			s[i] = '*'
+		}
+	}
+	if m == 0 {
+		return "*"
+	}
+	return string(s)
+}
+
+// Space describes an identifier space of m bits (2^m identifiers), e.g.
+// the ToRs of one pod in a k-ary fat-tree (m = log₂(k/2)) or the hosts
+// under one ToR.
+type Space struct{ M int }
+
+// SpaceForFanout returns the identifier space for n identifiers; n must be
+// a power of two (Clos tiers always are).
+func SpaceForFanout(n int) (Space, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return Space{}, fmt.Errorf("prefix: fan-out %d is not a power of two", n)
+	}
+	return Space{M: bits.TrailingZeros32(uint32(n))}, nil
+}
+
+// Universe returns the number of identifiers, 2^m.
+func (s Space) Universe() int { return 1 << s.M }
+
+// NumRules returns the pre-installed rule count: 2^(m+1)−1, i.e. k−1 for a
+// pod of k/2 ToRs in a k-ary fat-tree — the paper's headline linear state.
+func (s Space) NumRules() int { return 2*s.Universe() - 1 }
+
+// AllRules enumerates every pre-installed prefix, coarsest first. The
+// result has exactly NumRules entries.
+func (s Space) AllRules() []Prefix {
+	out := make([]Prefix, 0, s.NumRules())
+	for l := 0; l <= s.M; l++ {
+		for v := uint32(0); v < 1<<l; v++ {
+			out = append(out, Prefix{Value: v, Len: uint8(l)})
+		}
+	}
+	return out
+}
+
+// ExactCover returns the minimal set of power-of-two aligned prefixes
+// whose union is exactly the given identifier set — the "outermost
+// complete sub-trees" of the paper's trie example (§3.2). IDs outside the
+// space are rejected. The result is sorted by block start and the prefixes
+// are pairwise disjoint.
+//
+// The sender emits one packet per returned prefix.
+func (s Space) ExactCover(ids []uint32) ([]Prefix, error) {
+	present := make([]bool, s.Universe())
+	for _, id := range ids {
+		if int(id) >= s.Universe() {
+			return nil, fmt.Errorf("prefix: id %d outside %d-bit space", id, s.M)
+		}
+		present[id] = true
+	}
+	var out []Prefix
+	var walk func(value uint32, l int) bool // returns true if subtree fully present
+	walk = func(value uint32, l int) bool {
+		if l == s.M {
+			return present[value]
+		}
+		left := walk(value<<1, l+1)
+		right := walk(value<<1|1, l+1)
+		if left && right {
+			return true
+		}
+		if left {
+			out = append(out, Prefix{Value: value << 1, Len: uint8(l + 1)})
+		}
+		if right {
+			out = append(out, Prefix{Value: value<<1 | 1, Len: uint8(l + 1)})
+		}
+		return false
+	}
+	if walk(0, 0) {
+		out = append(out, Prefix{Value: 0, Len: 0})
+	}
+	sortPrefixes(s.M, out)
+	return out, nil
+}
+
+// BudgetedCover returns at most maxPrefixes prefixes covering a superset
+// of ids, minimizing over-coverage. It starts from the exact cover and
+// repeatedly merges the pair of blocks whose common ancestor adds the
+// fewest redundant identifiers — the adaptive-prefix-packing direction the
+// paper's §3.4 ("resource fragmentation") sketches. maxPrefixes < 1 is an
+// error. Over-covered identifiers receive and discard redundant packets.
+func (s Space) BudgetedCover(ids []uint32, maxPrefixes int) ([]Prefix, error) {
+	if maxPrefixes < 1 {
+		return nil, fmt.Errorf("prefix: budget must be >= 1, got %d", maxPrefixes)
+	}
+	cover, err := s.ExactCover(ids)
+	if err != nil {
+		return nil, err
+	}
+	for len(cover) > maxPrefixes {
+		// Find the merge (replacing a set of blocks with their lowest
+		// common ancestor prefix) that adds the least over-coverage.
+		// Candidate ancestors: every proper prefix of every cover entry.
+		bestCost := -1
+		var bestAnc Prefix
+		for _, c := range cover {
+			for l := int(c.Len) - 1; l >= 0; l-- {
+				anc := Prefix{Value: c.Value >> (int(c.Len) - l), Len: uint8(l)}
+				covered, absorbed := 0, 0
+				for _, o := range cover {
+					if ancestorOf(anc, o) {
+						absorbed++
+						covered += o.Size(s.M)
+					}
+				}
+				if absorbed < 2 {
+					continue // merging one block gains nothing
+				}
+				cost := anc.Size(s.M) - covered
+				if bestCost == -1 || cost < bestCost ||
+					(cost == bestCost && anc.Size(s.M) < bestAnc.Size(s.M)) {
+					bestCost, bestAnc = cost, anc
+				}
+			}
+		}
+		if bestCost == -1 {
+			break // single block left; cannot shrink further
+		}
+		next := cover[:0]
+		for _, o := range cover {
+			if !ancestorOf(bestAnc, o) {
+				next = append(next, o)
+			}
+		}
+		cover = append(next, bestAnc)
+		sortPrefixes(s.M, cover)
+	}
+	return cover, nil
+}
+
+// ancestorOf reports whether a's block contains o's block (a is a shorter
+// or equal prefix of o).
+func ancestorOf(a, o Prefix) bool {
+	if a.Len > o.Len {
+		return false
+	}
+	return o.Value>>(o.Len-a.Len) == a.Value
+}
+
+// CoveredIDs expands a prefix list to the identifier set it reaches.
+func (s Space) CoveredIDs(ps []Prefix) []uint32 {
+	var out []uint32
+	for _, p := range ps {
+		lo, hi := p.Block(s.M)
+		for id := lo; id < hi; id++ {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Redundancy returns how many identifiers the prefix list covers beyond
+// the requested set — the redundant-packet count PEEL's refinement stage
+// (§3.3) and the fragmentation study (§3.4) care about.
+func (s Space) Redundancy(ps []Prefix, ids []uint32) int {
+	want := map[uint32]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	extra := 0
+	for _, id := range s.CoveredIDs(ps) {
+		if !want[id] {
+			extra++
+		}
+	}
+	return extra
+}
+
+func sortPrefixes(m int, ps []Prefix) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0; j-- {
+			a, _ := ps[j-1].Block(m)
+			b, _ := ps[j].Block(m)
+			if b < a {
+				ps[j-1], ps[j] = ps[j], ps[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package prefix
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExampleCover(t *testing.T) {
+	// §3.2: 8-ary pod, ToRs 000–111, receivers {010,011,100,101,110,111}.
+	// PEEL selects 1** (four ToRs) and 01* (two ToRs).
+	s := Space{M: 3}
+	cover, err := s.ExactCover([]uint32{0b010, 0b011, 0b100, 0b101, 0b110, 0b111})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Prefix{{Value: 0b01, Len: 2}, {Value: 0b1, Len: 1}}
+	if !reflect.DeepEqual(cover, want) {
+		t.Fatalf("cover=%v want %v", cover, want)
+	}
+	if got := cover[1].Format(3); got != "1**" {
+		t.Errorf("Format=%q want 1**", got)
+	}
+	if got := cover[0].Format(3); got != "01*" {
+		t.Errorf("Format=%q want 01*", got)
+	}
+}
+
+func TestExactCoverEdgeCases(t *testing.T) {
+	s := Space{M: 3}
+	// Empty set → empty cover.
+	c, err := s.ExactCover(nil)
+	if err != nil || len(c) != 0 {
+		t.Fatalf("empty: %v %v", c, err)
+	}
+	// Full set → the single /0 rule.
+	all := make([]uint32, 8)
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	c, err = s.ExactCover(all)
+	if err != nil || len(c) != 1 || c[0].Len != 0 {
+		t.Fatalf("full: %v %v", c, err)
+	}
+	// Single id → one /m rule.
+	c, err = s.ExactCover([]uint32{5})
+	if err != nil || len(c) != 1 || c[0] != (Prefix{Value: 5, Len: 3}) {
+		t.Fatalf("single: %v %v", c, err)
+	}
+	// Out of range rejected.
+	if _, err := s.ExactCover([]uint32{8}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	// Duplicates tolerated.
+	c, err = s.ExactCover([]uint32{1, 1, 1})
+	if err != nil || len(c) != 1 {
+		t.Fatalf("dups: %v %v", c, err)
+	}
+}
+
+func TestExactCoverWorstCaseAlternating(t *testing.T) {
+	// Alternating IDs admit no aggregation: 2^(m-1) singleton prefixes.
+	s := Space{M: 4}
+	var ids []uint32
+	for i := uint32(0); i < 16; i += 2 {
+		ids = append(ids, i)
+	}
+	c, err := s.ExactCover(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 8 {
+		t.Fatalf("alternating cover has %d prefixes, want 8", len(c))
+	}
+	for _, p := range c {
+		if int(p.Len) != 4 {
+			t.Fatalf("expected singleton prefixes, got %v", p)
+		}
+	}
+}
+
+func coverIsExact(s Space, ids []uint32, c []Prefix) bool {
+	want := map[uint32]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	got := map[uint32]bool{}
+	for _, id := range s.CoveredIDs(c) {
+		if got[id] {
+			return false // overlapping prefixes
+		}
+		got[id] = true
+	}
+	return reflect.DeepEqual(want, got)
+}
+
+func TestQuickExactCoverIsExactAndMinimal(t *testing.T) {
+	f := func(mask uint16, mRaw uint8) bool {
+		m := 1 + int(mRaw)%4 // 1..4 bits
+		s := Space{M: m}
+		var ids []uint32
+		for i := 0; i < s.Universe(); i++ {
+			if mask&(1<<i) != 0 {
+				ids = append(ids, uint32(i))
+			}
+		}
+		c, err := s.ExactCover(ids)
+		if err != nil {
+			return false
+		}
+		if !coverIsExact(s, ids, c) {
+			return false
+		}
+		// Minimality among aligned covers: no two sibling prefixes may
+		// both appear (they would merge), which characterizes the unique
+		// minimal trie cover.
+		seen := map[Prefix]bool{}
+		for _, p := range c {
+			seen[p] = true
+		}
+		for _, p := range c {
+			if p.Len == 0 {
+				continue
+			}
+			sib := Prefix{Value: p.Value ^ 1, Len: p.Len}
+			if seen[sib] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetedCover(t *testing.T) {
+	s := Space{M: 3}
+	ids := []uint32{0, 2, 3, 5} // exact cover: 000, 01*, 101 → 3 prefixes
+	exact, err := s.ExactCover(ids)
+	if err != nil || len(exact) != 3 {
+		t.Fatalf("exact=%v err=%v", exact, err)
+	}
+	for budget := 3; budget >= 1; budget-- {
+		c, err := s.BudgetedCover(ids, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c) > budget {
+			t.Fatalf("budget %d: got %d prefixes", budget, len(c))
+		}
+		// Must still cover all requested ids.
+		covered := map[uint32]bool{}
+		for _, id := range s.CoveredIDs(c) {
+			covered[id] = true
+		}
+		for _, id := range ids {
+			if !covered[id] {
+				t.Fatalf("budget %d: id %d uncovered", budget, id)
+			}
+		}
+	}
+	// Budget 1 must be a single block with minimal over-coverage (here /0,
+	// redundancy 4).
+	c, _ := s.BudgetedCover(ids, 1)
+	if len(c) != 1 {
+		t.Fatalf("budget 1: %v", c)
+	}
+	if r := s.Redundancy(c, ids); r != 4 {
+		t.Fatalf("budget-1 redundancy=%d want 4", r)
+	}
+	// Budget 2 should merge {000,01*} into 0** (redundancy 1), keeping 101.
+	c, _ = s.BudgetedCover(ids, 2)
+	if r := s.Redundancy(c, ids); r != 1 {
+		t.Fatalf("budget-2 redundancy=%d want 1 (got cover %v)", r, c)
+	}
+	if _, err := s.BudgetedCover(ids, 0); err == nil {
+		t.Fatal("budget 0 must error")
+	}
+}
+
+func TestQuickBudgetedCoverInvariants(t *testing.T) {
+	f := func(mask uint16, budgetRaw uint8) bool {
+		s := Space{M: 4}
+		var ids []uint32
+		for i := 0; i < 16; i++ {
+			if mask&(1<<i) != 0 {
+				ids = append(ids, uint32(i))
+			}
+		}
+		if len(ids) == 0 {
+			return true
+		}
+		budget := 1 + int(budgetRaw)%8
+		c, err := s.BudgetedCover(ids, budget)
+		if err != nil || len(c) > budget {
+			return false
+		}
+		covered := map[uint32]bool{}
+		for _, id := range s.CoveredIDs(c) {
+			covered[id] = true
+		}
+		for _, id := range ids {
+			if !covered[id] {
+				return false
+			}
+		}
+		// Budgeted redundancy must never beat the exact cover's (zero).
+		exact, _ := s.ExactCover(ids)
+		if len(exact) <= budget {
+			// With budget ≥ exact size the answer must BE the exact cover.
+			return s.Redundancy(c, ids) == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleCountsMatchPaper(t *testing.T) {
+	// §3.2: k−1 entries per aggregation switch; 63 for k=64, 127 for k=128.
+	for _, k := range []int{8, 16, 32, 64, 128} {
+		s, err := SpaceForFanout(k / 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.NumRules(); got != k-1 {
+			t.Errorf("k=%d: rules=%d want %d", k, got, k-1)
+		}
+	}
+	// The naive comparison: >4×10⁹ for k=64.
+	if n := NaiveGroupEntries(64); n < 4e9 || n > 5e9 {
+		t.Errorf("naive entries for k=64 = %g, want ≈4.3e9", n)
+	}
+}
+
+func TestHeaderSizesMatchPaper(t *testing.T) {
+	// §3.2: header well under 8 B even for k=128.
+	for _, k := range []int{8, 16, 32, 64, 128} {
+		if b := HeaderBytes(k); b >= 8 {
+			t.Errorf("k=%d: header %d B, paper promises <8 B", k, b)
+		}
+	}
+	// k=128: m=6 → tuple = 6 + ceil(log2(7)) = 9 bits; two tiers = 18 bits = 3 B.
+	if got := HeaderBits(128); got != 18 {
+		t.Errorf("HeaderBits(128)=%d want 18", got)
+	}
+	if got := HeaderBytes(128); got != 3 {
+		t.Errorf("HeaderBytes(128)=%d want 3", got)
+	}
+}
+
+func TestRuleTableMatchesBlocks(t *testing.T) {
+	s := Space{M: 3}
+	rt, err := NewRuleTable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumEntries() != 15 { // k=16 ⇒ k−1
+		t.Fatalf("entries=%d want 15", rt.NumEntries())
+	}
+	ports, err := rt.MatchPorts(Prefix{Value: 0b1, Len: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ports, []int{4, 5, 6, 7}) {
+		t.Fatalf("1** ports=%v", ports)
+	}
+	ports, err = rt.MatchPorts(Prefix{Value: 0b01, Len: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ports, []int{2, 3}) {
+		t.Fatalf("01* ports=%v", ports)
+	}
+	if _, err := rt.Match(Prefix{Value: 9, Len: 2}); err == nil {
+		t.Fatal("oversized value must error")
+	}
+	if _, err := rt.Match(Prefix{Value: 0, Len: 7}); err == nil {
+		t.Fatal("oversized length must error")
+	}
+}
+
+func TestRuleTableRejectsHugeSpaces(t *testing.T) {
+	if _, err := NewRuleTable(Space{M: 7}); err == nil {
+		t.Fatal("m=7 (k=256) must be rejected by the 64-bit bitmap table")
+	}
+}
+
+func TestQuickRuleTableAgreesWithPrefixCovers(t *testing.T) {
+	s := Space{M: 4}
+	rt, err := NewRuleTable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(vRaw uint8, lRaw uint8) bool {
+		l := int(lRaw) % 5
+		v := uint32(vRaw) % (1 << l)
+		p := Prefix{Value: v, Len: uint8(l)}
+		ports, err := rt.MatchPorts(p)
+		if err != nil {
+			return false
+		}
+		lo, hi := p.Block(s.M)
+		if len(ports) != int(hi-lo) {
+			return false
+		}
+		for i, pt := range ports {
+			if uint32(pt) != lo+uint32(i) {
+				return false
+			}
+			if !p.Covers(s.M, uint32(pt)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := Codec{M: 3}
+	h := Header{Pod: 2, ToR: Prefix{Value: 0b1, Len: 1}, Host: Prefix{Value: 0b010, Len: 3}}
+	b, err := c.Encode(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != c.EncodedLen() {
+		t.Fatalf("encoded %d bytes want %d", len(b), c.EncodedLen())
+	}
+	got, err := c.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ToR != h.ToR || got.Host != h.Host {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	c := Codec{M: 3}
+	if _, err := c.Encode(Header{ToR: Prefix{Value: 9, Len: 2}}); err == nil {
+		t.Fatal("bad value must fail encode")
+	}
+	if _, err := c.Encode(Header{ToR: Prefix{Len: 5}}); err == nil {
+		t.Fatal("bad length must fail encode")
+	}
+	if _, err := c.Decode([]byte{}); err == nil {
+		t.Fatal("short buffer must fail decode")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(mRaw, tv, tl, hv, hl uint8) bool {
+		m := 1 + int(mRaw)%6
+		c := Codec{M: m}
+		tlen := int(tl) % (m + 1)
+		hlen := int(hl) % (m + 1)
+		h := Header{
+			ToR:  Prefix{Value: uint32(tv) % (1 << tlen), Len: uint8(tlen)},
+			Host: Prefix{Value: uint32(hv) % (1 << hlen), Len: uint8(hlen)},
+		}
+		b, err := c.Encode(h)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decode(b)
+		if err != nil {
+			return false
+		}
+		return got.ToR == h.ToR && got.Host == h.Host
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceForFanout(t *testing.T) {
+	s, err := SpaceForFanout(32)
+	if err != nil || s.M != 5 {
+		t.Fatalf("fanout 32: %+v %v", s, err)
+	}
+	for _, bad := range []int{0, -4, 3, 12} {
+		if _, err := SpaceForFanout(bad); err == nil {
+			t.Errorf("fanout %d must fail", bad)
+		}
+	}
+}
+
+func TestRedundancyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := Space{M: 5}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(31)
+		perm := rng.Perm(32)
+		ids := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			ids[i] = uint32(perm[i])
+		}
+		c, err := s.ExactCover(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := s.Redundancy(c, ids); r != 0 {
+			t.Fatalf("exact cover has redundancy %d", r)
+		}
+		covered := s.CoveredIDs(c)
+		sort.Slice(covered, func(i, j int) bool { return covered[i] < covered[j] })
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if !reflect.DeepEqual(covered, ids) {
+			t.Fatalf("cover mismatch: %v vs %v", covered, ids)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package prefix
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// RuleTable models the static multicast TCAM of one replication-tier
+// switch (an aggregation switch for the agg→ToR tier, or a ToR for the
+// ToR→host tier). It holds exactly Space.NumRules() = k−1 pre-installed
+// entries, one per power-of-two block, each mapping to the bitmap of
+// downstream ports in that block. The table never changes after
+// construction: PEEL is deploy-once, touch-never.
+type RuleTable struct {
+	space Space
+	// ports[ruleIndex] is the port bitmap for that rule. Ports are the
+	// identifier values themselves: port i leads to downstream device i.
+	ports []uint64
+}
+
+// NewRuleTable pre-installs all power-of-two rules for an m-bit space.
+// Spaces wider than 64 identifiers per tier (k > 128) would need wider
+// bitmaps; the fabrics in the paper top out at k=128 (m=6, 64 ports).
+func NewRuleTable(s Space) (*RuleTable, error) {
+	if s.M > 6 {
+		return nil, fmt.Errorf("prefix: rule table supports up to 64 ports per tier, got 2^%d", s.M)
+	}
+	t := &RuleTable{space: s, ports: make([]uint64, s.NumRules())}
+	for i, p := range s.AllRules() {
+		lo, hi := p.Block(s.M)
+		var bm uint64
+		for id := lo; id < hi; id++ {
+			bm |= 1 << id
+		}
+		t.ports[i] = bm
+	}
+	return t, nil
+}
+
+// NumEntries returns the installed entry count (k−1 for a k-ary fat-tree).
+func (t *RuleTable) NumEntries() int { return len(t.ports) }
+
+// ruleIndex maps a prefix to its position in the AllRules enumeration:
+// rules of length l start at offset 2^l − 1.
+func (t *RuleTable) ruleIndex(p Prefix) (int, error) {
+	if int(p.Len) > t.space.M {
+		return 0, fmt.Errorf("prefix: no rule for length %d in %d-bit space", p.Len, t.space.M)
+	}
+	if p.Value >= 1<<p.Len {
+		return 0, fmt.Errorf("prefix: value %d does not fit %d bits", p.Value, p.Len)
+	}
+	return (1 << p.Len) - 1 + int(p.Value), nil
+}
+
+// Match returns the egress port bitmap for the rule the header tuple
+// selects — the switch's single TCAM lookup.
+func (t *RuleTable) Match(p Prefix) (uint64, error) {
+	i, err := t.ruleIndex(p)
+	if err != nil {
+		return 0, err
+	}
+	return t.ports[i], nil
+}
+
+// MatchPorts returns the egress ports as a slice of identifiers.
+func (t *RuleTable) MatchPorts(p Prefix) ([]int, error) {
+	bm, err := t.Match(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, bits.OnesCount64(bm))
+	for bm != 0 {
+		i := bits.TrailingZeros64(bm)
+		out = append(out, i)
+		bm &^= 1 << i
+	}
+	return out, nil
+}
+
+// NaiveGroupEntries returns the switch-state requirement of per-group IP
+// multicast for the same tier: one entry per possible receiver subset,
+// 2^(k/2) per pod — the exponential blow-up PEEL eliminates (§3.2 quotes
+// ≈2^32 ≈ 4×10⁹ entries for k=64 against PEEL's 63). Returned as float64
+// because the count overflows int64 for k ≥ 128.
+func NaiveGroupEntries(k int) float64 {
+	half := k / 2
+	v := 1.0
+	for i := 0; i < half; i++ {
+		v *= 2
+	}
+	return v
+}

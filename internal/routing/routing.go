@@ -1,0 +1,189 @@
+// Package routing provides path computation over topology graphs: BFS
+// distance fields, the hop-layer decomposition used by the layer-peeling
+// tree algorithm (paper §2.3), and ECMP up/down unicast routing for Clos
+// fabrics.
+//
+// All functions respect link failures: failed links are invisible.
+package routing
+
+import (
+	"fmt"
+
+	"peel/internal/topology"
+)
+
+// Unreachable is the distance reported for nodes cut off from the source.
+const Unreachable = int32(-1)
+
+// DistanceField holds BFS hop counts from one source node.
+type DistanceField struct {
+	Source topology.NodeID
+	Dist   []int32 // indexed by NodeID; Unreachable if cut off
+	Max    int32   // largest finite distance
+}
+
+// BFS computes hop distances from src over non-failed links.
+func BFS(g *topology.Graph, src topology.NodeID) *DistanceField {
+	d := &DistanceField{Source: src, Dist: make([]int32, g.NumNodes())}
+	for i := range d.Dist {
+		d.Dist[i] = Unreachable
+	}
+	d.Dist[src] = 0
+	queue := []topology.NodeID{src}
+	var scratch []topology.NodeID
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		nd := d.Dist[n]
+		scratch = g.Neighbors(n, scratch[:0])
+		for _, p := range scratch {
+			if d.Dist[p] == Unreachable {
+				d.Dist[p] = nd + 1
+				if nd+1 > d.Max {
+					d.Max = nd + 1
+				}
+				queue = append(queue, p)
+			}
+		}
+	}
+	return d
+}
+
+// Reachable reports whether n has a live path from the source.
+func (d *DistanceField) Reachable(n topology.NodeID) bool { return d.Dist[n] != Unreachable }
+
+// Layers groups nodes by hop distance: Layers()[j] is the paper's l_j, the
+// set of nodes exactly j hops from the source. Unreachable nodes appear in
+// no layer.
+func (d *DistanceField) Layers() [][]topology.NodeID {
+	layers := make([][]topology.NodeID, d.Max+1)
+	for id, dist := range d.Dist {
+		if dist != Unreachable {
+			layers[dist] = append(layers[dist], topology.NodeID(id))
+		}
+	}
+	return layers
+}
+
+// Farthest returns F = max over dests of dist(src, dest), and an error if
+// any destination is unreachable.
+func (d *DistanceField) Farthest(dests []topology.NodeID) (int32, error) {
+	var f int32
+	for _, dst := range dests {
+		dd := d.Dist[dst]
+		if dd == Unreachable {
+			return 0, fmt.Errorf("routing: destination %d unreachable from %d", dst, d.Source)
+		}
+		if dd > f {
+			f = dd
+		}
+	}
+	return f, nil
+}
+
+// ShortestPath returns one shortest path src→dst (inclusive) using
+// deterministic lowest-ID tie-breaking, or nil if unreachable.
+func ShortestPath(g *topology.Graph, src, dst topology.NodeID) []topology.NodeID {
+	d := BFS(g, dst) // reverse field so we can walk forward from src
+	if !d.Reachable(src) {
+		return nil
+	}
+	path := []topology.NodeID{src}
+	cur := src
+	var scratch []topology.NodeID
+	for cur != dst {
+		next := topology.None
+		scratch = g.Neighbors(cur, scratch[:0])
+		for _, p := range scratch {
+			if d.Dist[p] == d.Dist[cur]-1 && (next == topology.None || p < next) {
+				next = p
+			}
+		}
+		if next == topology.None {
+			return nil // should not happen if Reachable
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// ECMPPath returns one shortest path src→dst chosen among equal-cost
+// next-hops by hashing flowKey at every branch point, emulating per-flow
+// ECMP. Deterministic for a given (topology, src, dst, flowKey).
+func ECMPPath(g *topology.Graph, src, dst topology.NodeID, flowKey uint64) []topology.NodeID {
+	d := BFS(g, dst)
+	if !d.Reachable(src) {
+		return nil
+	}
+	path := []topology.NodeID{src}
+	cur := src
+	var choices, scratch []topology.NodeID
+	for cur != dst {
+		choices = choices[:0]
+		scratch = g.Neighbors(cur, scratch[:0])
+		for _, p := range scratch {
+			if d.Dist[p] == d.Dist[cur]-1 {
+				choices = append(choices, p)
+			}
+		}
+		if len(choices) == 0 {
+			return nil
+		}
+		next := choices[ecmpHash(flowKey, uint64(cur))%uint64(len(choices))]
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// ecmpHash mixes the flow key with the hop so consecutive branch points
+// make independent choices (splitmix64 finalizer).
+func ecmpHash(key, hop uint64) uint64 {
+	x := key ^ (hop * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// PathLinks converts a node path to the link IDs it traverses. It panics
+// if consecutive nodes are not connected by a live link (a bug upstream).
+func PathLinks(g *topology.Graph, path []topology.NodeID) []topology.LinkID {
+	if len(path) < 2 {
+		return nil
+	}
+	out := make([]topology.LinkID, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		l := g.LinkBetween(path[i-1], path[i])
+		if l < 0 {
+			panic(fmt.Sprintf("routing: no live link %d-%d on path", path[i-1], path[i]))
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// AllMinNextHops returns, for every node, its parents toward dst on some
+// shortest path (the shortest-path DAG). Used by tests and by the optimal
+// tree builder to enumerate candidate cores.
+func AllMinNextHops(g *topology.Graph, dst topology.NodeID) [][]topology.NodeID {
+	d := BFS(g, dst)
+	out := make([][]topology.NodeID, g.NumNodes())
+	var scratch []topology.NodeID
+	for id := range out {
+		n := topology.NodeID(id)
+		if !d.Reachable(n) || n == dst {
+			continue
+		}
+		scratch = g.Neighbors(n, scratch[:0])
+		for _, p := range scratch {
+			if d.Dist[p] == d.Dist[n]-1 {
+				out[id] = append(out[id], p)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"peel/internal/topology"
+)
+
+func TestBFSDistancesFatTree(t *testing.T) {
+	g := topology.FatTree(4)
+	hosts := g.Hosts()
+	src := hosts[0]
+	d := BFS(g, src)
+	if d.Dist[src] != 0 {
+		t.Fatal("source distance must be 0")
+	}
+	// Same ToR: 2 hops. Same pod, different ToR: 4. Different pod: 6.
+	sameToR := g.HostByCoord(0, 0, 1)
+	samePod := g.HostByCoord(0, 1, 0)
+	otherPod := g.HostByCoord(3, 1, 1)
+	for _, c := range []struct {
+		h    topology.NodeID
+		want int32
+	}{{sameToR, 2}, {samePod, 4}, {otherPod, 6}} {
+		if d.Dist[c.h] != c.want {
+			t.Errorf("dist(%s)=%d want %d", g.Node(c.h).Name, d.Dist[c.h], c.want)
+		}
+	}
+	if d.Max != 6 {
+		t.Errorf("Max=%d want 6", d.Max)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := topology.LeafSpine(2, 2, 2)
+	h := g.Hosts()[0]
+	g.FailLink(g.Adj(h)[0].Link) // cut host uplink
+	d := BFS(g, g.Hosts()[3])
+	if d.Reachable(h) {
+		t.Fatal("host with failed uplink must be unreachable")
+	}
+	if _, err := d.Farthest([]topology.NodeID{h}); err == nil {
+		t.Fatal("Farthest must error on unreachable destination")
+	}
+}
+
+func TestLayersPartition(t *testing.T) {
+	g := topology.FatTree(4)
+	d := BFS(g, g.Hosts()[0])
+	layers := d.Layers()
+	total := 0
+	for j, l := range layers {
+		for _, n := range l {
+			if d.Dist[n] != int32(j) {
+				t.Fatalf("node %d in layer %d has dist %d", n, j, d.Dist[n])
+			}
+		}
+		total += len(l)
+	}
+	reachable := 0
+	for _, dist := range d.Dist {
+		if dist != Unreachable {
+			reachable++
+		}
+	}
+	if total != reachable {
+		t.Fatalf("layers hold %d nodes, reachable=%d", total, reachable)
+	}
+	if len(layers[0]) != 1 || layers[0][0] != g.Hosts()[0] {
+		t.Fatal("layer 0 must be exactly the source")
+	}
+}
+
+func TestShortestPathProperties(t *testing.T) {
+	g := topology.FatTree(4)
+	hosts := g.Hosts()
+	d := BFS(g, hosts[0])
+	for _, dst := range hosts[1:] {
+		p := ShortestPath(g, hosts[0], dst)
+		if p == nil {
+			t.Fatalf("no path to %d", dst)
+		}
+		if p[0] != hosts[0] || p[len(p)-1] != dst {
+			t.Fatal("path endpoints wrong")
+		}
+		if int32(len(p)-1) != d.Dist[dst] {
+			t.Fatalf("path length %d != BFS dist %d", len(p)-1, d.Dist[dst])
+		}
+		// consecutive nodes connected
+		PathLinks(g, p) // panics on violation
+	}
+}
+
+func TestShortestPathNilWhenCut(t *testing.T) {
+	g := topology.LeafSpine(1, 2, 1)
+	// single spine: failing both leaf uplinks partitions the hosts
+	spine := g.NodesOfKind(topology.Spine)[0]
+	for _, he := range g.Adj(spine) {
+		g.FailLink(he.Link)
+	}
+	hosts := g.Hosts()
+	if p := ShortestPath(g, hosts[0], hosts[1]); p != nil {
+		t.Fatalf("expected nil path, got %v", p)
+	}
+	if p := ECMPPath(g, hosts[0], hosts[1], 1); p != nil {
+		t.Fatalf("expected nil ECMP path, got %v", p)
+	}
+}
+
+func TestECMPPathValidAndSpreads(t *testing.T) {
+	g := topology.FatTree(8)
+	src := g.HostByCoord(0, 0, 0)
+	dst := g.HostByCoord(5, 2, 1)
+	want := BFS(g, src).Dist[dst]
+	cores := map[topology.NodeID]bool{}
+	for key := uint64(0); key < 64; key++ {
+		p := ECMPPath(g, src, dst, key)
+		if int32(len(p)-1) != want {
+			t.Fatalf("ECMP path not shortest: len=%d want %d", len(p)-1, want)
+		}
+		for _, n := range p {
+			if g.Node(n).Kind == topology.Core {
+				cores[n] = true
+			}
+		}
+		// determinism
+		q := ECMPPath(g, src, dst, key)
+		for i := range p {
+			if p[i] != q[i] {
+				t.Fatal("ECMPPath not deterministic")
+			}
+		}
+	}
+	if len(cores) < 4 {
+		t.Fatalf("ECMP used only %d distinct cores over 64 flows; hashing not spreading", len(cores))
+	}
+}
+
+func TestECMPAvoidsFailedLinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := topology.LeafSpine(16, 48, 2)
+	g.FailRandomFraction(0.10, topology.TierLinks(topology.Spine, topology.Leaf), rng)
+	hosts := g.Hosts()
+	for key := uint64(0); key < 32; key++ {
+		p := ECMPPath(g, hosts[0], hosts[len(hosts)-1], key)
+		if p == nil {
+			t.Fatal("fabric should remain connected at 10% failures")
+		}
+		for _, l := range PathLinks(g, p) {
+			if g.Link(l).Failed {
+				t.Fatal("ECMP path crosses failed link")
+			}
+		}
+	}
+}
+
+func TestAllMinNextHops(t *testing.T) {
+	g := topology.FatTree(4)
+	dst := g.Hosts()[0]
+	hops := AllMinNextHops(g, dst)
+	d := BFS(g, dst)
+	for id, parents := range hops {
+		n := topology.NodeID(id)
+		if n == dst || !d.Reachable(n) {
+			if len(parents) != 0 {
+				t.Fatalf("node %d should have no parents", id)
+			}
+			continue
+		}
+		if len(parents) == 0 {
+			t.Fatalf("reachable node %d has no parent toward dst", id)
+		}
+		for _, p := range parents {
+			if d.Dist[p] != d.Dist[n]-1 {
+				t.Fatalf("parent %d of %d not one hop closer", p, n)
+			}
+		}
+	}
+	// A ToR in a remote pod should have k/2=2 equal-cost parents (its aggs).
+	tor := g.NodesOfKind(topology.ToR)[7]
+	if len(hops[tor]) != 2 {
+		t.Fatalf("remote ToR has %d parents, want 2", len(hops[tor]))
+	}
+}
+
+func TestPathLinksEmpty(t *testing.T) {
+	g := topology.FatTree(4)
+	if PathLinks(g, nil) != nil || PathLinks(g, []topology.NodeID{3}) != nil {
+		t.Fatal("short paths must yield no links")
+	}
+}
+
+// Property: for random failure sets, every ECMP path that exists is a
+// shortest live path and never uses a failed link.
+func TestQuickECMPShortestUnderFailures(t *testing.T) {
+	f := func(seed int64, key uint64, pct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.LeafSpine(8, 8, 2)
+		g.FailRandomFraction(float64(pct%30)/100, topology.TierLinks(topology.Spine, topology.Leaf), rng)
+		hosts := g.Hosts()
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		if src == dst {
+			return true
+		}
+		d := BFS(g, src)
+		p := ECMPPath(g, src, dst, key)
+		if !d.Reachable(dst) {
+			return p == nil
+		}
+		if p == nil || int32(len(p)-1) != d.Dist[dst] {
+			return false
+		}
+		for _, l := range PathLinks(g, p) {
+			if g.Link(l).Failed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

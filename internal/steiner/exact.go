@@ -1,0 +1,135 @@
+package steiner
+
+import (
+	"fmt"
+
+	"peel/internal/routing"
+	"peel/internal/topology"
+)
+
+// MaxExactTerminals bounds the terminal count ExactSmall accepts. The
+// Dreyfus–Wagner dynamic program is Θ(3^t·n + 2^t·n²); twelve terminals on
+// a few-hundred-node fabric runs in well under a second, which is the
+// regime the yardstick is meant for (the paper's problem is NP-hard, §2.2).
+const MaxExactTerminals = 14
+
+// ExactSmall computes the exact minimum Steiner tree cost (edge count)
+// connecting {src} ∪ dests over live links, using the Dreyfus–Wagner
+// dynamic program. It returns an error if the terminal count exceeds
+// MaxExactTerminals or any terminal is unreachable.
+//
+// Only the optimal cost is returned: the evaluation uses it to measure the
+// greedy tree's optimality gap (the "within 1.4% of the Steiner optimum"
+// headline), never to route traffic.
+func ExactSmall(g *topology.Graph, src topology.NodeID, dests []topology.NodeID) (int, error) {
+	terminals := []topology.NodeID{src}
+	seen := map[topology.NodeID]bool{src: true}
+	for _, d := range dests {
+		if !seen[d] {
+			seen[d] = true
+			terminals = append(terminals, d)
+		}
+	}
+	t := len(terminals)
+	if t > MaxExactTerminals {
+		return 0, fmt.Errorf("steiner: %d terminals exceeds exact-solver limit %d", t, MaxExactTerminals)
+	}
+	if t == 1 {
+		return 0, nil
+	}
+	n := g.NumNodes()
+
+	// Pairwise distances from every terminal, and from every node (we
+	// need dist(v, u) for all v; compute full APSP via n BFS runs — the
+	// fabrics this solver sees are small).
+	dist := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		dist[v] = routing.BFS(g, topology.NodeID(v)).Dist
+	}
+	for _, term := range terminals {
+		if term != src && dist[src][term] == routing.Unreachable {
+			return 0, fmt.Errorf("steiner: terminal %d unreachable", term)
+		}
+	}
+
+	const inf = int32(1) << 30
+	// dp[mask][v]: min cost of a tree spanning terminal subset mask ∪ {v}.
+	// Terminal 0 is the source; masks range over the remaining t-1.
+	base := terminals[1:]
+	tm := len(base)
+	full := 1<<tm - 1
+	dp := make([][]int32, full+1)
+	for m := range dp {
+		dp[m] = make([]int32, n)
+		for v := range dp[m] {
+			dp[m][v] = inf
+		}
+	}
+	for i, term := range base {
+		for v := 0; v < n; v++ {
+			if d := dist[term][v]; d != routing.Unreachable {
+				dp[1<<i][v] = d
+			}
+		}
+	}
+	for mask := 1; mask <= full; mask++ {
+		if mask&(mask-1) == 0 {
+			continue // singletons initialized above
+		}
+		// Merge step: split mask into two non-empty halves at v.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			rest := mask ^ sub
+			if sub > rest {
+				continue // each split once
+			}
+			for v := 0; v < n; v++ {
+				if a, b := dp[sub][v], dp[rest][v]; a < inf && b < inf && a+b < dp[mask][v] {
+					dp[mask][v] = a + b
+				}
+			}
+		}
+		// Grow step: Dijkstra-like relaxation over unit edges = BFS from
+		// the current cost field (multi-source with initial costs).
+		relaxUnit(g, dp[mask])
+	}
+	best := dp[full][src]
+	if best >= inf {
+		return 0, fmt.Errorf("steiner: no connecting tree exists")
+	}
+	return int(best), nil
+}
+
+// relaxUnit runs a multi-source unit-weight shortest-path relaxation over
+// the cost field in place (Dial's algorithm: bucket queue by cost).
+func relaxUnit(g *topology.Graph, cost []int32) {
+	const inf = int32(1) << 30
+	maxc := int32(0)
+	for _, c := range cost {
+		if c < inf && c > maxc {
+			maxc = c
+		}
+	}
+	// Costs can only grow by at most NumNodes during relaxation.
+	buckets := make([][]topology.NodeID, maxc+int32(g.NumNodes())+2)
+	for v, c := range cost {
+		if c < inf {
+			buckets[c] = append(buckets[c], topology.NodeID(v))
+		}
+	}
+	var scratch []topology.NodeID
+	for c := int32(0); c < int32(len(buckets)); c++ {
+		for i := 0; i < len(buckets[c]); i++ {
+			v := buckets[c][i]
+			if cost[v] != c {
+				continue // stale entry
+			}
+			scratch = g.Neighbors(v, scratch[:0])
+			for _, p := range scratch {
+				if c+1 < cost[p] {
+					cost[p] = c + 1
+					buckets[c+1] = append(buckets[c+1], p)
+				}
+			}
+		}
+	}
+}

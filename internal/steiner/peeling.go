@@ -1,0 +1,181 @@
+package steiner
+
+import (
+	"fmt"
+	"sort"
+
+	"peel/internal/routing"
+	"peel/internal/topology"
+)
+
+// PeelingStats reports diagnostics of one LayerPeeling run, matching the
+// quantities in the paper's analysis (§2.3): F is the farthest-destination
+// hop distance, SwitchesAdded the number of Steiner (non-terminal) nodes
+// the greedy chose, and PerLayer the |l_i ∩ T| terms of Lemma 2.3.
+type PeelingStats struct {
+	F             int32
+	SwitchesAdded int
+	PerLayer      []int
+}
+
+// LayerPeeling builds a multicast tree on an arbitrary (possibly failed,
+// "asymmetric") Clos fabric with the paper's greedy layer-peeling
+// heuristic (§2.3):
+//
+//  1. Compute hop layers l_j around the source by BFS.
+//  2. Start with T = {source} ∪ destinations.
+//  3. From the outermost layer inward, while some member of l_{i+1} ∩ T
+//     has no parent in l_i ∩ T, add the layer-i switch that covers the
+//     most such members (classical set-cover greedy, ties to lowest ID).
+//
+// The result is loop-free by construction (edges only join adjacent
+// layers, each node receives exactly one parent) and is an
+// O(min(F,|D|))-approximation of the optimal Steiner tree (Theorem 2.5).
+//
+// Returns an error if any destination is unreachable.
+func LayerPeeling(g *topology.Graph, src topology.NodeID, dests []topology.NodeID) (*Tree, PeelingStats, error) {
+	var stats PeelingStats
+	d := routing.BFS(g, src)
+	f, err := d.Farthest(dests)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.F = f
+
+	t := newTree(src, g.NumNodes())
+	inT := make([]bool, g.NumNodes())
+	inT[src] = true
+	for _, dst := range dests {
+		if dst != src && !inT[dst] {
+			inT[dst] = true
+			t.Members = append(t.Members, dst) // parent assigned during peeling
+		}
+	}
+
+	layers := d.Layers()
+	if int(f) >= len(layers) {
+		return nil, stats, fmt.Errorf("steiner: internal: F=%d beyond layer count %d", f, len(layers))
+	}
+	stats.PerLayer = make([]int, int(f)+1)
+
+	var scratch []topology.NodeID
+	for i := int(f) - 1; i >= 0; i-- {
+		// Members of l_{i+1} that still lack a parent.
+		var orphans []topology.NodeID
+		for _, n := range layers[i+1] {
+			if inT[n] && t.Parent[n] == topology.None && n != t.Source {
+				orphans = append(orphans, n)
+			}
+		}
+		// First, attach orphans that already have a tree neighbor one
+		// layer in: no new switch needed.
+		remaining := orphans[:0]
+		for _, n := range orphans {
+			best := topology.None
+			scratch = g.Neighbors(n, scratch[:0])
+			for _, p := range scratch {
+				if d.Dist[p] == int32(i) && inT[p] && (best == topology.None || p < best) {
+					best = p
+				}
+			}
+			if best != topology.None {
+				t.Parent[n] = best
+				t.children = nil
+			} else {
+				remaining = append(remaining, n)
+			}
+		}
+		// Greedy set cover over layer-i switches for the rest.
+		for len(remaining) > 0 {
+			type cand struct {
+				sw    topology.NodeID
+				count int
+			}
+			counts := map[topology.NodeID]int{}
+			for _, n := range remaining {
+				scratch = g.Neighbors(n, scratch[:0])
+				for _, p := range scratch {
+					if d.Dist[p] == int32(i) && !inT[p] && (g.Node(p).Kind.IsSwitch() || p == src) {
+						counts[p]++
+					}
+				}
+			}
+			if len(counts) == 0 {
+				return nil, stats, fmt.Errorf("steiner: internal: %d layer-%d members have no candidate parent", len(remaining), i+1)
+			}
+			best := cand{sw: topology.None}
+			for sw, c := range counts {
+				if c > best.count || (c == best.count && (best.sw == topology.None || sw < best.sw)) {
+					best = cand{sw, c}
+				}
+			}
+			inT[best.sw] = true
+			t.add(best.sw, topology.None) // parent filled at layer i-1
+			t.Parent[best.sw] = topology.None
+			stats.SwitchesAdded++
+			next := remaining[:0]
+			for _, n := range remaining {
+				if g.LinkBetween(n, best.sw) >= 0 {
+					t.Parent[n] = best.sw
+					t.children = nil
+				} else {
+					next = append(next, n)
+				}
+			}
+			remaining = next
+		}
+		// Layer census for Lemma 2.3 style accounting.
+		for _, n := range layers[i+1] {
+			if inT[n] {
+				stats.PerLayer[i+1]++
+			}
+		}
+	}
+	stats.PerLayer[0] = 1 // the source
+
+	// Order members root-first so downstream consumers can stream them.
+	sortMembersByDepth(t, d)
+	live := dests[:0:0]
+	for _, dst := range dests {
+		if dst != src {
+			live = append(live, dst)
+		}
+	}
+	if err := t.Validate(g, live); err != nil {
+		return nil, stats, fmt.Errorf("steiner: layer peeling produced invalid tree: %w", err)
+	}
+	return t, stats, nil
+}
+
+// sortMembersByDepth orders Members by BFS layer (root first), with stable
+// ID tie-breaking, giving deterministic iteration order.
+func sortMembersByDepth(t *Tree, d *routing.DistanceField) {
+	sort.SliceStable(t.Members, func(i, j int) bool {
+		di, dj := d.Dist[t.Members[i]], d.Dist[t.Members[j]]
+		if di != dj {
+			return di < dj
+		}
+		return t.Members[i] < t.Members[j]
+	})
+}
+
+// LowerBound returns Lemma 2.4's bound on the optimal tree cost:
+// |OPT| ≥ max(F, |D|), with F the farthest destination's hop distance and
+// |D| the number of distinct destinations (excluding the source).
+func LowerBound(g *topology.Graph, src topology.NodeID, dests []topology.NodeID) (int, error) {
+	d := routing.BFS(g, src)
+	f, err := d.Farthest(dests)
+	if err != nil {
+		return 0, err
+	}
+	distinct := map[topology.NodeID]bool{}
+	for _, dst := range dests {
+		if dst != src {
+			distinct[dst] = true
+		}
+	}
+	if int(f) > len(distinct) {
+		return int(f), nil
+	}
+	return len(distinct), nil
+}

@@ -1,0 +1,536 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"peel/internal/routing"
+	"peel/internal/topology"
+)
+
+func pickHosts(g *topology.Graph, rng *rand.Rand, n int) []topology.NodeID {
+	hosts := g.Hosts()
+	rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+	return hosts[:n]
+}
+
+func TestSymmetricOptimalLeafSpineCost(t *testing.T) {
+	g := topology.LeafSpine(4, 6, 4)
+	src := g.Hosts()[0] // leaf0/host0
+	// Destinations: one under the source leaf, all four under leaf2, two
+	// under leaf5.
+	var dests []topology.NodeID
+	dests = append(dests, g.Hosts()[1])
+	dests = append(dests, g.HostsUnder(g.NodesOfKind(topology.Leaf)[2])...)
+	dests = append(dests, g.HostsUnder(g.NodesOfKind(topology.Leaf)[5])[:2]...)
+
+	tr, err := SymmetricOptimal(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges: src→leaf0 + leaf0→spine + spine→{leaf2,leaf5} + 7 host drops.
+	want := 1 + 1 + 2 + 7
+	if tr.Cost() != want {
+		t.Fatalf("cost=%d want %d", tr.Cost(), want)
+	}
+	if err := tr.Validate(g, dests); err != nil {
+		t.Fatal(err)
+	}
+	spines := 0
+	for _, m := range tr.Members {
+		if g.Node(m).Kind == topology.Spine {
+			spines++
+		}
+	}
+	if spines != 1 {
+		t.Fatalf("optimal tree uses %d spines, want exactly 1 (super-node lemma)", spines)
+	}
+}
+
+func TestSymmetricOptimalFatTreeCost(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.HostByCoord(0, 0, 0)
+	dests := []topology.NodeID{
+		g.HostByCoord(0, 0, 1), // same ToR
+		g.HostByCoord(0, 1, 0), // same pod
+		g.HostByCoord(2, 0, 0), // remote pod
+		g.HostByCoord(2, 1, 1), // same remote pod, other ToR
+		g.HostByCoord(3, 0, 0), // second remote pod
+	}
+	tr, err := SymmetricOptimal(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Up: src→tor(1) tor→agg(1) agg→core(1).
+	// Down same pod: agg→tor01(1). Down pod2: core→agg(1) agg→2 tors(2).
+	// Down pod3: core→agg(1) agg→tor(1). Hosts: 5.
+	want := 3 + 1 + 3 + 2 + 5
+	if tr.Cost() != want {
+		t.Fatalf("cost=%d want %d", tr.Cost(), want)
+	}
+	cores := 0
+	for _, m := range tr.Members {
+		if g.Node(m).Kind == topology.Core {
+			cores++
+		}
+	}
+	if cores != 1 {
+		t.Fatalf("optimal fat-tree uses %d cores, want 1", cores)
+	}
+}
+
+func TestSymmetricOptimalSameToROnly(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.HostByCoord(1, 1, 0)
+	dests := []topology.NodeID{g.HostByCoord(1, 1, 1)}
+	tr, err := SymmetricOptimal(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost() != 2 {
+		t.Fatalf("same-rack broadcast cost=%d want 2", tr.Cost())
+	}
+}
+
+func TestSymmetricOptimalNoDests(t *testing.T) {
+	g := topology.FatTree(4)
+	tr, err := SymmetricOptimal(g, g.Hosts()[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost() != 0 {
+		t.Fatalf("empty group cost=%d want 0", tr.Cost())
+	}
+}
+
+func TestSymmetricOptimalDedupsAndSkipsSource(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	d := g.Hosts()[5]
+	tr, err := SymmetricOptimal(g, src, []topology.NodeID{d, d, src, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(g, []topology.NodeID{d}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetricOptimalMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		g := topology.LeafSpine(3, 4, 3)
+		hosts := pickHosts(g, rng, 6)
+		src, dests := hosts[0], hosts[1:]
+		tr, err := SymmetricOptimal(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ExactSmall(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Cost() != exact {
+			t.Fatalf("trial %d: symmetric-optimal=%d exact=%d", trial, tr.Cost(), exact)
+		}
+	}
+}
+
+func TestSymmetricOptimalFatTreeMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := topology.FatTree(4)
+	for trial := 0; trial < 6; trial++ {
+		hosts := pickHosts(g, rng, 7)
+		src, dests := hosts[0], hosts[1:]
+		tr, err := SymmetricOptimal(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ExactSmall(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Cost() != exact {
+			t.Fatalf("trial %d: symmetric-optimal=%d exact=%d", trial, tr.Cost(), exact)
+		}
+	}
+}
+
+func TestLayerPeelingMatchesOptimalOnSymmetricFabrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		var g *topology.Graph
+		if trial%2 == 0 {
+			g = topology.FatTree(4)
+		} else {
+			g = topology.LeafSpine(4, 8, 2)
+		}
+		hosts := pickHosts(g, rng, 8)
+		src, dests := hosts[0], hosts[1:]
+		opt, err := SymmetricOptimal(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, _, err := LayerPeeling(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Cost() != opt.Cost() {
+			t.Fatalf("trial %d: greedy=%d optimal=%d on symmetric fabric", trial, greedy.Cost(), opt.Cost())
+		}
+	}
+}
+
+func TestLayerPeelingUnderFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := topology.LeafSpine(16, 48, 2)
+	g.FailRandomFraction(0.10, topology.TierLinks(topology.Spine, topology.Leaf), rng)
+	hosts := pickHosts(g, rng, 9)
+	src, dests := hosts[0], hosts[1:]
+	tr, stats, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(g, dests); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range tr.Links(g) {
+		if g.Link(l).Failed {
+			t.Fatal("tree uses failed link")
+		}
+	}
+	lb, err := LowerBound(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost() < lb {
+		t.Fatalf("cost %d below lower bound %d", tr.Cost(), lb)
+	}
+	minFD := len(dests)
+	if int(stats.F) < minFD {
+		minFD = int(stats.F)
+	}
+	if tr.Cost() > lb*minFD {
+		t.Fatalf("cost %d exceeds approximation bound %d×%d", tr.Cost(), lb, minFD)
+	}
+}
+
+func TestLayerPeelingNearExactUnderFailures(t *testing.T) {
+	// The paper reports the greedy within a few percent of the Steiner
+	// optimum; on small fabrics we can check the gap exactly. Allow some
+	// slack — the guarantee is min(F,|D|) — but the typical gap must be
+	// small for the Fig. 7 results to make sense.
+	rng := rand.New(rand.NewSource(23))
+	worst := 1.0
+	for trial := 0; trial < 12; trial++ {
+		g := topology.LeafSpine(6, 8, 2)
+		g.FailRandomFraction(0.15, topology.TierLinks(topology.Spine, topology.Leaf), rng)
+		hosts := pickHosts(g, rng, 7)
+		src, dests := hosts[0], hosts[1:]
+		tr, _, err := LayerPeeling(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ExactSmall(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Cost() < exact {
+			t.Fatalf("greedy %d beat the exact optimum %d — solver bug", tr.Cost(), exact)
+		}
+		if r := float64(tr.Cost()) / float64(exact); r > worst {
+			worst = r
+		}
+	}
+	if worst > 1.35 {
+		t.Fatalf("worst greedy/exact ratio %.2f; expected near-optimal trees", worst)
+	}
+}
+
+func TestLayerPeelingUnreachableDest(t *testing.T) {
+	g := topology.LeafSpine(2, 2, 1)
+	h := g.Hosts()[1]
+	g.FailLink(g.Adj(h)[0].Link)
+	if _, _, err := LayerPeeling(g, g.Hosts()[0], []topology.NodeID{h}); err == nil {
+		t.Fatal("expected error for unreachable destination")
+	}
+}
+
+// TestLayerPeelingWalkthrough mirrors the paper's Fig. 2 scenario in
+// miniature: an asymmetric two-tier fabric where one spine lost links so
+// that covering the receivers requires two spines, and the greedy must
+// pick the spine that covers the most uncovered leaves first.
+func TestLayerPeelingWalkthrough(t *testing.T) {
+	g := topology.LeafSpine(2, 3, 1) // spines s0,s1; leaves l0,l1,l2
+	spines := g.NodesOfKind(topology.Spine)
+	leaves := g.NodesOfKind(topology.Leaf)
+	hosts := g.Hosts()
+	// Fail s1-l1 and s1-l2: s1 only reaches l0. s0 reaches everything.
+	g.FailLink(g.LinkBetween(spines[1], leaves[1]))
+	g.FailLink(g.LinkBetween(spines[1], leaves[2]))
+
+	src := hosts[0]                                // under l0
+	dests := []topology.NodeID{hosts[1], hosts[2]} // under l1, l2
+	tr, stats, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Contains(spines[1]) {
+		t.Fatal("greedy picked the degraded spine; max-coverage rule violated")
+	}
+	if !tr.Contains(spines[0]) {
+		t.Fatal("greedy must route through the healthy spine")
+	}
+	// Optimal here: src→l0→s0→{l1,l2}→hosts = 6 edges.
+	if tr.Cost() != 6 {
+		t.Fatalf("cost=%d want 6", tr.Cost())
+	}
+	if stats.F != 4 {
+		t.Fatalf("F=%d want 4", stats.F)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.HostByCoord(0, 0, 0)
+	far := g.HostByCoord(3, 1, 1) // 6 hops
+	lb, err := LowerBound(g, src, []topology.NodeID{far})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 6 {
+		t.Fatalf("lb=%d want 6 (=F)", lb)
+	}
+	// Many nearby dests: |D| dominates.
+	tor := g.NodesOfKind(topology.ToR)[0]
+	dests := g.HostsUnder(tor)[1:]
+	lb, err = LowerBound(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 2 {
+		t.Fatalf("lb=%d want 2", lb)
+	}
+}
+
+func TestExactSmallRejectsTooManyTerminals(t *testing.T) {
+	g := topology.FatTree(4)
+	hosts := g.Hosts()
+	if _, err := ExactSmall(g, hosts[0], hosts[1:MaxExactTerminals+1]); err == nil {
+		t.Fatal("expected terminal-limit error")
+	}
+}
+
+func TestExactSmallTrivial(t *testing.T) {
+	g := topology.FatTree(4)
+	h := g.Hosts()[0]
+	c, err := ExactSmall(g, h, []topology.NodeID{h})
+	if err != nil || c != 0 {
+		t.Fatalf("self broadcast: cost=%d err=%v", c, err)
+	}
+	c, err = ExactSmall(g, h, []topology.NodeID{g.Hosts()[1]})
+	if err != nil || c != 2 {
+		t.Fatalf("same-rack pair: cost=%d err=%v, want 2", c, err)
+	}
+}
+
+func TestTreeDepthAndChildren(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.HostByCoord(0, 0, 0)
+	dst := g.HostByCoord(2, 1, 1)
+	tr, err := SymmetricOptimal(g, src, []topology.NodeID{dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(dst); d != 6 {
+		t.Fatalf("depth=%d want 6", d)
+	}
+	if tr.Depth(g.HostByCoord(3, 0, 0)) != -1 {
+		t.Fatal("non-member depth must be -1")
+	}
+	kids := tr.Children()
+	total := 0
+	for _, c := range kids {
+		total += len(c)
+	}
+	if total != tr.Cost() {
+		t.Fatalf("children sum %d != cost %d", total, tr.Cost())
+	}
+}
+
+func TestLinkLoadsAreZeroOrOne(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	dests := g.Hosts()[1:10]
+	tr, err := SymmetricOptimal(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := tr.LinkLoads(g)
+	sum := 0
+	for _, l := range loads {
+		if l < 0 || l > 1 {
+			t.Fatalf("multicast link load %d; must be 0 or 1", l)
+		}
+		sum += l
+	}
+	if sum != tr.Cost() {
+		t.Fatalf("total load %d != cost %d", sum, tr.Cost())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	dst := g.Hosts()[9]
+	tr, err := SymmetricOptimal(g, src, []topology.NodeID{dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orphan a member.
+	bad := tr.Members[2]
+	saved := tr.Parent[bad]
+	tr.Parent[bad] = topology.None
+	if tr.Validate(g, nil) == nil {
+		t.Fatal("validate missed orphan member")
+	}
+	tr.Parent[bad] = saved
+	// Non-adjacent parent.
+	tr.Parent[bad] = tr.Members[len(tr.Members)-1]
+	if tr.Validate(g, nil) == nil {
+		t.Fatal("validate missed non-edge parent")
+	}
+	tr.Parent[bad] = saved
+	// Missing destination.
+	if tr.Validate(g, []topology.NodeID{g.Hosts()[15]}) == nil {
+		t.Fatal("validate missed unspanned destination")
+	}
+}
+
+// Property: layer peeling always produces a valid tree whose cost respects
+// both bounds, across random fabrics, failure rates and group sizes.
+func TestQuickLayerPeelingBounds(t *testing.T) {
+	f := func(seed int64, nd uint8, pct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.LeafSpine(4+rng.Intn(8), 6+rng.Intn(10), 1+rng.Intn(3))
+		g.FailRandomFraction(float64(pct%25)/100, topology.TierLinks(topology.Spine, topology.Leaf), rng)
+		n := 2 + int(nd)%10
+		hosts := g.Hosts()
+		if n >= len(hosts) {
+			n = len(hosts) - 1
+		}
+		picked := pickHosts(g, rng, n+1)
+		src, dests := picked[0], picked[1:]
+		// Skip partitions: all destinations must be reachable.
+		d := routing.BFS(g, src)
+		for _, dst := range dests {
+			if !d.Reachable(dst) {
+				return true
+			}
+		}
+		tr, stats, err := LayerPeeling(g, src, dests)
+		if err != nil {
+			return false
+		}
+		if tr.Validate(g, dests) != nil {
+			return false
+		}
+		lb, err := LowerBound(g, src, dests)
+		if err != nil {
+			return false
+		}
+		minFD := len(dests)
+		if int(stats.F) < minFD {
+			minFD = int(stats.F)
+		}
+		if minFD < 1 {
+			minFD = 1
+		}
+		return tr.Cost() >= lb && tr.Cost() <= lb*minFD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact solver is never beaten by any heuristic tree.
+func TestQuickExactIsLowerEnvelope(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.LeafSpine(3, 5, 2)
+		g.FailRandomFraction(0.1, topology.TierLinks(topology.Spine, topology.Leaf), rng)
+		picked := pickHosts(g, rng, 5)
+		src, dests := picked[0], picked[1:]
+		d := routing.BFS(g, src)
+		for _, dst := range dests {
+			if !d.Reachable(dst) {
+				return true
+			}
+		}
+		tr, _, err := LayerPeeling(g, src, dests)
+		if err != nil {
+			return false
+		}
+		exact, err := ExactSmall(g, src, dests)
+		if err != nil {
+			return false
+		}
+		lb, _ := LowerBound(g, src, dests)
+		return exact <= tr.Cost() && exact >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVariantsEqualCostAndValid(t *testing.T) {
+	g := topology.FatTree(8)
+	hosts := g.Hosts()
+	f := func(seed int64, v uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(len(hosts))
+		n := 3 + rng.Intn(30)
+		src := hosts[perm[0]]
+		dests := make([]topology.NodeID, n)
+		for i := range dests {
+			dests[i] = hosts[perm[1+i]]
+		}
+		base, err := SymmetricOptimal(g, src, dests)
+		if err != nil {
+			return false
+		}
+		tv, err := SymmetricOptimalVariant(g, src, dests, uint64(v))
+		if err != nil {
+			return false
+		}
+		if tv.Validate(g, dests) != nil {
+			return false
+		}
+		return tv.Cost() == base.Cost()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantsOnOversubscribedFabric(t *testing.T) {
+	g := topology.FatTree(8)
+	g.Oversubscribe(2)
+	hosts := g.Hosts()
+	src, dests := hosts[0], hosts[40:60]
+	for v := uint64(0); v < 4; v++ {
+		tr, err := SymmetricOptimalVariant(g, src, dests, v)
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		if err := tr.Validate(g, dests); err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		for _, l := range tr.Links(g) {
+			if g.Link(l).Failed {
+				t.Fatalf("variant %d uses failed link", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package steiner
+
+import (
+	"fmt"
+	"sort"
+
+	"peel/internal/topology"
+)
+
+// SymmetricOptimal builds the minimum-cost multicast tree on a
+// *failure-free* Clos fabric.
+//
+// Two-tier leaf–spine: Lemma 2.1 — lift all spines into a logical
+// super-node; the optimal tree is source → leaf(s) → one spine → each
+// destination leaf → destination hosts. Any single spine works because
+// symmetry makes them interchangeable; we pick the lowest ID.
+//
+// Three-tier fat-tree: the same argument applies recursively. Within the
+// source pod one aggregation switch covers all destination ToRs; across
+// pods one core (reachable from that aggregation switch) covers every
+// destination pod through exactly one aggregation switch per pod. Each
+// tier crossing is necessary for any tree that spans the destinations, so
+// the construction is optimal.
+//
+// SymmetricOptimal returns an error if the fabric has failures that break
+// the links the construction needs; use LayerPeeling then.
+func SymmetricOptimal(g *topology.Graph, src topology.NodeID, dests []topology.NodeID) (*Tree, error) {
+	return SymmetricOptimalVariant(g, src, dests, 0)
+}
+
+// SymmetricOptimalVariant builds the same minimum-cost tree shape as
+// SymmetricOptimal but selects among the interchangeable upstream
+// switches (spines, aggregation switches, cores) by the variant index
+// instead of always taking the lowest ID. Distinct variants yield
+// equal-cost trees using different core-tier links — the building block
+// for the multicast-vs-multipath striping the paper's §2.3 leaves open.
+func SymmetricOptimalVariant(g *topology.Graph, src topology.NodeID, dests []topology.NodeID, variant uint64) (*Tree, error) {
+	if g.Node(src).Kind != topology.Host {
+		return nil, fmt.Errorf("steiner: source %d is not a host", src)
+	}
+	t := newTree(src, g.NumNodes())
+
+	srcEdge := g.EdgeSwitchOf(src)
+	if srcEdge == topology.None {
+		return nil, fmt.Errorf("steiner: source %d has no live uplink", src)
+	}
+
+	// Group destinations by edge switch, de-duplicating and ignoring the
+	// source itself.
+	byEdge := map[topology.NodeID][]topology.NodeID{}
+	for _, d := range dests {
+		if d == src || t.Contains(d) {
+			continue
+		}
+		if g.Node(d).Kind != topology.Host {
+			return nil, fmt.Errorf("steiner: destination %d is not a host", d)
+		}
+		e := g.EdgeSwitchOf(d)
+		if e == topology.None {
+			return nil, fmt.Errorf("steiner: destination %d has no live uplink", d)
+		}
+		byEdge[e] = append(byEdge[e], d)
+		t.add(d, e) // parent set now; edge switch added below
+	}
+
+	edges := make([]topology.NodeID, 0, len(byEdge))
+	for e := range byEdge {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+
+	needSrcEdge := len(edges) > 0
+	remote := edges[:0:0]
+	for _, e := range edges {
+		if e != srcEdge {
+			remote = append(remote, e)
+		}
+	}
+	if needSrcEdge {
+		t.add(srcEdge, src)
+	}
+	if len(remote) == 0 {
+		return t, finish(t, g, dests)
+	}
+
+	switch g.Node(srcEdge).Kind {
+	case topology.Leaf:
+		// One spine covers all remote leaves.
+		spine := pickUpstream(g, srcEdge, topology.Spine, variant)
+		if spine == topology.None {
+			return nil, fmt.Errorf("steiner: leaf %d has no live spine uplink", srcEdge)
+		}
+		t.add(spine, srcEdge)
+		for _, leaf := range remote {
+			if g.LinkBetween(spine, leaf) < 0 {
+				return nil, fmt.Errorf("steiner: fabric asymmetric (spine %d cannot reach leaf %d)", spine, leaf)
+			}
+			t.add(leaf, spine)
+		}
+	case topology.ToR:
+		if err := fatTreeDown(g, t, srcEdge, remote, variant); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("steiner: unsupported edge switch kind %s", g.Node(srcEdge).Kind)
+	}
+	return t, finish(t, g, dests)
+}
+
+// fatTreeDown attaches remote ToRs below the source ToR's pod structure.
+func fatTreeDown(g *topology.Graph, t *Tree, srcToR topology.NodeID, remote []topology.NodeID, variant uint64) error {
+	srcPod := g.PodOf(srcToR)
+	var samePod, otherPods []topology.NodeID
+	podSeen := map[int]bool{}
+	for _, tor := range remote {
+		if g.PodOf(tor) == srcPod {
+			samePod = append(samePod, tor)
+		} else {
+			otherPods = append(otherPods, tor)
+			podSeen[g.PodOf(tor)] = true
+		}
+	}
+	agg := pickUpstream(g, srcToR, topology.Agg, variant)
+	if agg == topology.None {
+		return fmt.Errorf("steiner: tor %d has no live agg uplink", srcToR)
+	}
+	t.add(agg, srcToR)
+	for _, tor := range samePod {
+		if g.LinkBetween(agg, tor) < 0 {
+			return fmt.Errorf("steiner: fabric asymmetric (agg %d cannot reach tor %d)", agg, tor)
+		}
+		t.add(tor, agg)
+	}
+	if len(otherPods) == 0 {
+		return nil
+	}
+	core := pickUpstream(g, agg, topology.Core, variant)
+	if core == topology.None {
+		return fmt.Errorf("steiner: agg %d has no live core uplink", agg)
+	}
+	t.add(core, agg)
+	// The core reaches exactly one aggregation switch in each pod.
+	podAgg := map[int]topology.NodeID{}
+	for _, he := range g.Adj(core) {
+		if g.Link(he.Link).Failed {
+			continue
+		}
+		if p := g.Node(he.Peer); p.Kind == topology.Agg {
+			podAgg[p.Pod] = he.Peer
+		}
+	}
+	added := map[topology.NodeID]bool{}
+	for _, tor := range otherPods {
+		a, ok := podAgg[g.PodOf(tor)]
+		if !ok {
+			return fmt.Errorf("steiner: fabric asymmetric (core %d cannot reach pod %d)", core, g.PodOf(tor))
+		}
+		if !added[a] {
+			t.add(a, core)
+			added[a] = true
+		}
+		if g.LinkBetween(a, tor) < 0 {
+			return fmt.Errorf("steiner: fabric asymmetric (agg %d cannot reach tor %d)", a, tor)
+		}
+		t.add(tor, a)
+	}
+	return nil
+}
+
+// pickUpstream returns the variant-th live neighbor of n with the given
+// kind (in ID order, wrapping), or None. Variant 0 is the lowest ID,
+// preserving SymmetricOptimal's deterministic default.
+func pickUpstream(g *topology.Graph, n topology.NodeID, kind topology.Kind, variant uint64) topology.NodeID {
+	var cands []topology.NodeID
+	for _, he := range g.Adj(n) {
+		if g.Link(he.Link).Failed {
+			continue
+		}
+		if g.Node(he.Peer).Kind == kind {
+			cands = append(cands, he.Peer)
+		}
+	}
+	if len(cands) == 0 {
+		return topology.None
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	return cands[int(variant)%len(cands)]
+}
+
+// finish validates the constructed tree before returning it to callers.
+func finish(t *Tree, g *topology.Graph, dests []topology.NodeID) error {
+	live := dests[:0:0]
+	for _, d := range dests {
+		if d != t.Source {
+			live = append(live, d)
+		}
+	}
+	return t.Validate(g, live)
+}

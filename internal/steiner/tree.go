@@ -1,0 +1,178 @@
+// Package steiner implements multicast tree construction in Clos fabrics —
+// the algorithmic core of the PEEL paper (§2):
+//
+//   - SymmetricOptimal: the provably minimum-cost tree on failure-free
+//     leaf–spine and fat-tree fabrics via the super-node argument
+//     (Lemma 2.1, generalized to three tiers).
+//   - LayerPeeling: the paper's greedy O(min(F,|D|))-approximation for
+//     asymmetric (failed) Clos fabrics (§2.3).
+//   - ExactSmall: a Dreyfus–Wagner exact Steiner solver, exponential in the
+//     terminal count, used as an optimality yardstick on small instances.
+//   - LowerBound: the max(F,|D|) bound of Lemma 2.4.
+//
+// Trees are rooted at the source host and directed downward; cost is the
+// number of edges (unit link costs, as in the paper).
+package steiner
+
+import (
+	"fmt"
+
+	"peel/internal/topology"
+)
+
+// Tree is a multicast distribution tree rooted at Source. Parent[n] is n's
+// parent for members, topology.None otherwise; Parent[Source] is None.
+type Tree struct {
+	Source topology.NodeID
+	Parent []topology.NodeID
+	// Members lists tree nodes in insertion order; Source is first.
+	Members []topology.NodeID
+
+	children [][]topology.NodeID // lazy
+}
+
+// newTree allocates an empty tree over a graph with n nodes.
+func newTree(src topology.NodeID, n int) *Tree {
+	t := &Tree{Source: src, Parent: make([]topology.NodeID, n)}
+	for i := range t.Parent {
+		t.Parent[i] = topology.None
+	}
+	t.Members = append(t.Members, src)
+	return t
+}
+
+// add records parent(child) = parent, adding child to the member list.
+// Both re-adding a member and orphan parents are construction bugs and
+// panic.
+func (t *Tree) add(child, parent topology.NodeID) {
+	if t.Parent[child] != topology.None || child == t.Source {
+		panic(fmt.Sprintf("steiner: node %d added twice", child))
+	}
+	t.Parent[child] = parent
+	t.Members = append(t.Members, child)
+	t.children = nil
+}
+
+// Contains reports whether n is in the tree.
+func (t *Tree) Contains(n topology.NodeID) bool {
+	return n == t.Source || t.Parent[n] != topology.None
+}
+
+// Cost is the number of edges in the tree.
+func (t *Tree) Cost() int { return len(t.Members) - 1 }
+
+// NumSwitches counts non-host members, matching the paper's |T| accounting
+// (Lemma 2.3 counts switches added per layer).
+func (t *Tree) NumSwitches(g *topology.Graph) int {
+	n := 0
+	for _, m := range t.Members {
+		if g.Node(m).Kind.IsSwitch() {
+			n++
+		}
+	}
+	return n
+}
+
+// Children returns the child lists, computed on first use and cached.
+func (t *Tree) Children() [][]topology.NodeID {
+	if t.children == nil {
+		t.children = make([][]topology.NodeID, len(t.Parent))
+		for _, m := range t.Members {
+			if p := t.Parent[m]; p != topology.None {
+				t.children[p] = append(t.children[p], m)
+			}
+		}
+	}
+	return t.children
+}
+
+// Links returns the link IDs the tree uses. It panics if a tree edge has
+// no live link — trees must only be built over live edges.
+func (t *Tree) Links(g *topology.Graph) []topology.LinkID {
+	out := make([]topology.LinkID, 0, t.Cost())
+	for _, m := range t.Members {
+		if p := t.Parent[m]; p != topology.None {
+			l := g.LinkBetween(p, m)
+			if l < 0 {
+				panic(fmt.Sprintf("steiner: tree edge %d-%d has no live link", p, m))
+			}
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Depth returns the hop distance from the source to n within the tree, or
+// -1 if n is not a member.
+func (t *Tree) Depth(n topology.NodeID) int {
+	if !t.Contains(n) {
+		return -1
+	}
+	d := 0
+	for n != t.Source {
+		n = t.Parent[n]
+		d++
+		if d > len(t.Members) {
+			return -1 // cycle guard; Validate reports it properly
+		}
+	}
+	return d
+}
+
+// Validate checks that the tree is rooted at src, acyclic, spans every
+// destination, and uses only live links of g.
+func (t *Tree) Validate(g *topology.Graph, dests []topology.NodeID) error {
+	if t.Parent[t.Source] != topology.None {
+		return fmt.Errorf("steiner: source has a parent")
+	}
+	seen := make(map[topology.NodeID]bool, len(t.Members))
+	for _, m := range t.Members {
+		if seen[m] {
+			return fmt.Errorf("steiner: duplicate member %d", m)
+		}
+		seen[m] = true
+	}
+	for _, m := range t.Members {
+		if m == t.Source {
+			continue
+		}
+		p := t.Parent[m]
+		if p == topology.None {
+			return fmt.Errorf("steiner: member %d has no parent", m)
+		}
+		if !seen[p] {
+			return fmt.Errorf("steiner: member %d has non-member parent %d", m, p)
+		}
+		if g.LinkBetween(p, m) < 0 {
+			return fmt.Errorf("steiner: edge %d-%d is not a live link", p, m)
+		}
+	}
+	// Acyclicity + connectivity: every member must reach the source.
+	for _, m := range t.Members {
+		steps := 0
+		for n := m; n != t.Source; n = t.Parent[n] {
+			steps++
+			if steps > len(t.Members) {
+				return fmt.Errorf("steiner: cycle reachable from member %d", m)
+			}
+		}
+	}
+	for _, d := range dests {
+		if !t.Contains(d) {
+			return fmt.Errorf("steiner: destination %d not spanned", d)
+		}
+	}
+	return nil
+}
+
+// LinkLoads returns, for each link ID, how many times a single message
+// traverses it under this multicast tree: exactly once per tree link and
+// zero elsewhere. The unicast baselines in internal/collective produce the
+// contrasting per-link loads for Fig. 1.
+func (t *Tree) LinkLoads(g *topology.Graph) []int {
+	loads := make([]int, g.NumLinks())
+	for _, l := range t.Links(g) {
+		loads[l]++
+	}
+	return loads
+}

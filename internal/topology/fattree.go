@@ -1,0 +1,238 @@
+package topology
+
+import "fmt"
+
+// FatTree builds a failure-free k-ary fat-tree (Al-Fares et al. layout):
+//
+//   - (k/2)² core switches,
+//   - k pods, each with k/2 aggregation and k/2 ToR switches,
+//   - k/2 hosts under each ToR, for k³/4 hosts total.
+//
+// Aggregation switch i of every pod connects to cores i·(k/2) … i·(k/2)+k/2−1,
+// so each core reaches exactly one aggregation switch per pod — the property
+// PEEL's programmable-core refinement relies on (§3.3).
+//
+// k must be even and ≥ 2.
+func FatTree(k int) *Graph {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topology: fat-tree arity must be even and >= 2, got %d", k))
+	}
+	g := NewGraph()
+	g.K = k
+	g.HostsPerEdge = k / 2
+	half := k / 2
+
+	cores := make([]NodeID, half*half)
+	for i := range cores {
+		cores[i] = g.AddNode(Core, -1, i, fmt.Sprintf("core%d", i))
+	}
+	for p := 0; p < k; p++ {
+		aggs := make([]NodeID, half)
+		for i := 0; i < half; i++ {
+			aggs[i] = g.AddNode(Agg, p, i, fmt.Sprintf("pod%d/agg%d", p, i))
+			for j := 0; j < half; j++ {
+				g.AddLink(aggs[i], cores[i*half+j])
+			}
+		}
+		for t := 0; t < half; t++ {
+			tor := g.AddNode(ToR, p, t, fmt.Sprintf("pod%d/tor%d", p, t))
+			for i := 0; i < half; i++ {
+				g.AddLink(aggs[i], tor)
+			}
+			for h := 0; h < half; h++ {
+				host := g.AddNode(Host, p, t*half+h, fmt.Sprintf("pod%d/tor%d/host%d", p, t, h))
+				g.AddLink(tor, host)
+			}
+		}
+	}
+	return g
+}
+
+// LeafSpine builds a failure-free two-tier leaf–spine fabric with the given
+// spine and leaf counts and hostsPerLeaf hosts under each leaf. Every leaf
+// connects to every spine (full bipartite core).
+func LeafSpine(spines, leaves, hostsPerLeaf int) *Graph {
+	if spines < 1 || leaves < 1 || hostsPerLeaf < 0 {
+		panic("topology: leaf-spine dimensions must be positive")
+	}
+	g := NewGraph()
+	g.HostsPerEdge = hostsPerLeaf
+	sp := make([]NodeID, spines)
+	for i := range sp {
+		sp[i] = g.AddNode(Spine, -1, i, fmt.Sprintf("spine%d", i))
+	}
+	for l := 0; l < leaves; l++ {
+		leaf := g.AddNode(Leaf, -1, l, fmt.Sprintf("leaf%d", l))
+		for _, s := range sp {
+			g.AddLink(leaf, s)
+		}
+		for h := 0; h < hostsPerLeaf; h++ {
+			host := g.AddNode(Host, -1, l*hostsPerLeaf+h, fmt.Sprintf("leaf%d/host%d", l, h))
+			g.AddLink(leaf, host)
+		}
+	}
+	return g
+}
+
+// FatTreeShape describes the size of a k-ary fat-tree without building it;
+// used by the switch-state analysis (Fig. 3, §3.2) where k=64..128 fabrics
+// are reasoned about analytically.
+type FatTreeShape struct {
+	K          int
+	Cores      int
+	AggPerPod  int
+	ToRPerPod  int
+	Pods       int
+	HostsPerTo int
+	Hosts      int
+	Switches   int
+	Links      int
+}
+
+// Shape returns the closed-form dimensions of a k-ary fat-tree.
+func Shape(k int) FatTreeShape {
+	half := k / 2
+	s := FatTreeShape{
+		K:          k,
+		Cores:      half * half,
+		AggPerPod:  half,
+		ToRPerPod:  half,
+		Pods:       k,
+		HostsPerTo: half,
+		Hosts:      k * k * k / 4,
+	}
+	s.Switches = s.Cores + s.Pods*(s.AggPerPod+s.ToRPerPod)
+	// core–agg + agg–tor + tor–host
+	s.Links = s.Pods*s.AggPerPod*half + s.Pods*s.AggPerPod*s.ToRPerPod + s.Hosts
+	return s
+}
+
+// PodOf returns the pod of a node, or -1 for cores and non-fat-tree nodes.
+func (g *Graph) PodOf(n NodeID) int { return g.nodes[n].Pod }
+
+// ToRIndexOf returns the ToR-within-pod index of a fat-tree host or ToR:
+// the identifier PEEL's power-of-two prefixes aggregate (§3.2).
+func (g *Graph) ToRIndexOf(n NodeID) int {
+	nd := g.nodes[n]
+	switch nd.Kind {
+	case ToR, Leaf:
+		return nd.Index
+	case Host:
+		if g.HostsPerEdge == 0 {
+			return -1
+		}
+		return nd.Index / g.HostsPerEdge
+	}
+	return -1
+}
+
+// HostSlotOf returns a host's position under its ToR (0 … hostsPerEdge−1).
+func (g *Graph) HostSlotOf(h NodeID) int {
+	nd := g.nodes[h]
+	if nd.Kind != Host || g.HostsPerEdge == 0 {
+		return -1
+	}
+	return nd.Index % g.HostsPerEdge
+}
+
+// HostByCoord returns the host at (pod, tor, slot) in a fat-tree, or None.
+// It relies on the deterministic construction order of FatTree.
+func (g *Graph) HostByCoord(pod, tor, slot int) NodeID {
+	if g.K == 0 {
+		return None
+	}
+	half := g.K / 2
+	if pod < 0 || pod >= g.K || tor < 0 || tor >= half || slot < 0 || slot >= half {
+		return None
+	}
+	// Construction order: cores, then per pod: k/2 aggs, then per ToR:
+	// the ToR followed by its k/2 hosts.
+	cores := half * half
+	perPod := half /*aggs*/ + half*(1+half)
+	base := cores + pod*perPod + half /*skip aggs*/ + tor*(1+half) + 1 + slot
+	return NodeID(base)
+}
+
+// Oversubscribe degrades a fat-tree to the given core oversubscription
+// ratio by failing entire core switches: ratio 2 keeps half the cores
+// (2:1 cross-pod oversubscription, common in production AI fabrics),
+// ratio 4 keeps a quarter, and so on. Kept cores are chosen round-robin
+// across aggregation groups so every aggregation switch retains uplinks.
+// Returns the failed core IDs. Ratio 1 is a no-op.
+func (g *Graph) Oversubscribe(ratio int) []NodeID {
+	if g.K == 0 || ratio <= 1 {
+		return nil
+	}
+	var failed []NodeID
+	for i, c := range g.NodesOfKind(Core) {
+		// Cores are grouped by aggregation index: agg i owns cores
+		// i·(k/2)…i·(k/2)+k/2−1. Failing all but every ratio-th core in
+		// each group preserves one live uplink set per agg.
+		if (i%(g.K/2))%ratio != 0 {
+			g.FailNode(c)
+			failed = append(failed, c)
+		}
+	}
+	return failed
+}
+
+// RailOptimized builds a rail-optimized GPU fabric (the topology family
+// the paper's §2.1 defers to future work; cf. Alibaba HPN). servers
+// machines each expose rails NICs — one per on-board GPU — and NIC r of
+// every server connects to rail switch r (a Leaf). Rail switches
+// interconnect through spines full-bipartite. Host (s,r) is addressable
+// via HostByRail; a server's hosts form one NVLink domain.
+//
+// The rail property: a group selecting the same rail on every server is
+// covered by a single rail switch — zero spine crossings.
+func RailOptimized(rails, servers, spines int) *Graph {
+	if rails < 1 || servers < 1 || spines < 1 {
+		panic("topology: rail-optimized dimensions must be positive")
+	}
+	g := NewGraph()
+	g.HostsPerEdge = servers
+	sp := make([]NodeID, spines)
+	for i := range sp {
+		sp[i] = g.AddNode(Spine, -1, i, fmt.Sprintf("spine%d", i))
+	}
+	for r := 0; r < rails; r++ {
+		rail := g.AddNode(Leaf, -1, r, fmt.Sprintf("rail%d", r))
+		for _, s := range sp {
+			g.AddLink(rail, s)
+		}
+		for s := 0; s < servers; s++ {
+			h := g.AddNode(Host, -1, r*servers+s, fmt.Sprintf("srv%d/gpu%d", s, r))
+			g.AddLink(rail, h)
+		}
+	}
+	return g
+}
+
+// HostByRail returns the NIC of server srv on rail r in a RailOptimized
+// fabric, or None. It relies on the deterministic construction order.
+func (g *Graph) HostByRail(rail, srv, rails, servers, spines int) NodeID {
+	if rail < 0 || rail >= rails || srv < 0 || srv >= servers {
+		return None
+	}
+	base := spines + rail*(1+servers) + 1 + srv
+	if base >= g.NumNodes() {
+		return None
+	}
+	return NodeID(base)
+}
+
+// RailOf returns the rail (leaf) index of a rail-optimized host.
+func (g *Graph) RailOf(h NodeID) int {
+	if g.HostsPerEdge == 0 {
+		return -1
+	}
+	return g.Node(h).Index / g.HostsPerEdge
+}
+
+// ServerOf returns the server index of a rail-optimized host.
+func (g *Graph) ServerOf(h NodeID) int {
+	if g.HostsPerEdge == 0 {
+		return -1
+	}
+	return g.Node(h).Index % g.HostsPerEdge
+}

@@ -1,0 +1,367 @@
+// Package topology models datacenter Clos fabrics: k-ary fat-trees and
+// two-tier leaf–spine networks, with support for link and switch failures.
+//
+// The package is the substrate for every other layer of the PEEL
+// reproduction: multicast tree construction (internal/steiner), prefix
+// aggregation (internal/prefix), and the discrete-event network simulator
+// (internal/netsim) all operate on the Graph type defined here.
+//
+// Graphs are immutable in shape after construction; failures toggle a flag
+// on links (or all links of a switch) without removing them, so a failed
+// fabric retains the node/port numbering of its symmetric ancestor. This
+// mirrors real deployments, where a drained link keeps its ports.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NodeID identifies a node (host or switch) within one Graph.
+type NodeID int32
+
+// None is the sentinel for "no node".
+const None NodeID = -1
+
+// Kind classifies a node by its tier in the fabric.
+type Kind uint8
+
+// Node tiers. Leaf–spine fabrics use Leaf/Spine; fat-trees use
+// ToR/Agg/Core. Hosts are common to both.
+const (
+	Host  Kind = iota
+	ToR        // fat-tree edge (top-of-rack) switch
+	Agg        // fat-tree aggregation switch
+	Core       // fat-tree core switch
+	Leaf       // leaf–spine leaf switch
+	Spine      // leaf–spine spine switch
+)
+
+// String returns the conventional short name of the tier.
+func (k Kind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case ToR:
+		return "tor"
+	case Agg:
+		return "agg"
+	case Core:
+		return "core"
+	case Leaf:
+		return "leaf"
+	case Spine:
+		return "spine"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsSwitch reports whether the kind is any switch tier.
+func (k Kind) IsSwitch() bool { return k != Host }
+
+// Node is one device in the fabric.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	// Pod is the pod number for fat-tree ToR/Agg/Host nodes, or -1 for
+	// nodes outside any pod (cores, leaf–spine nodes).
+	Pod int
+	// Index is the node's position within its (pod, tier) group: the
+	// ToR number within the pod, the host number under its ToR times
+	// hosts-per-ToR, etc. It is the identifier PEEL's prefix scheme
+	// aggregates over.
+	Index int
+	// Name is a stable human-readable label such as "pod1/tor3".
+	Name string
+}
+
+// LinkID identifies a link within one Graph.
+type LinkID int32
+
+// Link is an undirected point-to-point cable between two nodes. Directed
+// capacity is modelled by the simulator; construction and failure state
+// live here.
+type Link struct {
+	ID     LinkID
+	A, B   NodeID
+	Failed bool
+}
+
+// Other returns the endpoint of l that is not n.
+func (l Link) Other(n NodeID) NodeID {
+	if l.A == n {
+		return l.B
+	}
+	return l.A
+}
+
+// HalfEdge is one direction of a link as seen from a node's adjacency list.
+type HalfEdge struct {
+	Peer NodeID
+	Link LinkID
+}
+
+// Graph is a Clos fabric: nodes, links, and adjacency.
+type Graph struct {
+	nodes []Node
+	links []Link
+	adj   [][]HalfEdge
+
+	// K is the fat-tree arity, or 0 for non-fat-tree graphs.
+	K int
+	// HostsPerToR / HostsPerLeaf is the number of hosts below each edge
+	// switch; 0 if the graph was built by hand.
+	HostsPerEdge int
+
+	failedLinks int
+}
+
+// NewGraph returns an empty graph; use AddNode/AddLink to build custom
+// fabrics (tests and the exact Steiner solver do this).
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode appends a node and returns its ID. The Name may be empty.
+func (g *Graph) AddNode(kind Kind, pod, index int, name string) NodeID {
+	id := NodeID(len(g.nodes))
+	if name == "" {
+		name = fmt.Sprintf("%s%d", kind, id)
+	}
+	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Pod: pod, Index: index, Name: name})
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddLink connects a and b and returns the link's ID. Self-loops and
+// out-of-range endpoints panic: they indicate a construction bug, not a
+// runtime condition.
+func (g *Graph) AddLink(a, b NodeID) LinkID {
+	if a == b {
+		panic("topology: self-loop")
+	}
+	if int(a) >= len(g.nodes) || int(b) >= len(g.nodes) || a < 0 || b < 0 {
+		panic("topology: link endpoint out of range")
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, A: a, B: b})
+	g.adj[a] = append(g.adj[a], HalfEdge{Peer: b, Link: id})
+	g.adj[b] = append(g.adj[b], HalfEdge{Peer: a, Link: id})
+	return id
+}
+
+// NumNodes returns the total node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the total link count, including failed links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// NumFailedLinks returns how many links are currently failed.
+func (g *Graph) NumFailedLinks() int { return g.failedLinks }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+
+// Adj returns n's adjacency list including failed links. Callers must not
+// modify the returned slice.
+func (g *Graph) Adj(n NodeID) []HalfEdge { return g.adj[n] }
+
+// Neighbors appends to dst the peers of n reachable over non-failed links
+// and returns the extended slice. Passing a reused dst avoids allocation
+// in hot paths (BFS, tree construction).
+func (g *Graph) Neighbors(n NodeID, dst []NodeID) []NodeID {
+	for _, he := range g.adj[n] {
+		if !g.links[he.Link].Failed {
+			dst = append(dst, he.Peer)
+		}
+	}
+	return dst
+}
+
+// LinkBetween returns the first non-failed link between a and b, or -1.
+func (g *Graph) LinkBetween(a, b NodeID) LinkID {
+	for _, he := range g.adj[a] {
+		if he.Peer == b && !g.links[he.Link].Failed {
+			return he.Link
+		}
+	}
+	return -1
+}
+
+// FailLink marks a link failed. Failing an already-failed link is a no-op.
+func (g *Graph) FailLink(id LinkID) {
+	if !g.links[id].Failed {
+		g.links[id].Failed = true
+		g.failedLinks++
+	}
+}
+
+// RestoreLink clears a link's failed flag.
+func (g *Graph) RestoreLink(id LinkID) {
+	if g.links[id].Failed {
+		g.links[id].Failed = false
+		g.failedLinks--
+	}
+}
+
+// FailNode fails every link incident to n (a switch failure).
+func (g *Graph) FailNode(n NodeID) {
+	for _, he := range g.adj[n] {
+		g.FailLink(he.Link)
+	}
+}
+
+// RestoreAll clears every failure.
+func (g *Graph) RestoreAll() {
+	for i := range g.links {
+		g.links[i].Failed = false
+	}
+	g.failedLinks = 0
+}
+
+// LinkFilter selects links eligible for random failure injection.
+type LinkFilter func(g *Graph, l Link) bool
+
+// SwitchLinks matches links whose endpoints are both switches (the
+// spine–leaf / core–agg / agg–ToR tiers); host uplinks are excluded, as in
+// the paper's failure experiments, which fail spine-to-leaf links only.
+func SwitchLinks(g *Graph, l Link) bool {
+	return g.nodes[l.A].Kind.IsSwitch() && g.nodes[l.B].Kind.IsSwitch()
+}
+
+// TierLinks returns a filter matching links between the two given tiers.
+func TierLinks(a, b Kind) LinkFilter {
+	return func(g *Graph, l Link) bool {
+		ka, kb := g.nodes[l.A].Kind, g.nodes[l.B].Kind
+		return (ka == a && kb == b) || (ka == b && kb == a)
+	}
+}
+
+// FailRandomFraction fails ⌈fraction × |eligible|⌉ uniformly chosen
+// eligible links and returns their IDs. fraction outside [0,1] is clamped.
+// The caller owns the *rand.Rand, so runs are reproducible.
+func (g *Graph) FailRandomFraction(fraction float64, filter LinkFilter, rng *rand.Rand) []LinkID {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	var eligible []LinkID
+	for _, l := range g.links {
+		if !l.Failed && (filter == nil || filter(g, l)) {
+			eligible = append(eligible, l.ID)
+		}
+	}
+	n := int(fraction*float64(len(eligible)) + 0.9999999)
+	if n > len(eligible) {
+		n = len(eligible)
+	}
+	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	failed := eligible[:n]
+	for _, id := range failed {
+		g.FailLink(id)
+	}
+	return failed
+}
+
+// Clone returns a deep copy sharing nothing with g, so failure scenarios
+// can be explored without mutating a baseline fabric.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:        append([]Node(nil), g.nodes...),
+		links:        append([]Link(nil), g.links...),
+		adj:          make([][]HalfEdge, len(g.adj)),
+		K:            g.K,
+		HostsPerEdge: g.HostsPerEdge,
+		failedLinks:  g.failedLinks,
+	}
+	for i, a := range g.adj {
+		c.adj[i] = append([]HalfEdge(nil), a...)
+	}
+	return c
+}
+
+// Hosts returns the IDs of all host nodes in ID order.
+func (g *Graph) Hosts() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == Host {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// NodesOfKind returns all node IDs of the given tier in ID order.
+func (g *Graph) NodesOfKind(k Kind) []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == k {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// EdgeSwitchOf returns the ToR/Leaf switch directly above a host, scanning
+// only non-failed links (a host whose uplink failed is unreachable and
+// reports None).
+func (g *Graph) EdgeSwitchOf(host NodeID) NodeID {
+	for _, he := range g.adj[host] {
+		if g.links[he.Link].Failed {
+			continue
+		}
+		if k := g.nodes[he.Peer].Kind; k == ToR || k == Leaf {
+			return he.Peer
+		}
+	}
+	return None
+}
+
+// HostsUnder returns the hosts attached to an edge switch (ToR or Leaf),
+// including hosts behind failed links: membership is physical.
+func (g *Graph) HostsUnder(sw NodeID) []NodeID {
+	var out []NodeID
+	for _, he := range g.adj[sw] {
+		if g.nodes[he.Peer].Kind == Host {
+			out = append(out, he.Peer)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants and returns the first violation.
+// It is O(V+E) and intended for tests and post-construction checks.
+func (g *Graph) Validate() error {
+	if len(g.adj) != len(g.nodes) {
+		return fmt.Errorf("topology: adjacency size %d != node count %d", len(g.adj), len(g.nodes))
+	}
+	degSum := 0
+	for i, a := range g.adj {
+		degSum += len(a)
+		for _, he := range a {
+			l := g.links[he.Link]
+			if l.A != NodeID(i) && l.B != NodeID(i) {
+				return fmt.Errorf("topology: node %d lists link %d it is not on", i, he.Link)
+			}
+			if l.Other(NodeID(i)) != he.Peer {
+				return fmt.Errorf("topology: node %d adjacency peer mismatch on link %d", i, he.Link)
+			}
+		}
+	}
+	if degSum != 2*len(g.links) {
+		return fmt.Errorf("topology: degree sum %d != 2×links %d", degSum, 2*len(g.links))
+	}
+	failed := 0
+	for _, l := range g.links {
+		if l.Failed {
+			failed++
+		}
+	}
+	if failed != g.failedLinks {
+		return fmt.Errorf("topology: failed-link counter %d != actual %d", g.failedLinks, failed)
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFatTreeShapeCounts(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16} {
+		g := FatTree(k)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		s := Shape(k)
+		if got := len(g.Hosts()); got != s.Hosts {
+			t.Errorf("k=%d: hosts=%d want %d", k, got, s.Hosts)
+		}
+		if got := len(g.NodesOfKind(Core)); got != s.Cores {
+			t.Errorf("k=%d: cores=%d want %d", k, got, s.Cores)
+		}
+		if got := len(g.NodesOfKind(Agg)); got != s.Pods*s.AggPerPod {
+			t.Errorf("k=%d: aggs=%d want %d", k, got, s.Pods*s.AggPerPod)
+		}
+		if got := len(g.NodesOfKind(ToR)); got != s.Pods*s.ToRPerPod {
+			t.Errorf("k=%d: tors=%d want %d", k, got, s.Pods*s.ToRPerPod)
+		}
+		if got := g.NumLinks(); got != s.Links {
+			t.Errorf("k=%d: links=%d want %d", k, got, s.Links)
+		}
+		if g.NumNodes() != s.Hosts+s.Switches {
+			t.Errorf("k=%d: nodes=%d want %d", k, g.NumNodes(), s.Hosts+s.Switches)
+		}
+	}
+}
+
+func TestFatTree64KHosts(t *testing.T) {
+	// The paper's headline fabric: 64-ary fat-tree has 65,536 hosts.
+	if s := Shape(64); s.Hosts != 65536 {
+		t.Fatalf("Shape(64).Hosts = %d, want 65536", s.Hosts)
+	}
+}
+
+func TestFatTreeDegrees(t *testing.T) {
+	k := 8
+	g := FatTree(k)
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(NodeID(id))
+		deg := len(g.Adj(n.ID))
+		want := 0
+		switch n.Kind {
+		case Host:
+			want = 1
+		case ToR:
+			want = k // k/2 up to aggs + k/2 down to hosts
+		case Agg:
+			want = k // k/2 up to cores + k/2 down to tors
+		case Core:
+			want = k // one agg per pod
+		}
+		if deg != want {
+			t.Fatalf("%s: degree %d want %d", n.Name, deg, want)
+		}
+	}
+}
+
+func TestCoreReachesOneAggPerPod(t *testing.T) {
+	g := FatTree(8)
+	for _, c := range g.NodesOfKind(Core) {
+		seen := map[int]int{}
+		for _, he := range g.Adj(c) {
+			p := g.Node(he.Peer)
+			if p.Kind != Agg {
+				t.Fatalf("core %d linked to non-agg %s", c, p.Name)
+			}
+			seen[p.Pod]++
+		}
+		for pod, n := range seen {
+			if n != 1 {
+				t.Fatalf("core %d reaches pod %d via %d aggs, want 1", c, pod, n)
+			}
+		}
+		if len(seen) != g.K {
+			t.Fatalf("core %d reaches %d pods, want %d", c, len(seen), g.K)
+		}
+	}
+}
+
+func TestLeafSpineStructure(t *testing.T) {
+	// The paper's Fig. 7 fabric: 16 spines, 48 leaves, 2 hosts/leaf.
+	g := LeafSpine(16, 48, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Hosts()); got != 96 {
+		t.Fatalf("hosts=%d want 96", got)
+	}
+	if got := g.NumLinks(); got != 16*48+96 {
+		t.Fatalf("links=%d want %d", got, 16*48+96)
+	}
+	for _, leaf := range g.NodesOfKind(Leaf) {
+		spines := 0
+		for _, he := range g.Adj(leaf) {
+			if g.Node(he.Peer).Kind == Spine {
+				spines++
+			}
+		}
+		if spines != 16 {
+			t.Fatalf("leaf %d sees %d spines, want 16", leaf, spines)
+		}
+	}
+}
+
+func TestHostByCoordRoundTrip(t *testing.T) {
+	g := FatTree(8)
+	for pod := 0; pod < 8; pod++ {
+		for tor := 0; tor < 4; tor++ {
+			for slot := 0; slot < 4; slot++ {
+				h := g.HostByCoord(pod, tor, slot)
+				if h == None {
+					t.Fatalf("HostByCoord(%d,%d,%d) = None", pod, tor, slot)
+				}
+				n := g.Node(h)
+				if n.Kind != Host {
+					t.Fatalf("HostByCoord(%d,%d,%d) = %s (not a host)", pod, tor, slot, n.Name)
+				}
+				if n.Pod != pod || g.ToRIndexOf(h) != tor || g.HostSlotOf(h) != slot {
+					t.Fatalf("coord mismatch for %s: pod=%d tor=%d slot=%d", n.Name, n.Pod, g.ToRIndexOf(h), g.HostSlotOf(h))
+				}
+				tor2 := g.EdgeSwitchOf(h)
+				if g.Node(tor2).Index != tor || g.Node(tor2).Pod != pod {
+					t.Fatalf("EdgeSwitchOf(%s) = %s", n.Name, g.Node(tor2).Name)
+				}
+			}
+		}
+	}
+	if g.HostByCoord(8, 0, 0) != None || g.HostByCoord(0, 4, 0) != None || g.HostByCoord(0, 0, -1) != None {
+		t.Fatal("out-of-range coords must return None")
+	}
+}
+
+func TestFailRestore(t *testing.T) {
+	g := FatTree(4)
+	l := g.Link(0)
+	if l.Failed {
+		t.Fatal("fresh link failed")
+	}
+	g.FailLink(0)
+	g.FailLink(0) // idempotent
+	if g.NumFailedLinks() != 1 {
+		t.Fatalf("failed=%d want 1", g.NumFailedLinks())
+	}
+	if !g.Link(0).Failed {
+		t.Fatal("link not failed")
+	}
+	g.RestoreLink(0)
+	g.RestoreLink(0)
+	if g.NumFailedLinks() != 0 || g.Link(0).Failed {
+		t.Fatal("restore failed")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailNodeFailsAllIncidentLinks(t *testing.T) {
+	g := FatTree(4)
+	core := g.NodesOfKind(Core)[0]
+	g.FailNode(core)
+	if got := g.NumFailedLinks(); got != len(g.Adj(core)) {
+		t.Fatalf("failed=%d want %d", got, len(g.Adj(core)))
+	}
+	if n := g.Neighbors(core, nil); len(n) != 0 {
+		t.Fatalf("failed switch still has %d live neighbors", len(n))
+	}
+}
+
+func TestFailRandomFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := LeafSpine(16, 48, 2)
+	spineLeaf := TierLinks(Spine, Leaf)
+	eligible := 0
+	for i := 0; i < g.NumLinks(); i++ {
+		if spineLeaf(g, g.Link(LinkID(i))) {
+			eligible++
+		}
+	}
+	if eligible != 16*48 {
+		t.Fatalf("eligible=%d want %d", eligible, 16*48)
+	}
+	failed := g.FailRandomFraction(0.10, spineLeaf, rng)
+	want := 77 // ceil(0.10 × 768)
+	if len(failed) != want {
+		t.Fatalf("failed %d links, want %d", len(failed), want)
+	}
+	for _, id := range failed {
+		l := g.Link(id)
+		if !l.Failed || !spineLeaf(g, l) {
+			t.Fatalf("link %d: failed=%v tier-ok=%v", id, l.Failed, spineLeaf(g, l))
+		}
+	}
+	// No host uplink may ever be failed by the spine-leaf filter.
+	for _, h := range g.Hosts() {
+		if g.EdgeSwitchOf(h) == None {
+			t.Fatalf("host %d lost its uplink", h)
+		}
+	}
+}
+
+func TestFailRandomFractionClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := LeafSpine(2, 2, 1)
+	if got := g.FailRandomFraction(-0.5, nil, rng); len(got) != 0 {
+		t.Fatalf("negative fraction failed %d links", len(got))
+	}
+	g.RestoreAll()
+	if got := g.FailRandomFraction(5.0, nil, rng); len(got) != g.NumLinks() {
+		t.Fatalf("fraction>1 failed %d links, want all %d", len(got), g.NumLinks())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := FatTree(4)
+	c := g.Clone()
+	g.FailLink(3)
+	if c.Link(3).Failed {
+		t.Fatal("clone shares link state")
+	}
+	if c.NumFailedLinks() != 0 {
+		t.Fatal("clone inherited failure counter change")
+	}
+	c.FailLink(5)
+	if g.Link(5).Failed {
+		t.Fatal("original shares clone state")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsSkipFailed(t *testing.T) {
+	g := LeafSpine(4, 2, 1)
+	leaf := g.NodesOfKind(Leaf)[0]
+	before := len(g.Neighbors(leaf, nil))
+	g.FailLink(g.Adj(leaf)[0].Link)
+	after := len(g.Neighbors(leaf, nil))
+	if after != before-1 {
+		t.Fatalf("neighbors %d -> %d, want drop of 1", before, after)
+	}
+}
+
+func TestHostsUnder(t *testing.T) {
+	g := FatTree(4)
+	for _, tor := range g.NodesOfKind(ToR) {
+		hosts := g.HostsUnder(tor)
+		if len(hosts) != 2 {
+			t.Fatalf("tor %d has %d hosts, want 2", tor, len(hosts))
+		}
+		// Membership is physical: failing the link must not change it.
+		g.FailLink(g.Adj(hosts[0])[0].Link)
+		if got := g.HostsUnder(tor); len(got) != 2 {
+			t.Fatalf("tor %d: HostsUnder after failure = %d, want 2", tor, len(got))
+		}
+		if g.EdgeSwitchOf(hosts[0]) != None {
+			t.Fatal("EdgeSwitchOf must report None over a failed uplink")
+		}
+		g.RestoreAll()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Host: "host", ToR: "tor", Agg: "agg", Core: "core", Leaf: "leaf", Spine: "spine"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String()=%q want %q", k, k, want)
+		}
+		if k.IsSwitch() == (k == Host) {
+			t.Errorf("IsSwitch wrong for %s", want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestAddLinkPanics(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(Host, -1, 0, "")
+	for _, fn := range []func(){
+		func() { g.AddLink(a, a) },
+		func() { g.AddLink(a, NodeID(42)) },
+		func() { g.AddLink(-1, a) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFatTreePanicsOnBadK(t *testing.T) {
+	for _, k := range []int{0, 1, 3, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("FatTree(%d) must panic", k)
+				}
+			}()
+			FatTree(k)
+		}()
+	}
+}
+
+// Property: random fail/restore sequences keep the failure counter exact
+// and Validate green.
+func TestQuickFailureBookkeeping(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		g := LeafSpine(4, 6, 2)
+		for _, op := range ops {
+			id := LinkID(int(op) % g.NumLinks())
+			if op%3 == 0 {
+				g.RestoreLink(id)
+			} else {
+				g.FailLink(id)
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Shape's closed forms match the constructed graph for all small k.
+func TestQuickShapeMatchesConstruction(t *testing.T) {
+	f := func(raw uint8) bool {
+		k := 2 + 2*(int(raw)%6) // 2..12 even
+		g := FatTree(k)
+		s := Shape(k)
+		return g.NumLinks() == s.Links && g.NumNodes() == s.Hosts+s.Switches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversubscribe(t *testing.T) {
+	g := FatTree(8)
+	failed := g.Oversubscribe(2)
+	if len(failed) != 8 { // half of 16 cores
+		t.Fatalf("failed %d cores, want 8", len(failed))
+	}
+	// Every aggregation switch keeps at least one live core uplink.
+	for _, agg := range g.NodesOfKind(Agg) {
+		live := 0
+		for _, he := range g.Adj(agg) {
+			if !g.Link(he.Link).Failed && g.Node(he.Peer).Kind == Core {
+				live++
+			}
+		}
+		if live == 0 {
+			t.Fatalf("agg %d lost all core uplinks", agg)
+		}
+		if live != 2 { // k/2=4 uplinks, ratio 2 keeps 2
+			t.Fatalf("agg %d has %d live uplinks, want 2", agg, live)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Ratio 1 and non-fat-trees are no-ops.
+	g2 := FatTree(4)
+	if got := g2.Oversubscribe(1); got != nil {
+		t.Fatal("ratio 1 must be a no-op")
+	}
+	ls := LeafSpine(2, 2, 1)
+	if got := ls.Oversubscribe(2); got != nil {
+		t.Fatal("leaf-spine must be a no-op")
+	}
+}
+
+func TestRailOptimizedStructure(t *testing.T) {
+	const rails, servers, spines = 8, 16, 4
+	g := RailOptimized(rails, servers, spines)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Hosts()); got != rails*servers {
+		t.Fatalf("hosts=%d want %d", got, rails*servers)
+	}
+	if got := len(g.NodesOfKind(Leaf)); got != rails {
+		t.Fatalf("rails=%d want %d", got, rails)
+	}
+	for r := 0; r < rails; r++ {
+		for s := 0; s < servers; s++ {
+			h := g.HostByRail(r, s, rails, servers, spines)
+			if h == None {
+				t.Fatalf("HostByRail(%d,%d)=None", r, s)
+			}
+			if g.RailOf(h) != r || g.ServerOf(h) != s {
+				t.Fatalf("host (%d,%d) decodes to (%d,%d)", r, s, g.RailOf(h), g.ServerOf(h))
+			}
+			// The NIC's edge switch is its rail switch.
+			if got := g.Node(g.EdgeSwitchOf(h)).Index; got != r {
+				t.Fatalf("host (%d,%d) attached to rail %d", r, s, got)
+			}
+		}
+	}
+	if g.HostByRail(rails, 0, rails, servers, spines) != None {
+		t.Fatal("out-of-range rail must return None")
+	}
+}

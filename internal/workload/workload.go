@@ -1,0 +1,176 @@
+// Package workload generates the paper's evaluation traffic (§4):
+// Broadcast collectives arriving as a Poisson process, each parameterized
+// by scale (GPU count) and message size, with GPU selections honoring job
+// locality — schedulers bin-pack jobs into contiguous runs of hosts and
+// racks, the property PEEL's prefix aggregation exploits.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"peel/internal/sim"
+	"peel/internal/topology"
+)
+
+// Cluster maps GPUs onto a fabric: GPUsPerHost accelerators behind each
+// host NIC (the paper: 8 GPUs per server, one NIC per server).
+type Cluster struct {
+	G           *topology.Graph
+	GPUsPerHost int
+	hosts       []topology.NodeID
+}
+
+// NewCluster indexes the fabric's hosts.
+func NewCluster(g *topology.Graph, gpusPerHost int) *Cluster {
+	if gpusPerHost < 1 {
+		panic("workload: GPUsPerHost must be >= 1")
+	}
+	return &Cluster{G: g, GPUsPerHost: gpusPerHost, hosts: g.Hosts()}
+}
+
+// NumGPUs returns the cluster's total accelerator count.
+func (c *Cluster) NumGPUs() int { return len(c.hosts) * c.GPUsPerHost }
+
+// HostOfGPU maps a global GPU index to its host.
+func (c *Cluster) HostOfGPU(gpu int) topology.NodeID {
+	return c.hosts[gpu/c.GPUsPerHost]
+}
+
+// Hosts returns the cluster's hosts in placement order.
+func (c *Cluster) Hosts() []topology.NodeID { return c.hosts }
+
+// Collective is one Broadcast instance: the source host, the distinct
+// member hosts (source first), and how many GPUs ride on each host.
+type Collective struct {
+	ID      int
+	Arrival sim.Time
+	Bytes   int64
+	GPUs    int
+	// Hosts are the member hosts, source first, in placement order.
+	Hosts []topology.NodeID
+}
+
+// Source returns the source host.
+func (c *Collective) Source() topology.NodeID { return c.Hosts[0] }
+
+// Receivers returns the non-source member hosts.
+func (c *Collective) Receivers() []topology.NodeID { return c.Hosts[1:] }
+
+// PlacementFragmentation controls how bin-packed placements are: 0 gives
+// perfectly contiguous host runs; f>0 randomly skips hosts with
+// probability f while walking the contiguous run, fragmenting the prefix
+// ranges (the §3.4 resource-fragmentation knob).
+type Spec struct {
+	GPUs          int
+	Bytes         int64
+	Fragmentation float64
+}
+
+// Place selects the member hosts for a collective of spec.GPUs GPUs with
+// bin-packed locality: a contiguous run of hosts starting at a random
+// rack-aligned offset. Returns an error if the cluster is too small.
+func (c *Cluster) Place(spec Spec, rng *rand.Rand) ([]topology.NodeID, error) {
+	needHosts := (spec.GPUs + c.GPUsPerHost - 1) / c.GPUsPerHost
+	if needHosts > len(c.hosts) {
+		return nil, fmt.Errorf("workload: %d GPUs need %d hosts, cluster has %d", spec.GPUs, needHosts, len(c.hosts))
+	}
+	align := c.G.HostsPerEdge
+	if align <= 0 {
+		align = 1
+	}
+	maxStart := len(c.hosts) - needHosts
+	var start int
+	if maxStart > 0 {
+		// Rack-aligned start: schedulers allocate whole racks first.
+		slots := maxStart/align + 1
+		start = rng.Intn(slots) * align
+	}
+	out := make([]topology.NodeID, 0, needHosts)
+	for i := start; i < len(c.hosts) && len(out) < needHosts; i++ {
+		if spec.Fragmentation > 0 && rng.Float64() < spec.Fragmentation {
+			continue // hole in the allocation
+		}
+		out = append(out, c.hosts[i])
+	}
+	// Wrap around if fragmentation walked off the end.
+	for i := 0; len(out) < needHosts; i++ {
+		if i >= len(c.hosts) {
+			return nil, fmt.Errorf("workload: fragmentation exhausted cluster")
+		}
+		seen := false
+		for _, h := range out {
+			if h == c.hosts[i] {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, c.hosts[i])
+		}
+	}
+	// Rotate so a uniformly random member leads: the broadcast root
+	// varies per collective (successive collectives sharing one fixed
+	// root would serialize on that host's NIC, which no real workload
+	// does). Rotation preserves placement adjacency for ring locality.
+	if r := rng.Intn(len(out)); r > 0 {
+		rotated := make([]topology.NodeID, 0, len(out))
+		rotated = append(rotated, out[r:]...)
+		rotated = append(rotated, out[:r]...)
+		out = rotated
+	}
+	return out, nil
+}
+
+// Arrivals generates n Poisson arrivals at the given rate (collectives
+// per second), as the paper's CPS-style collective arrival process.
+func Arrivals(n int, ratePerSec float64, rng *rand.Rand) []sim.Time {
+	out := make([]sim.Time, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / ratePerSec
+		out[i] = sim.FromSeconds(t)
+	}
+	return out
+}
+
+// RateForOfferedLoad returns the Poisson arrival rate (collectives/s) that
+// yields the target offered load: each collective must deliver
+// spec.Bytes to each member host, so it consumes ≈ Bytes × hosts of
+// edge-link capacity; the fabric offers hosts × linkBps of edge capacity.
+//
+//	rate = load × hostCount × linkBps / (8 × Bytes × memberHosts)
+//
+// The paper fixes load at 30% for Fig. 5.
+func RateForOfferedLoad(load float64, totalHosts int, linkBps float64, spec Spec, gpusPerHost int) float64 {
+	memberHosts := float64((spec.GPUs + gpusPerHost - 1) / gpusPerHost)
+	bitsPerCollective := 8 * float64(spec.Bytes) * memberHosts
+	totalBps := load * float64(totalHosts) * linkBps
+	return totalBps / bitsPerCollective
+}
+
+// Generate produces n collectives with Poisson arrivals at the offered
+// load, bin-packed placements, and the spec's scale and size.
+func (c *Cluster) Generate(n int, load float64, linkBps float64, spec Spec, rng *rand.Rand) ([]*Collective, error) {
+	rate := RateForOfferedLoad(load, len(c.hosts), linkBps, spec, c.GPUsPerHost)
+	if math.IsInf(rate, 0) || rate <= 0 {
+		return nil, fmt.Errorf("workload: degenerate arrival rate %v", rate)
+	}
+	arrivals := Arrivals(n, rate, rng)
+	out := make([]*Collective, n)
+	for i := range out {
+		hosts, err := c.Place(spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = &Collective{
+			ID:      i,
+			Arrival: arrivals[i],
+			Bytes:   spec.Bytes,
+			GPUs:    spec.GPUs,
+			Hosts:   hosts,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"peel/internal/topology"
+)
+
+func TestClusterMapping(t *testing.T) {
+	g := topology.FatTree(8)
+	c := NewCluster(g, 8)
+	if c.NumGPUs() != 1024 {
+		t.Fatalf("gpus=%d want 1024 (the paper's 8-ary setup)", c.NumGPUs())
+	}
+	if c.HostOfGPU(0) != c.Hosts()[0] || c.HostOfGPU(7) != c.Hosts()[0] {
+		t.Fatal("first 8 GPUs must map to host 0")
+	}
+	if c.HostOfGPU(8) != c.Hosts()[1] {
+		t.Fatal("GPU 8 must map to host 1")
+	}
+}
+
+func TestPlacementLocality(t *testing.T) {
+	g := topology.FatTree(8)
+	c := NewCluster(g, 8)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		hosts, err := c.Place(Spec{GPUs: 64}, rng) // 8 hosts
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hosts) != 8 {
+			t.Fatalf("hosts=%d want 8", len(hosts))
+		}
+		// Contiguity: the member set is one contiguous run of
+		// placement-order IDs (the slice itself is rotated so the
+		// broadcast root varies).
+		all := c.Hosts()
+		idx := map[topology.NodeID]int{}
+		for i, h := range all {
+			idx[h] = i
+		}
+		min, max := len(all), -1
+		for _, h := range hosts {
+			if idx[h] < min {
+				min = idx[h]
+			}
+			if idx[h] > max {
+				max = idx[h]
+			}
+		}
+		if max-min+1 != len(hosts) {
+			t.Fatalf("placement not contiguous: span %d..%d for %d hosts", min, max, len(hosts))
+		}
+		// Rotation preserves adjacency: each member's successor in the
+		// slice is its placement-order successor, modulo one wrap seam.
+		seams := 0
+		for i := 1; i < len(hosts); i++ {
+			if idx[hosts[i]] != idx[hosts[i-1]]+1 {
+				seams++
+			}
+		}
+		if seams > 1 {
+			t.Fatalf("placement order broken: %d seams", seams)
+		}
+		// Rack alignment: the run starts at a rack boundary.
+		if g.HostSlotOf(all[min]) != 0 {
+			t.Fatalf("placement not rack-aligned: starts at slot %d", g.HostSlotOf(all[min]))
+		}
+	}
+}
+
+func TestPlacementFragmentation(t *testing.T) {
+	g := topology.FatTree(8)
+	c := NewCluster(g, 8)
+	rng := rand.New(rand.NewSource(4))
+	frag, err := c.Place(Spec{GPUs: 64, Fragmentation: 0.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frag) != 8 {
+		t.Fatalf("hosts=%d", len(frag))
+	}
+	// Distinct hosts even with wraparound fill.
+	seen := map[topology.NodeID]bool{}
+	for _, h := range frag {
+		if seen[h] {
+			t.Fatalf("duplicate host %d", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestPlaceTooLarge(t *testing.T) {
+	g := topology.FatTree(4)
+	c := NewCluster(g, 8)
+	if _, err := c.Place(Spec{GPUs: 16*8 + 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("oversized job must fail")
+	}
+}
+
+func TestArrivalsPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, rate = 20000, 100.0
+	arr := Arrivals(n, rate, rng)
+	for i := 1; i < n; i++ {
+		if arr[i] <= arr[i-1] {
+			t.Fatal("arrivals must be strictly increasing")
+		}
+	}
+	// Mean inter-arrival ≈ 1/rate within 5%.
+	mean := arr[n-1].Seconds() / n
+	if math.Abs(mean-1/rate) > 0.05/rate {
+		t.Fatalf("mean inter-arrival %v want ~%v", mean, 1/rate)
+	}
+}
+
+func TestRateForOfferedLoad(t *testing.T) {
+	// 128 hosts × 100 Gb/s at 30% load, 64 MB to 8 hosts per collective:
+	// rate = 0.3×128×1e11 / (8×64MiB×8) bits.
+	spec := Spec{GPUs: 64, Bytes: 64 << 20}
+	rate := RateForOfferedLoad(0.3, 128, 100e9, spec, 8)
+	want := 0.3 * 128 * 100e9 / (8 * float64(64<<20) * 8)
+	if math.Abs(rate-want) > 1e-9 {
+		t.Fatalf("rate=%v want %v", rate, want)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	g := topology.FatTree(8)
+	c := NewCluster(g, 8)
+	rng := rand.New(rand.NewSource(11))
+	cs, err := c.Generate(50, 0.3, 100e9, Spec{GPUs: 64, Bytes: 8 << 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 50 {
+		t.Fatalf("n=%d", len(cs))
+	}
+	for i, col := range cs {
+		if col.ID != i || col.Bytes != 8<<20 || col.GPUs != 64 {
+			t.Fatalf("collective %d malformed: %+v", i, col)
+		}
+		if len(col.Hosts) != 8 {
+			t.Fatalf("collective %d hosts=%d", i, len(col.Hosts))
+		}
+		if col.Source() != col.Hosts[0] || len(col.Receivers()) != 7 {
+			t.Fatal("source/receiver split wrong")
+		}
+		if i > 0 && col.Arrival <= cs[i-1].Arrival {
+			t.Fatal("arrivals not increasing")
+		}
+	}
+}
+
+// Property: placements never duplicate hosts and always return the exact
+// host count, across sizes and fragmentation levels.
+func TestQuickPlacementSound(t *testing.T) {
+	g := topology.FatTree(8)
+	c := NewCluster(g, 8)
+	f := func(seed int64, gRaw uint16, fragRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gpus := 1 + int(gRaw)%c.NumGPUs()
+		frag := float64(fragRaw%60) / 100
+		hosts, err := c.Place(Spec{GPUs: gpus, Fragmentation: frag}, rng)
+		if err != nil {
+			return false
+		}
+		need := (gpus + 7) / 8
+		if len(hosts) != need {
+			return false
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, h := range hosts {
+			if seen[h] || g.Node(h).Kind != topology.Host {
+				return false
+			}
+			seen[h] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

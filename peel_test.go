@@ -1,0 +1,145 @@
+package peel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests exercise the public facade end to end, mirroring README
+// usage; the algorithmic depth lives in the internal packages' suites.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	g := FatTree(8)
+	planner, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	if len(hosts) != 128 {
+		t.Fatalf("hosts=%d", len(hosts))
+	}
+	plan, err := planner.PlanGroup(hosts[0], hosts[1:33])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Packets) == 0 || plan.HeaderBytes >= 8 {
+		t.Fatalf("plan: %d packets, %dB header", len(plan.Packets), plan.HeaderBytes)
+	}
+	for i := range plan.Packets {
+		if err := plan.Packets[i].Tree.Validate(g, plan.Packets[i].Receivers); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeTreesAndBounds(t *testing.T) {
+	g := LeafSpine(8, 12, 2)
+	rng := rand.New(rand.NewSource(3))
+	failed := FailRandomSwitchLinks(g, 0.10, rng)
+	if len(failed) == 0 {
+		t.Fatal("no links failed")
+	}
+	hosts := g.Hosts()
+	src, dests := hosts[0], hosts[5:13]
+	tree, err := BuildTree(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, stats, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.F <= 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	exact, err := ExactSteinerCost(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := SteinerLowerBound(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lb <= exact && exact <= greedy.Cost() && tree.Cost() >= exact) {
+		t.Fatalf("bound chain violated: lb=%d exact=%d greedy=%d tree=%d", lb, exact, greedy.Cost(), tree.Cost())
+	}
+}
+
+func TestFacadeVariantTreesDiffer(t *testing.T) {
+	g := FatTree(8)
+	hosts := g.Hosts()
+	src, dests := hosts[0], hosts[40:80]
+	t0, err := BuildTreeVariant(g, src, dests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := BuildTreeVariant(g, src, dests, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t0.Cost() != t1.Cost() {
+		t.Fatalf("variants must be equal cost: %d vs %d", t0.Cost(), t1.Cost())
+	}
+	// Different core-tier membership.
+	coresOf := func(tr *Tree) map[NodeID]bool {
+		m := map[NodeID]bool{}
+		for _, n := range tr.Members {
+			if g.Node(n).Kind == Core {
+				m[n] = true
+			}
+		}
+		return m
+	}
+	c0, c1 := coresOf(t0), coresOf(t1)
+	same := len(c0) == len(c1)
+	for n := range c0 {
+		if !c1[n] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("variants 0 and 1 use identical cores")
+	}
+}
+
+func TestFacadeStateAndRules(t *testing.T) {
+	s := StateFor(64)
+	if s.PEELRules != 63 || s.Hosts != 65536 || s.HeaderBytes >= 8 {
+		t.Fatalf("state: %+v", s)
+	}
+	rt, err := NewRuleTable(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumEntries() != 63 {
+		t.Fatalf("entries=%d", rt.NumEntries())
+	}
+	if _, err := NewRuleTable(33); err == nil {
+		t.Fatal("non-power-of-two fanout must fail")
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	if o := DefaultExperimentOptions(); o.Samples <= QuickExperimentOptions().Samples {
+		t.Fatal("defaults must exceed quick fidelity")
+	}
+	g := FatTree(8)
+	planner, _ := NewPlanner(g)
+	hosts := g.Hosts()
+	plan, err := planner.PlanGroupOpts(hosts[0], hosts[16:40], PlanOptions{PacketBudget: 1, ToRFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPod := map[int]int{}
+	for i := range plan.Packets {
+		perPod[plan.Packets[i].Header.Pod]++
+	}
+	for pod, n := range perPod {
+		if n > 1 {
+			t.Fatalf("pod %d has %d packets despite budget 1", pod, n)
+		}
+	}
+	if plan.TotalOverHosts() != 0 {
+		t.Fatal("tor filter must zero host over-coverage")
+	}
+}
