@@ -16,6 +16,7 @@
 //	-load L      offered load for Poisson workloads (default 0.30)
 //	-quick       reduced-fidelity settings (tests/smoke)
 //	-csv         emit comma-separated values instead of aligned tables
+//	-chaosfrac F single mid-flight failure fraction for the chaos experiment
 package main
 
 import (
@@ -47,12 +48,13 @@ var runners = map[string]func(experiments.Options) (*experiments.Result, error){
 	"loss":          experiments.LossStudy,
 	"rail":          experiments.RailStudy,
 	"isolation":     experiments.IsolationStudy,
+	"chaos":         experiments.ChaosStudy,
 }
 
 // order fixes the "all" execution sequence (cheap analytic ones first).
 var order = []string{
 	"state", "fig1", "fig3", "approx", "fragmentation", "bandwidth",
-	"fig7", "guard", "deployment", "multipath", "allgather", "loss", "rail", "isolation", "fig4", "fig6", "fig5",
+	"fig7", "guard", "deployment", "multipath", "allgather", "loss", "rail", "isolation", "chaos", "fig4", "fig6", "fig5",
 }
 
 func main() {
@@ -62,6 +64,7 @@ func main() {
 	load := flag.Float64("load", 0, "offered load for Poisson workloads")
 	quick := flag.Bool("quick", false, "reduced-fidelity settings")
 	csv := flag.Bool("csv", false, "CSV output")
+	chaosFrac := flag.Float64("chaosfrac", 0, "single mid-flight failure fraction for the chaos experiment (0 = sweep)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -84,6 +87,9 @@ func main() {
 	}
 	if *load > 0 {
 		opts.Load = *load
+	}
+	if *chaosFrac > 0 {
+		opts.ChaosFrac = *chaosFrac
 	}
 
 	names := flag.Args()

@@ -9,7 +9,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"peel/internal/collective"
 	"peel/internal/controller"
@@ -38,7 +37,7 @@ func main() {
 				log.Fatal(err)
 			}
 			cl := workload.NewCluster(g, 8)
-			runner := collective.NewRunner(net, cl, pl, controller.New(rand.New(rand.NewSource(1))))
+			runner := collective.NewRunner(net, cl, pl, controller.New(cfg.RNG(netsim.SaltController)))
 
 			hosts := g.Hosts()
 			c := &workload.Collective{Bytes: msg, GPUs: 128, Hosts: hosts[:16]}
@@ -69,7 +68,7 @@ func main() {
 	net := netsim.New(g, eng, cfg)
 	pl, _ := core.NewPlanner(g)
 	cl := workload.NewCluster(g, 8)
-	runner := collective.NewRunner(net, cl, pl, controller.New(rand.New(rand.NewSource(1))))
+	runner := collective.NewRunner(net, cl, pl, controller.New(cfg.RNG(netsim.SaltController)))
 	hosts := g.Hosts()
 	c := &workload.Collective{Bytes: msg, GPUs: 256, Hosts: hosts[:32]}
 	done := false

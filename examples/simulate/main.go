@@ -7,7 +7,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"peel/internal/collective"
 	"peel/internal/controller"
@@ -42,10 +41,10 @@ func main() {
 			log.Fatal(err)
 		}
 		cl := workload.NewCluster(g, 8)
-		ctrl := controller.New(rand.New(rand.NewSource(42)))
+		ctrl := controller.New(cfg.RNG(netsim.SaltController))
 		runner := collective.NewRunner(net, cl, planner, ctrl)
 
-		cols, err := cl.Generate(1, 0.3, cfg.LinkBps, workload.Spec{GPUs: gpus, Bytes: msg}, rand.New(rand.NewSource(7)))
+		cols, err := cl.Generate(1, 0.3, cfg.LinkBps, workload.Spec{GPUs: gpus, Bytes: msg}, cfg.RNG(netsim.SaltWorkload))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,217 @@
+// Package chaos schedules link and switch failures (and repairs) against a
+// running simulation — the runtime counterpart of topology's static
+// FailLink/FailRandomFraction. The paper (§4, Fig. 7) evaluates PEEL only
+// on fabrics degraded *before* planning; real AI datacenters lose links
+// while collectives are in flight. A chaos Schedule is either scripted
+// (explicit FailLinkAt/HealLinkAt events, for regression tests) or drawn
+// from a seeded MTBF/MTTR renewal process (for experiments); an Injector
+// arms it on the sim.Engine, where each event toggles the topology's
+// failure state. The network simulator observes those transitions via
+// topology.OnFailureChange and drops traffic on dead links, and the
+// collective layer's watchdog repairs broken trees.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"peel/internal/sim"
+	"peel/internal/topology"
+)
+
+// Event is one scheduled fault transition: a link (or, when Node is set,
+// every link of a switch) fails or heals at an absolute simulated time.
+type Event struct {
+	At   sim.Time
+	Link topology.LinkID
+	// Node, when not topology.None, targets every link incident to the
+	// node (a switch failure); Link is ignored then.
+	Node topology.NodeID
+	Heal bool
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	verb := "fail"
+	if e.Heal {
+		verb = "heal"
+	}
+	if e.Node != topology.None {
+		return fmt.Sprintf("%s node %d @ %v", verb, e.Node, e.At.Duration())
+	}
+	return fmt.Sprintf("%s link %d @ %v", verb, e.Link, e.At.Duration())
+}
+
+// Schedule is an ordered fault script. The zero value is the empty
+// schedule: arming it injects nothing and perturbs nothing.
+type Schedule struct {
+	Events []Event
+}
+
+// FailLinkAt appends a link failure; returns the schedule for chaining.
+func (s *Schedule) FailLinkAt(at sim.Time, id topology.LinkID) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Link: id, Node: topology.None})
+	return s
+}
+
+// HealLinkAt appends a link repair.
+func (s *Schedule) HealLinkAt(at sim.Time, id topology.LinkID) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Link: id, Node: topology.None, Heal: true})
+	return s
+}
+
+// FailNodeAt appends a switch failure (all incident links go down).
+func (s *Schedule) FailNodeAt(at sim.Time, n topology.NodeID) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Node: n})
+	return s
+}
+
+// HealNodeAt appends a switch repair (all incident links come back).
+func (s *Schedule) HealNodeAt(at sim.Time, n topology.NodeID) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Node: n, Heal: true})
+	return s
+}
+
+// Empty reports whether the schedule carries no events.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// Sort orders events by time (stable, so same-time events keep append
+// order). The engine orders execution anyway; Sort is for readable dumps.
+func (s *Schedule) Sort() {
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+}
+
+// Random draws an MTBF/MTTR fault process over the eligible links: each
+// link independently alternates up and down, with exponentially distributed
+// up times (mean mtbf) and down times (mean mttr). Failures are generated
+// within [0, horizon); the matching heal is always scheduled, even past the
+// horizon, so every outage is finite and collectives can eventually
+// complete. The caller owns the RNG, so schedules reproduce from a seed.
+func Random(g *topology.Graph, filter topology.LinkFilter, mtbf, mttr, horizon sim.Time, rng *rand.Rand) *Schedule {
+	if mtbf <= 0 {
+		panic("chaos: MTBF must be positive")
+	}
+	if mttr <= 0 {
+		panic("chaos: MTTR must be positive")
+	}
+	s := &Schedule{}
+	for i := 0; i < g.NumLinks(); i++ {
+		id := topology.LinkID(i)
+		l := g.Link(id)
+		if filter != nil && !filter(g, l) {
+			continue
+		}
+		t := expTime(rng, mtbf)
+		for t < horizon {
+			s.FailLinkAt(t, id)
+			up := t + expTime(rng, mttr) + sim.Nanosecond // strictly after the failure
+			s.HealLinkAt(up, id)
+			t = up + expTime(rng, mtbf)
+		}
+	}
+	s.Sort()
+	return s
+}
+
+// FailFractionAt builds a schedule that fails ⌈fraction × |eligible|⌉
+// uniformly chosen live links at time `at` and — when healAt > at — heals
+// them all at healAt. It is the mid-flight counterpart of
+// topology.FailRandomFraction: same selection rule, but the transition
+// happens on the engine while traffic is in flight. The chosen link IDs
+// are returned alongside the schedule.
+func FailFractionAt(g *topology.Graph, filter topology.LinkFilter, fraction float64,
+	at, healAt sim.Time, rng *rand.Rand) (*Schedule, []topology.LinkID) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	var eligible []topology.LinkID
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(topology.LinkID(i))
+		if !l.Failed && (filter == nil || filter(g, l)) {
+			eligible = append(eligible, l.ID)
+		}
+	}
+	n := int(fraction*float64(len(eligible)) + 0.9999999)
+	if n > len(eligible) {
+		n = len(eligible)
+	}
+	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	chosen := eligible[:n]
+	s := &Schedule{}
+	for _, id := range chosen {
+		s.FailLinkAt(at, id)
+		if healAt > at {
+			s.HealLinkAt(healAt, id)
+		}
+	}
+	s.Sort()
+	return s, chosen
+}
+
+func expTime(rng *rand.Rand, mean sim.Time) sim.Time {
+	return sim.Time(rng.ExpFloat64() * float64(mean))
+}
+
+// Injector arms schedules on an engine against one graph. Transitions run
+// through topology.FailLink/RestoreLink, so every registered failure
+// observer (the network simulator above all) sees them in order.
+type Injector struct {
+	G   *topology.Graph
+	Eng *sim.Engine
+
+	// EventsFired counts schedule events applied so far.
+	EventsFired int
+	// LinksFailed / LinksHealed count actual link transitions (a FailNodeAt
+	// counts each incident link that actually went down).
+	LinksFailed int
+	LinksHealed int
+}
+
+// NewInjector binds a graph and an engine.
+func NewInjector(g *topology.Graph, eng *sim.Engine) *Injector {
+	return &Injector{G: g, Eng: eng}
+}
+
+// Arm schedules every event of s on the engine. Events in the simulated
+// past are rejected (the engine would panic on them mid-run otherwise).
+func (inj *Injector) Arm(s *Schedule) error {
+	if s.Empty() {
+		return nil
+	}
+	now := inj.Eng.Now()
+	for _, ev := range s.Events {
+		if ev.At < now {
+			return fmt.Errorf("chaos: event %v scheduled before now %v", ev, now.Duration())
+		}
+	}
+	for _, ev := range s.Events {
+		ev := ev
+		inj.Eng.At(ev.At, func() { inj.apply(ev) })
+	}
+	return nil
+}
+
+// apply executes one transition, counting real state changes.
+func (inj *Injector) apply(ev Event) {
+	inj.EventsFired++
+	before := inj.G.NumFailedLinks()
+	switch {
+	case ev.Node != topology.None && ev.Heal:
+		inj.G.RestoreNode(ev.Node)
+	case ev.Node != topology.None:
+		inj.G.FailNode(ev.Node)
+	case ev.Heal:
+		inj.G.RestoreLink(ev.Link)
+	default:
+		inj.G.FailLink(ev.Link)
+	}
+	if d := inj.G.NumFailedLinks() - before; d > 0 {
+		inj.LinksFailed += d
+	} else {
+		inj.LinksHealed -= d
+	}
+}

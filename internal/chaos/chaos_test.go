@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+
+	"peel/internal/sim"
+	"peel/internal/topology"
+)
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	g := topology.LeafSpine(4, 4, 2)
+	mtbf, mttr := 10*sim.Millisecond, sim.Millisecond
+	horizon := 50 * sim.Millisecond
+
+	a := Random(g, topology.SwitchLinks, mtbf, mttr, horizon, rand.New(rand.NewSource(7)))
+	b := Random(g, topology.SwitchLinks, mtbf, mttr, horizon, rand.New(rand.NewSource(7)))
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed, different event counts: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+	c := Random(g, topology.SwitchLinks, mtbf, mttr, horizon, rand.New(rand.NewSource(8)))
+	if len(c.Events) == len(a.Events) {
+		same := true
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced an identical schedule")
+		}
+	}
+}
+
+func TestRandomScheduleAlwaysHeals(t *testing.T) {
+	g := topology.LeafSpine(4, 4, 2)
+	s := Random(g, topology.SwitchLinks, 5*sim.Millisecond, sim.Millisecond,
+		100*sim.Millisecond, rand.New(rand.NewSource(3)))
+	if s.Empty() {
+		t.Skip("no failures drawn at this seed")
+	}
+	// Per link, fail and heal must alternate (fail first) and balance out:
+	// every outage generated within the horizon ends.
+	state := map[topology.LinkID]int{}
+	for _, ev := range s.Events {
+		if ev.Heal {
+			state[ev.Link]--
+			if state[ev.Link] < 0 {
+				t.Fatalf("heal before fail for link %d", ev.Link)
+			}
+		} else {
+			state[ev.Link]++
+			if state[ev.Link] > 1 {
+				t.Fatalf("double fail without heal for link %d", ev.Link)
+			}
+		}
+	}
+	for id, n := range state {
+		if n != 0 {
+			t.Fatalf("link %d left with %d unhealed failures", id, n)
+		}
+	}
+}
+
+func TestInjectorAppliesScriptedSchedule(t *testing.T) {
+	g := topology.LeafSpine(2, 2, 1)
+	eng := &sim.Engine{}
+	inj := NewInjector(g, eng)
+
+	s := (&Schedule{}).
+		FailLinkAt(sim.Microsecond, 0).
+		FailLinkAt(2*sim.Microsecond, 0). // already down: no transition
+		HealLinkAt(3*sim.Microsecond, 0)
+	spine := g.NodesOfKind(topology.Spine)[0]
+	degree := len(g.Adj(spine))
+	s.FailNodeAt(4*sim.Microsecond, spine)
+	s.HealNodeAt(5*sim.Microsecond, spine)
+
+	if err := inj.Arm(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if inj.EventsFired != 5 {
+		t.Fatalf("EventsFired=%d, want 5", inj.EventsFired)
+	}
+	if want := 1 + degree; inj.LinksFailed != want {
+		t.Fatalf("LinksFailed=%d, want %d", inj.LinksFailed, want)
+	}
+	if want := 1 + degree; inj.LinksHealed != want {
+		t.Fatalf("LinksHealed=%d, want %d", inj.LinksHealed, want)
+	}
+	if g.NumFailedLinks() != 0 {
+		t.Fatalf("NumFailedLinks=%d at end, want 0", g.NumFailedLinks())
+	}
+}
+
+func TestInjectorRejectsPastEvents(t *testing.T) {
+	g := topology.LeafSpine(2, 2, 1)
+	eng := &sim.Engine{}
+	eng.At(10*sim.Microsecond, func() {})
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(g, eng)
+	s := (&Schedule{}).FailLinkAt(sim.Microsecond, 0)
+	if err := inj.Arm(s); err == nil {
+		t.Fatal("Arm accepted an event in the simulated past")
+	}
+	if g.NumFailedLinks() != 0 {
+		t.Fatal("rejected schedule still mutated the graph")
+	}
+}
+
+func TestArmEmptyScheduleIsNoop(t *testing.T) {
+	g := topology.LeafSpine(2, 2, 1)
+	eng := &sim.Engine{}
+	inj := NewInjector(g, eng)
+	if err := inj.Arm(nil); err != nil {
+		t.Fatalf("nil schedule: %v", err)
+	}
+	if err := inj.Arm(&Schedule{}); err != nil {
+		t.Fatalf("empty schedule: %v", err)
+	}
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if inj.EventsFired != 0 {
+		t.Fatalf("EventsFired=%d for empty schedules", inj.EventsFired)
+	}
+}
+
+func TestFailFractionAt(t *testing.T) {
+	g := topology.LeafSpine(4, 4, 2)
+	eligible := 0
+	for i := 0; i < g.NumLinks(); i++ {
+		if topology.SwitchLinks(g, g.Link(topology.LinkID(i))) {
+			eligible++
+		}
+	}
+	at, healAt := sim.Millisecond, 2*sim.Millisecond
+	s, ids := FailFractionAt(g, topology.SwitchLinks, 0.5, at, healAt, rand.New(rand.NewSource(5)))
+	want := (eligible + 1) / 2
+	if len(ids) != want {
+		t.Fatalf("chose %d links, want %d", len(ids), want)
+	}
+	if len(s.Events) != 2*len(ids) {
+		t.Fatalf("%d events for %d links, want fail+heal each", len(s.Events), len(ids))
+	}
+	// Building the schedule must not touch the graph.
+	if g.NumFailedLinks() != 0 {
+		t.Fatalf("FailFractionAt mutated the graph: %d failed", g.NumFailedLinks())
+	}
+
+	// healAt <= at means no heal events (permanent failures).
+	s2, ids2 := FailFractionAt(g, topology.SwitchLinks, 0.25, at, 0, rand.New(rand.NewSource(5)))
+	if len(s2.Events) != len(ids2) {
+		t.Fatalf("permanent failure schedule has %d events for %d links", len(s2.Events), len(ids2))
+	}
+}
+
+func TestRandomPanicsOnNonPositiveRates(t *testing.T) {
+	g := topology.LeafSpine(2, 2, 1)
+	for _, tc := range []struct{ mtbf, mttr sim.Time }{{0, sim.Millisecond}, {sim.Millisecond, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Random(mtbf=%v, mttr=%v) did not panic", tc.mtbf, tc.mttr)
+				}
+			}()
+			Random(g, nil, tc.mtbf, tc.mttr, sim.Millisecond, rand.New(rand.NewSource(1)))
+		}()
+	}
+}

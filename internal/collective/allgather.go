@@ -33,7 +33,8 @@ func (r *Runner) StartAllGather(c *workload.Collective, s Scheme, done func(cct 
 		return nil
 	}
 	ag := &allGather{
-		in:    &instance{r: r, c: c, startedAt: r.Net.Engine.Now(), userDone: done},
+		in: &instance{r: r, c: c, startedAt: r.Net.Engine.Now(),
+			reportDone: func(rep Report) { done(rep.CCT) }},
 		shard: c.Bytes / int64(n),
 	}
 	if ag.shard == 0 {
@@ -75,7 +76,7 @@ func (ag *allGather) gotShard(h topology.NodeID) {
 	in := ag.in
 	eng := in.r.Net.Engine
 	eng.After(in.r.nvlinkStage(in.c.Bytes), func() {
-		in.userDone(eng.Now() - in.startedAt)
+		in.reportDone(Report{CCT: eng.Now() - in.startedAt})
 	})
 }
 

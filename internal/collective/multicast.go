@@ -1,8 +1,6 @@
 package collective
 
 import (
-	"fmt"
-
 	"peel/internal/core"
 	"peel/internal/netsim"
 	"peel/internal/steiner"
@@ -33,6 +31,7 @@ func (in *instance) startTreeFlow(tree *steiner.Tree, receivers []topology.NodeI
 	if err != nil {
 		return err
 	}
+	in.track(f, receivers)
 	f.OnChunk(func(recv topology.NodeID, chunk int) { in.hostComplete(recv) })
 	f.Send(0, in.c.Bytes)
 	return nil
@@ -77,6 +76,7 @@ func (in *instance) startPEEL(refine, guard bool, opts core.PlanOptions) error {
 		if err != nil {
 			return err
 		}
+		in.track(f, pkt.Receivers)
 		f.OnChunk(func(recv topology.NodeID, chunk int) { in.hostComplete(recv) })
 		f.Send(0, in.c.Bytes)
 		static = append(static, f)
@@ -140,8 +140,12 @@ func (in *instance) cutOverToRefined(plan *core.Plan, static []*netsim.Flow) {
 	}
 	rf, err := in.r.Net.NewMulticastFlow(plan.Refined, pending, params)
 	if err != nil {
-		panic(fmt.Sprintf("collective: refined flow: %v", err))
+		// The refined tree can be stale when links failed while the
+		// controller worked; the watchdog (when armed) re-plans delivery,
+		// and on a healthy fabric this cannot happen.
+		return
 	}
+	in.track(rf, pending)
 	rf.OnChunk(func(recv topology.NodeID, chunk int) { in.hostComplete(recv) })
 	rf.Send(0, remaining)
 }

@@ -41,6 +41,7 @@ func (in *instance) startMultiTree(trees int) error {
 		if err != nil {
 			return err
 		}
+		in.track(f, receivers)
 		f.OnChunk(func(recv topology.NodeID, chunk int) {
 			counts[recv]++
 			if counts[recv] == total {

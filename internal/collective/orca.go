@@ -91,6 +91,7 @@ func (in *instance) startOrca(useCtrl bool) error {
 				in.failStart(err)
 				return
 			}
+			in.track(mf, agents)
 			mf.OnChunk(func(recv topology.NodeID, chunk int) {
 				// The agent holds the chunk: relay it and track its own
 				// completion as a member.
@@ -119,7 +120,13 @@ func (in *instance) startOrca(useCtrl bool) error {
 	}
 
 	if useCtrl && in.r.Ctrl != nil {
-		in.r.Ctrl.Install(in.r.Net.Engine, start)
+		// The watchdog must not mistake the ~10 ms flow-setup delay for a
+		// data-path stall: no progress is expected until rules land.
+		in.setupPending = true
+		in.r.Ctrl.Install(in.r.Net.Engine, func() {
+			in.setupPending = false
+			start()
+		})
 	} else {
 		start()
 	}
@@ -141,6 +148,9 @@ func (in *instance) orcaPeerChunk(host topology.NodeID, chunk, total int) {
 // completes the agent itself once it has every chunk.
 func (in *instance) relayOrcaAgent(n *relayNode, agent topology.NodeID, chunk int, sizes []int64) {
 	for _, f := range n.out {
+		if f.Closed() {
+			continue
+		}
 		f.Send(chunk, sizes[chunk])
 	}
 	n.gotChunks++

@@ -1,0 +1,294 @@
+package collective
+
+import (
+	"peel/internal/core"
+	"peel/internal/netsim"
+	"peel/internal/routing"
+	"peel/internal/sim"
+	"peel/internal/topology"
+)
+
+// Mid-flight failure recovery.
+//
+// Multicast senders get no link-layer feedback when a tree link dies: the
+// fabric silently drops every frame crossing it (netsim models exactly
+// that), and without intervention the collective stalls forever. The
+// recovery design here mirrors source-routed multicast systems that treat
+// in-flight repair as first-class (Elmo, network-offloaded broadcast):
+//
+//  1. A receiver-progress watchdog samples delivered bytes across every
+//     flow of the collective at a fixed interval. Two consecutive quiet
+//     intervals on an unfinished collective declare a stall (one interval
+//     of hysteresis absorbs pacing jitter).
+//  2. On a stall, the planner re-peels a repair tree on the *degraded*
+//     graph over the still-pending, still-reachable receivers, paying the
+//     §3.1 controller setup latency for the repair rules (the same
+//     cut-over machinery as PEEL's two-stage refinement). The broken flows
+//     are closed; the repair flow delivers the message tail from the
+//     minimum receiver progress.
+//  3. If tree construction fails (receivers lost between BFS and build),
+//     delivery falls back to per-receiver unicast around the failure.
+//  4. Repairs are bounded: after MaxRepairs attempts, receivers that are
+//     still cut off are abandoned — the collective completes with
+//     RecoveryStats.Abandoned > 0 instead of wedging the simulation, and
+//     callers treat abandonment as delivery failure.
+//
+// The watchdog is opt-in (Runner.Watchdog = 0 disables it); with it off,
+// or with no failures injected, the data path is untouched and results are
+// byte-identical to a failure-free run.
+
+// defaultMaxRepairs bounds repair attempts when Runner.MaxRepairs is 0.
+const defaultMaxRepairs = 8
+
+// RecoveryStats reports what mid-flight recovery did for one collective.
+type RecoveryStats struct {
+	// Stalls counts watchdog stall declarations.
+	Stalls int
+	// Repairs counts repair trees successfully installed.
+	Repairs int
+	// UnicastFallbacks counts receivers recovered over unicast detours
+	// after repair-tree construction failed.
+	UnicastFallbacks int
+	// Abandoned counts receivers given up on after MaxRepairs attempts;
+	// nonzero means the collective did NOT deliver to everyone.
+	Abandoned int
+	// FirstStallAt is when the first stall was declared (collective-
+	// relative); zero if none was.
+	FirstStallAt sim.Time
+	// Downtime accumulates time spent with no receiver progress, from the
+	// last observed progress to its resumption (quantized to the watchdog
+	// interval).
+	Downtime sim.Time
+}
+
+// Report is the extended completion record StartReport delivers.
+type Report struct {
+	CCT      sim.Time
+	Recovery RecoveryStats
+}
+
+// watched is one flow under watchdog observation with the receivers whose
+// progress it carries.
+type watched struct {
+	f         *netsim.Flow
+	receivers []topology.NodeID
+}
+
+// track registers a flow for watchdog progress sampling and repair
+// cut-over. It is a no-op when the watchdog is disabled.
+func (in *instance) track(f *netsim.Flow, receivers []topology.NodeID) {
+	if in.r.Watchdog <= 0 {
+		return
+	}
+	in.watch = append(in.watch, watched{f: f, receivers: receivers})
+}
+
+// maxRepairs returns the per-collective repair budget.
+func (in *instance) maxRepairs() int {
+	if in.r.MaxRepairs > 0 {
+		return in.r.MaxRepairs
+	}
+	return defaultMaxRepairs
+}
+
+// armWatchdog starts the progress watchdog for this collective.
+func (in *instance) armWatchdog() {
+	in.lastSnapshot = -1 // first tick always records "progress"
+	in.r.Net.Engine.After(in.r.Watchdog, in.watchdogTick)
+}
+
+// progressSnapshot sums delivered bytes across every tracked flow and
+// receiver. Monotone: closed flows freeze their contribution, repair flows
+// add theirs on top.
+func (in *instance) progressSnapshot() int64 {
+	var total int64
+	for _, w := range in.watch {
+		for _, r := range w.receivers {
+			total += w.f.ReceivedBytes(r)
+		}
+	}
+	return total
+}
+
+// watchdogTick is the periodic receiver-progress check.
+func (in *instance) watchdogTick() {
+	if in.finished {
+		return // collective done; let the engine drain
+	}
+	in.r.Net.Engine.After(in.r.Watchdog, in.watchdogTick)
+
+	snap := in.progressSnapshot()
+	now := in.r.Net.Engine.Now()
+	if snap > in.lastSnapshot {
+		in.lastSnapshot = snap
+		if in.stalled {
+			in.recovery.Downtime += now - in.stalledSince
+			in.stalled = false
+		}
+		in.quietTicks = 0
+		return
+	}
+	if in.setupPending || in.repairPending {
+		return // a controller install is in flight; not a data-path stall
+	}
+	in.quietTicks++
+	if !in.stalled {
+		if in.quietTicks < 2 {
+			return // one quiet interval can be pacing/controller jitter
+		}
+		in.stalled = true
+		// Progress was last seen about quietTicks intervals ago.
+		in.stalledSince = now - sim.Time(in.quietTicks)*in.r.Watchdog
+		if in.stalledSince < 0 {
+			in.stalledSince = 0
+		}
+		in.recovery.Stalls++
+		if in.recovery.FirstStallAt == 0 {
+			in.recovery.FirstStallAt = now - in.startedAt
+		}
+	}
+	in.repairTree()
+}
+
+// pendingReceivers returns the member receivers not yet complete.
+func (in *instance) pendingReceivers() []topology.NodeID {
+	var out []topology.NodeID
+	for _, m := range in.c.Receivers() {
+		if !in.hostDone[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// repairTree handles one declared stall: re-plan delivery on the degraded
+// graph, or abandon once the repair budget is spent.
+func (in *instance) repairTree() {
+	if in.repairAttempts >= in.maxRepairs() {
+		in.abandonPending()
+		return
+	}
+	in.repairAttempts++
+	pending := in.pendingReceivers()
+	if len(pending) == 0 {
+		return // everything delivered; completion is NVLink-stage bound
+	}
+	d := routing.BFS(in.r.Net.G, in.c.Source())
+	reachable := pending[:0:0]
+	for _, m := range pending {
+		if d.Reachable(m) {
+			reachable = append(reachable, m)
+		}
+	}
+	if len(reachable) == 0 {
+		// Fully cut off: nothing to repair onto. Later ticks retry (a heal
+		// may reconnect them) until the budget runs out.
+		return
+	}
+	// The repair rules cost a controller round trip (§3.1), exactly like
+	// PEEL's refined-tree cut-over.
+	in.repairPending = true
+	install := func() { in.installRepair(reachable) }
+	if in.r.Ctrl != nil {
+		in.r.Ctrl.Install(in.r.Net.Engine, install)
+	} else {
+		install()
+	}
+}
+
+// maxReceived returns the best delivery progress recorded for one receiver
+// across all tracked flows (schemes track a receiver on different flows:
+// the multicast tree, a relay hop, a previous repair).
+func (in *instance) maxReceived(m topology.NodeID) int64 {
+	var best int64
+	for _, w := range in.watch {
+		if got := w.f.ReceivedBytes(m); got > best {
+			best = got
+		}
+	}
+	return best
+}
+
+// installRepair runs once the controller has pushed the repair rules: stop
+// the broken flows and deliver the message tail over a freshly peeled tree
+// on the degraded fabric, or over unicast detours if no tree exists.
+func (in *instance) installRepair(targets []topology.NodeID) {
+	in.repairPending = false
+	if in.finished {
+		return
+	}
+	// Receivers may have completed (late in-flight frames) or been lost
+	// again while the controller worked; re-filter against current state.
+	pending := targets[:0:0]
+	for _, m := range targets {
+		if !in.hostDone[m] {
+			pending = append(pending, m)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	for _, w := range in.watch {
+		w.f.Close()
+	}
+	// Conservative resume offset: the minimum progress across the pending
+	// receivers. Receivers further along simply re-receive part of the
+	// tail — over-delivery costs bandwidth, never correctness.
+	min := in.c.Bytes
+	for _, m := range pending {
+		if got := in.maxReceived(m); got < min {
+			min = got
+		}
+	}
+	remaining := in.c.Bytes - min
+	if remaining <= 0 {
+		remaining = in.c.Bytes
+	}
+	params := in.r.Net.Cfg.DCQCN.WithGuard()
+
+	tree, err := core.BuildTree(in.r.Net.G, in.c.Source(), pending)
+	if err == nil {
+		rf, ferr := in.r.Net.NewMulticastFlow(tree, pending, params)
+		if ferr == nil {
+			in.recovery.Repairs++
+			in.track(rf, pending)
+			rf.OnChunk(func(recv topology.NodeID, _ int) { in.hostComplete(recv) })
+			rf.Send(0, remaining)
+			return
+		}
+	}
+	// No usable tree (a receiver dropped off between BFS and build, or the
+	// builder hit degraded-fabric corners): unicast around the failure,
+	// per receiver. Receivers without even a unicast path stay pending for
+	// the next attempt.
+	for _, m := range pending {
+		f, uerr := in.unicastFlow(in.c.Source(), m, params)
+		if uerr != nil {
+			continue
+		}
+		in.recovery.UnicastFallbacks++
+		recv := m
+		f.OnChunk(func(_ topology.NodeID, _ int) { in.hostComplete(recv) })
+		f.Send(0, remaining)
+	}
+}
+
+// abandonPending gives up on the still-pending receivers after the repair
+// budget is exhausted: they are marked complete so the collective (and the
+// simulation) terminates, and RecoveryStats.Abandoned records the delivery
+// failure for the caller.
+func (in *instance) abandonPending() {
+	pending := in.pendingReceivers()
+	if len(pending) == 0 {
+		return
+	}
+	// Stop the surviving flows (and their repair scans) so the engine can
+	// drain; nothing will ever reach the abandoned receivers anyway.
+	for _, w := range in.watch {
+		w.f.Close()
+	}
+	for _, m := range pending {
+		in.recovery.Abandoned++
+		in.hostComplete(m)
+	}
+}

@@ -1,0 +1,155 @@
+package collective
+
+import (
+	"testing"
+
+	"peel/internal/chaos"
+	"peel/internal/core"
+	"peel/internal/sim"
+	"peel/internal/topology"
+	"peel/internal/workload"
+)
+
+// runReport is tb.run for the extended completion record.
+func (tb *testbed) runReport(t *testing.T, c *workload.Collective, s Scheme) Report {
+	t.Helper()
+	var rep Report
+	done := false
+	if err := tb.runner.StartReport(c, s, func(r Report) { rep = r; done = true }); err != nil {
+		t.Fatalf("%s: %v", s, err)
+	}
+	if err := tb.eng.Run(80_000_000); err != nil {
+		t.Fatalf("%s: %v", s, err)
+	}
+	if !done {
+		t.Fatalf("%s: collective never completed", s)
+	}
+	return rep
+}
+
+// treeVictim returns a switch-to-switch link of the collective's optimal
+// delivery tree — the link whose death breaks the multicast mid-flight.
+func treeVictim(t *testing.T, g *topology.Graph, c *workload.Collective) topology.LinkID {
+	t.Helper()
+	tree, err := core.BuildTree(g, c.Source(), c.Receivers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tree.Members {
+		p := tree.Parent[m]
+		if p == topology.None {
+			continue
+		}
+		if g.Node(m).Kind.IsSwitch() && g.Node(p).Kind.IsSwitch() {
+			return g.LinkBetween(m, p)
+		}
+	}
+	t.Fatal("delivery tree has no switch-to-switch edge")
+	return topology.LinkID(-1)
+}
+
+// TestWatchdogRepairsMidFlightTreeFailure is the deterministic regression
+// for online repair: a broadcast loses a tree link at 30% of the clean CCT
+// (the link never heals) and must still complete, with the recovery stats
+// recording the stall, the repair, and the downtime paid.
+func TestWatchdogRepairsMidFlightTreeFailure(t *testing.T) {
+	members := []int{1, 3, 5, 8, 12, 15}
+	const bytes = 4 << 20
+
+	clean := newTestbed(t, nil)
+	cleanRep := clean.runReport(t, clean.collective(t, 0, members, bytes), Optimal)
+	if cleanRep.Recovery != (RecoveryStats{}) {
+		t.Fatalf("failure-free run has recovery stats: %+v", cleanRep.Recovery)
+	}
+
+	tb := newTestbed(t, nil)
+	tb.runner.Watchdog = 100 * sim.Microsecond
+	c := tb.collective(t, 0, members, bytes)
+	victim := treeVictim(t, tb.g, c)
+	sched := (&chaos.Schedule{}).FailLinkAt(cleanRep.CCT*3/10, victim)
+	if err := chaos.NewInjector(tb.g, tb.eng).Arm(sched); err != nil {
+		t.Fatal(err)
+	}
+	rep := tb.runReport(t, c, Optimal)
+
+	r := rep.Recovery
+	if r.Stalls < 1 || r.Repairs < 1 {
+		t.Fatalf("no repair happened: %+v", r)
+	}
+	if r.Abandoned != 0 {
+		t.Fatalf("receivers abandoned despite a repairable failure: %+v", r)
+	}
+	if r.FirstStallAt <= 0 || r.Downtime <= 0 {
+		t.Fatalf("stall timing not recorded: %+v", r)
+	}
+	if rep.CCT <= cleanRep.CCT {
+		t.Fatalf("repaired CCT %v not above clean %v", rep.CCT, cleanRep.CCT)
+	}
+	if tb.net.LinkDrops == 0 {
+		t.Fatal("dead tree link dropped no frames")
+	}
+}
+
+// TestEmptyChaosScheduleByteIdentical pins the zero-overhead guarantee: with
+// no failures injected, enabling the watchdog (and arming an empty chaos
+// schedule) must not change the collective's result at all.
+func TestEmptyChaosScheduleByteIdentical(t *testing.T) {
+	members := []int{1, 3, 5, 8, 12, 15}
+	const bytes = 4 << 20
+	for _, s := range []Scheme{Ring, Orca, PEEL} {
+		off := newTestbed(t, nil)
+		offRep := off.runReport(t, off.collective(t, 0, members, bytes), s)
+
+		on := newTestbed(t, nil)
+		on.runner.Watchdog = 100 * sim.Microsecond
+		if err := chaos.NewInjector(on.g, on.eng).Arm(&chaos.Schedule{}); err != nil {
+			t.Fatal(err)
+		}
+		onRep := on.runReport(t, on.collective(t, 0, members, bytes), s)
+
+		if onRep.CCT != offRep.CCT {
+			t.Fatalf("%s: watchdog-on CCT %v != watchdog-off %v", s, onRep.CCT, offRep.CCT)
+		}
+		if onRep.Recovery != (RecoveryStats{}) {
+			t.Fatalf("%s: recovery stats nonzero without failures: %+v", s, onRep.Recovery)
+		}
+	}
+}
+
+// TestAbandonAfterRepairBudget cuts one receiver off completely (its only
+// uplink dies, permanently): no repair tree or unicast detour can reach it,
+// so after MaxRepairs attempts the collective must abandon it and still
+// terminate, reporting the delivery failure.
+func TestAbandonAfterRepairBudget(t *testing.T) {
+	members := []int{1, 3, 5, 8, 12, 15}
+	const bytes = 4 << 20
+
+	clean := newTestbed(t, nil)
+	cleanRep := clean.runReport(t, clean.collective(t, 0, members, bytes), Optimal)
+
+	tb := newTestbed(t, nil)
+	tb.runner.Watchdog = 100 * sim.Microsecond
+	tb.runner.MaxRepairs = 2
+	c := tb.collective(t, 0, members, bytes)
+	lost := tb.g.Hosts()[15]
+	uplink := tb.g.LinkBetween(lost, tb.g.EdgeSwitchOf(lost))
+	sched := (&chaos.Schedule{}).FailLinkAt(cleanRep.CCT/10, uplink)
+	if err := chaos.NewInjector(tb.g, tb.eng).Arm(sched); err != nil {
+		t.Fatal(err)
+	}
+	rep := tb.runReport(t, c, Optimal)
+
+	r := rep.Recovery
+	if r.Abandoned != 1 {
+		t.Fatalf("Abandoned=%d, want exactly the cut-off receiver: %+v", r.Abandoned, r)
+	}
+	if r.Stalls < 1 {
+		t.Fatalf("abandonment without a declared stall: %+v", r)
+	}
+	if r.Repairs != 0 || r.UnicastFallbacks != 0 {
+		t.Fatalf("unreachable receiver still got a repair installed: %+v", r)
+	}
+	if rep.CCT <= 0 {
+		t.Fatalf("CCT=%v", rep.CCT)
+	}
+}

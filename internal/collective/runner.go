@@ -76,6 +76,15 @@ type Runner struct {
 	// NIC has the full message.
 	NVLinkLatency sim.Time
 
+	// Watchdog enables mid-flight failure recovery: a receiver-progress
+	// check at this interval detects stalled collectives and re-plans
+	// delivery on the degraded fabric (see recovery.go). 0 — the default —
+	// disables recovery entirely; failure-free runs are then untouched.
+	Watchdog sim.Time
+	// MaxRepairs bounds repair attempts per collective before the pending
+	// receivers are abandoned; 0 means the default budget.
+	MaxRepairs int
+
 	flowKey uint64
 }
 
@@ -107,52 +116,73 @@ func (r *Runner) nextKey() uint64 {
 // time. done fires once every member host (and, after the NVLink stage,
 // every GPU) holds the full message, receiving the CCT.
 func (r *Runner) Start(c *workload.Collective, s Scheme, done func(cct sim.Time)) error {
+	return r.StartReport(c, s, func(rep Report) { done(rep.CCT) })
+}
+
+// StartReport is Start with the extended completion record: done receives
+// the CCT plus the recovery statistics (stalls, repairs, downtime) the
+// watchdog collected. With Runner.Watchdog disabled the recovery stats are
+// all zero.
+func (r *Runner) StartReport(c *workload.Collective, s Scheme, done func(Report)) error {
 	if len(c.Hosts) < 2 {
 		// Single-host collective: NVLink only.
 		start := r.Net.Engine.Now()
-		r.Net.Engine.After(r.nvlinkStage(c.Bytes), func() { done(r.Net.Engine.Now() - start) })
+		r.Net.Engine.After(r.nvlinkStage(c.Bytes), func() {
+			done(Report{CCT: r.Net.Engine.Now() - start})
+		})
 		return nil
 	}
-	inst := &instance{r: r, c: c, startedAt: r.Net.Engine.Now(), userDone: done}
+	inst := &instance{r: r, c: c, startedAt: r.Net.Engine.Now(), reportDone: done}
+	if err := inst.startScheme(s); err != nil {
+		return err
+	}
+	if r.Watchdog > 0 {
+		inst.armWatchdog()
+	}
+	return nil
+}
+
+// startScheme dispatches to the per-scheme launcher.
+func (in *instance) startScheme(s Scheme) error {
 	switch s {
 	case Ring:
-		return inst.startRing()
+		return in.startRing()
 	case BinTree:
-		return inst.startBinTree()
+		return in.startBinTree()
 	case DblBinTree:
-		return inst.startDblBinTree()
+		return in.startDblBinTree()
 	case Optimal:
-		return inst.startOptimal()
+		return in.startOptimal()
 	case Orca:
-		return inst.startOrca(true)
+		return in.startOrca(true)
 	case OrcaInstant:
-		return inst.startOrca(false)
+		return in.startOrca(false)
 	case PEEL:
-		return inst.startPEEL(false, true, core.PlanOptions{})
+		return in.startPEEL(false, true, core.PlanOptions{})
 	case PEELCores:
-		return inst.startPEEL(true, true, core.PlanOptions{})
+		return in.startPEEL(true, true, core.PlanOptions{})
 	case PEELNoGuard:
-		return inst.startPEEL(false, false, core.PlanOptions{})
+		return in.startPEEL(false, false, core.PlanOptions{})
 	case PEELToRFilter:
-		return inst.startPEEL(false, true, core.PlanOptions{ToRFilter: true})
+		return in.startPEEL(false, true, core.PlanOptions{ToRFilter: true})
 	case PEELCoresFiltered:
-		return inst.startPEEL(true, true, core.PlanOptions{ToRFilter: true})
+		return in.startPEEL(true, true, core.PlanOptions{ToRFilter: true})
 	case MultiTree1:
-		return inst.startMultiTree(1)
+		return in.startMultiTree(1)
 	case MultiTree2:
-		return inst.startMultiTree(2)
+		return in.startMultiTree(2)
 	case MultiTree4:
-		return inst.startMultiTree(4)
+		return in.startMultiTree(4)
 	}
 	return fmt.Errorf("collective: unknown scheme %q", s)
 }
 
 // instance tracks one in-flight collective.
 type instance struct {
-	r         *Runner
-	c         *workload.Collective
-	startedAt sim.Time
-	userDone  func(sim.Time)
+	r          *Runner
+	c          *workload.Collective
+	startedAt  sim.Time
+	reportDone func(Report)
 
 	pendingHosts int
 	hostDone     map[topology.NodeID]bool
@@ -160,6 +190,18 @@ type instance struct {
 
 	orcaGot  map[topology.NodeID]int // per-peer chunk counts (Orca relays)
 	startErr error                   // deferred-start failure (see failStart)
+
+	// Failure-recovery state (see recovery.go). All zero when the
+	// watchdog is disabled.
+	watch          []watched
+	recovery       RecoveryStats
+	repairAttempts int
+	lastSnapshot   int64
+	quietTicks     int
+	stalled        bool
+	stalledSince   sim.Time
+	setupPending   bool // controller install outstanding: not a stall
+	repairPending  bool // repair install outstanding: not a stall
 }
 
 // initCompletion arms completion tracking over the receiver hosts.
@@ -182,7 +224,7 @@ func (in *instance) hostComplete(h topology.NodeID) {
 	in.finished = true
 	eng := in.r.Net.Engine
 	eng.After(in.r.nvlinkStage(in.c.Bytes), func() {
-		in.userDone(eng.Now() - in.startedAt)
+		in.reportDone(Report{CCT: eng.Now() - in.startedAt, Recovery: in.recovery})
 	})
 }
 
@@ -212,5 +254,10 @@ func (in *instance) unicastFlow(src, dst topology.NodeID, params dcqcn.Params) (
 	if path == nil {
 		return nil, fmt.Errorf("collective: no path %d->%d", src, dst)
 	}
-	return in.r.Net.NewUnicastFlow(path, params)
+	f, err := in.r.Net.NewUnicastFlow(path, params)
+	if err != nil {
+		return nil, err
+	}
+	in.track(f, []topology.NodeID{dst})
+	return f, nil
 }

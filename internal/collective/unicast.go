@@ -89,8 +89,13 @@ func (in *instance) startBinTree() error {
 
 // relayChunk records a chunk arrival at an overlay node, forwards it to
 // the node's successors, and completes the host once all chunks landed.
+// Successor flows closed by a failure repair are skipped: the repair tree
+// owns delivery to those receivers from that point on.
 func (in *instance) relayChunk(n *relayNode, chunk int, sizes []int64) {
 	for _, f := range n.out {
+		if f.Closed() {
+			continue
+		}
 		f.Send(chunk, sizes[chunk])
 	}
 	n.gotChunks++
@@ -132,6 +137,9 @@ func (in *instance) startDblBinTree() error {
 				nodes[i].out = append(nodes[i].out, f)
 				f.OnChunk(func(recv topology.NodeID, chunk int) {
 					for _, fo := range child.out {
+						if fo.Closed() {
+							continue
+						}
 						fo.Send(chunk, sizes[chunk])
 					}
 					counts[recv]++

@@ -35,6 +35,9 @@ type Options struct {
 	Load float64
 	// MaxEvents bounds each simulation run (safety).
 	MaxEvents uint64
+	// ChaosFrac, when positive, restricts ChaosStudy to a single failure
+	// fraction instead of the default sweep.
+	ChaosFrac float64
 }
 
 // Defaults returns full-fidelity options.
@@ -137,7 +140,7 @@ func runWorkload(build func() *topology.Graph, usePlanner bool, scheme collectiv
 		}
 	}
 	cl := workload.NewCluster(g, gpusPerHost)
-	ctrl := controller.New(rand.New(rand.NewSource(cfg.Seed * 7919)))
+	ctrl := controller.New(cfg.RNG(netsim.SaltController))
 	runner := collective.NewRunner(net, cl, planner, ctrl)
 
 	samples := &metrics.Samples{}

@@ -257,7 +257,7 @@ func runAllGather(build func() *topology.Graph, scheme collective.Scheme,
 		return nil, err
 	}
 	cl := workload.NewCluster(g, 8)
-	ctrl := controller.New(rand.New(rand.NewSource(cfg.Seed * 7919)))
+	ctrl := controller.New(cfg.RNG(netsim.SaltController))
 	runner := collective.NewRunner(net, cl, planner, ctrl)
 
 	samples := &metrics.Samples{}
@@ -451,7 +451,7 @@ func IsolationStudy(o Options) (*Result, error) {
 			return nil, err
 		}
 		cl := workload.NewCluster(g, 8)
-		ctrl := controller.New(rand.New(rand.NewSource(o.Seed * 7919)))
+		ctrl := controller.New(cfg.RNG(netsim.SaltController))
 		runner := collective.NewRunner(net, cl, planner, ctrl)
 		hosts := g.Hosts()
 		rng := rand.New(rand.NewSource(o.Seed + 31))

@@ -12,6 +12,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math/rand"
 
 	"peel/internal/dcqcn"
@@ -50,6 +51,9 @@ type Config struct {
 	// every receiver is whole.
 	RepairRTO sim.Time
 	DCQCN     dcqcn.Params
+	// Seed is the single reproducibility root for a simulation: the ECN
+	// coin flips, loss draws, controller jitter, and chaos schedules all
+	// derive their RNGs from it via RNG(salt).
 	Seed      int64
 	MaxEvents uint64 // safety budget for Engine.Run (0 = unlimited)
 }
@@ -96,7 +100,54 @@ func (c Config) txTime(n int64) sim.Time {
 	return sim.Time(float64(n*8) / c.LinkBps * 1e12)
 }
 
-// newRNG derives a deterministic substream for a component.
-func (c Config) newRNG(salt int64) *rand.Rand {
+// RNG derives a deterministic per-component substream from the single
+// simulation seed: distinct salts give independent streams, and a whole run
+// (loss, ECN, controller jitter, chaos schedule) reproduces from Cfg.Seed
+// alone. Callers should pick a fixed salt per component.
+func (c Config) RNG(salt int64) *rand.Rand {
 	return rand.New(rand.NewSource(c.Seed*1_000_003 + salt))
+}
+
+// Reserved RNG salts for the standard components, so independent layers do
+// not collide on a substream.
+const (
+	SaltECN        = 7     // netsim's ECN/loss coin flips
+	SaltController = 7919  // controller setup-latency jitter
+	SaltChaos      = 31337 // chaos failure schedules
+	SaltWorkload   = 104729
+)
+
+// Validate rejects configurations that would silently misbehave: negative
+// or >1 probabilities, zero frame or buffer sizes, inverted ECN thresholds.
+// netsim.New calls it and panics on error (a bad config is a construction
+// bug, not a runtime condition); callers building configs from user input
+// should call it directly first.
+func (c Config) Validate() error {
+	switch {
+	case c.LinkBps <= 0:
+		return fmt.Errorf("netsim: LinkBps %v must be positive", c.LinkBps)
+	case c.NVLinkBps <= 0:
+		return fmt.Errorf("netsim: NVLinkBps %v must be positive", c.NVLinkBps)
+	case c.FrameBytes <= 0:
+		return fmt.Errorf("netsim: FrameBytes %d must be positive", c.FrameBytes)
+	case c.BufferBytes <= 0:
+		return fmt.Errorf("netsim: BufferBytes %d must be positive", c.BufferBytes)
+	case c.PropDelay < 0:
+		return fmt.Errorf("netsim: PropDelay %v must be non-negative", c.PropDelay)
+	case c.SwitchLatency < 0:
+		return fmt.Errorf("netsim: SwitchLatency %v must be non-negative", c.SwitchLatency)
+	case c.LossRate < 0 || c.LossRate > 1:
+		return fmt.Errorf("netsim: LossRate %v outside [0,1]", c.LossRate)
+	case c.LossRate > 0 && c.RepairRTO <= 0:
+		return fmt.Errorf("netsim: LossRate %v needs a positive RepairRTO", c.LossRate)
+	case c.ECNKminBytes < 0 || c.ECNKmaxBytes <= c.ECNKminBytes:
+		return fmt.Errorf("netsim: ECN thresholds Kmin=%d Kmax=%d must satisfy 0 ≤ Kmin < Kmax", c.ECNKminBytes, c.ECNKmaxBytes)
+	case c.ECNPmax < 0 || c.ECNPmax > 1:
+		return fmt.Errorf("netsim: ECNPmax %v outside [0,1]", c.ECNPmax)
+	case c.PFCEnabled && (c.PFCFreeFrac <= 0 || c.PFCFreeFrac >= 1):
+		return fmt.Errorf("netsim: PFCFreeFrac %v outside (0,1)", c.PFCFreeFrac)
+	case c.HostQueueFrames <= 0:
+		return fmt.Errorf("netsim: HostQueueFrames %d must be positive", c.HostQueueFrames)
+	}
+	return nil
 }

@@ -216,9 +216,9 @@ func (f *Flow) inject(fromWake bool) {
 		}
 		fr = &frame{flow: f, chunkID: cs.id, bytes: size, hop: 0, at: f.src, seq: f.nextSeq}
 		f.nextSeq++
-		if f.net.Cfg.LossRate > 0 {
-			f.sent = append(f.sent, sentFrame{seq: fr.seq, chunkID: fr.chunkID, bytes: fr.bytes})
-		}
+		// Every frame is retained for selective repeat: random loss needs
+		// it from the start, and a link can fail at any later moment.
+		f.sent = append(f.sent, sentFrame{seq: fr.seq, chunkID: fr.chunkID, bytes: fr.bytes})
 		f.BytesInjected += size
 		f.offset += size
 		if f.offset >= cs.bytes {
@@ -228,17 +228,28 @@ func (f *Flow) inject(fromWake bool) {
 	}
 	f.firstHop(fr)
 	f.sender.Tick(f.net.Engine.Now())
-	if f.net.Cfg.LossRate > 0 && f.nextChunk >= len(f.chunks) && !f.repairs {
+	if (f.net.Cfg.LossRate > 0 || f.net.faulty) && f.nextChunk >= len(f.chunks) {
 		// All original frames injected: arm the selective-repeat repair
-		// loop in case losses left holes.
-		f.repairs = true
-		f.net.Engine.After(f.net.Cfg.RepairRTO, f.repairScan)
+		// loop in case losses (random or link-failure) left holes.
+		f.armRepairs()
 	}
 	gap := sim.Time(float64(size*8) / f.sender.Rate() * 1e12)
 	if gap < sim.Picosecond {
 		gap = sim.Picosecond
 	}
 	f.net.Engine.After(gap, f.injectNext)
+}
+
+// armRepairs schedules the selective-repeat repair scan if the flow can
+// still be missing frames and no scan is already pending. The network
+// calls it on every link-state transition; injection calls it once the
+// last original frame is out.
+func (f *Flow) armRepairs() {
+	if f.repairs || f.closed || f.nextChunk < len(f.chunks) || f.Done() {
+		return
+	}
+	f.repairs = true
+	f.net.Engine.After(f.net.Cfg.RepairRTO, f.repairScan)
 }
 
 // repairScan finds frames some receiver still misses and queues them for
@@ -352,12 +363,10 @@ func (f *Flow) receive(fr *frame, at topology.NodeID) {
 	if fr.ecn {
 		f.noteCongestion(rs)
 	}
-	if f.net.Cfg.LossRate > 0 {
-		if rs.gotSeq[fr.seq] {
-			return // duplicate repair copy
-		}
-		rs.gotSeq[fr.seq] = true
+	if rs.gotSeq[fr.seq] {
+		return // duplicate repair copy (loss-rate or link-failure repair)
 	}
+	rs.gotSeq[fr.seq] = true
 	rs.gotChunk[fr.chunkID] += fr.bytes
 	// Chunk size is known from the sender's queue; completion is when the
 	// receiver holds all bytes of that chunk.

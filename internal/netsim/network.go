@@ -21,6 +21,10 @@ type Network struct {
 
 	flows  []*Flow
 	ecnRNG *rand.Rand
+	// faulty latches once any link transition happened at runtime: it
+	// widens the selective-repeat arming condition to cover link-failure
+	// drops (not just random loss) without touching failure-free runs.
+	faulty bool
 
 	// TotalECNMarks counts marked frames fabric-wide (telemetry).
 	TotalECNMarks uint64
@@ -32,6 +36,14 @@ type Network struct {
 	// the PFC-storm watchdog production fabrics deploy against circular
 	// buffer dependencies.
 	PFCWatchdogFires uint64
+	// LinkDrops counts frames lost to failed links: queued frames flushed
+	// when a link goes down, frames serialized onto a dead wire, and frames
+	// enqueued toward a dead channel. Distinct from TotalDrops (random
+	// loss): link drops are bursty and correlated. The sender's
+	// selective-repeat loop re-sends them once a path exists again (after a
+	// heal); outages that outlive the flow need the collective-layer
+	// watchdog's tree repair.
+	LinkDrops uint64
 }
 
 type chanKey struct{ from, to topology.NodeID }
@@ -62,6 +74,17 @@ type channel struct {
 
 	// maxQBytes is the queue-depth high-water mark (telemetry).
 	maxQBytes int64
+
+	// down mirrors the underlying link's failure state at runtime: a down
+	// channel drops every frame offered to it instead of queueing.
+	down      bool
+	downSince sim.Time
+	// DownCount / DownTime / Drops are per-direction failure telemetry:
+	// down transitions, accumulated down duration, and frames lost on this
+	// channel to link failure.
+	DownCount int64
+	DownTime  sim.Time
+	Drops     int64
 }
 
 // frame is one simulation quantum of one flow's traffic.
@@ -75,9 +98,15 @@ type frame struct {
 	seq     int64 // flow-scoped sequence number (loss recovery de-dup)
 }
 
-// New builds a Network over g. Failed links get no channels; trees and
-// paths must avoid them (they do — construction is failure-aware).
+// New builds a Network over g. Every link gets a channel pair; channels of
+// links failed at construction (or failing later — New subscribes to the
+// graph's failure notifications) are marked down and drop all traffic, so
+// links can fail and heal *while collectives run*. The config is validated
+// first: a bad config is a construction bug and panics.
 func New(g *topology.Graph, eng *sim.Engine, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	n := &Network{
 		G:       g,
 		Engine:  eng,
@@ -85,17 +114,122 @@ func New(g *topology.Graph, eng *sim.Engine, cfg Config) *Network {
 		chans:   make(map[chanKey]*channel, 2*g.NumLinks()),
 		inbound: make([][]*channel, g.NumNodes()),
 		nodes:   make([]nodeState, g.NumNodes()),
-		ecnRNG:  cfg.newRNG(7),
+		ecnRNG:  cfg.RNG(SaltECN),
 	}
 	for i := 0; i < g.NumLinks(); i++ {
 		l := g.Link(topology.LinkID(i))
 		for _, dir := range [2][2]topology.NodeID{{l.A, l.B}, {l.B, l.A}} {
-			ch := &channel{net: n, from: dir[0], to: dir[1]}
+			ch := &channel{net: n, from: dir[0], to: dir[1], down: l.Failed}
 			n.chans[chanKey{dir[0], dir[1]}] = ch
 			n.inbound[dir[1]] = append(n.inbound[dir[1]], ch)
 		}
 	}
+	g.OnFailureChange(n.onLinkStateChange)
 	return n
+}
+
+// onLinkStateChange reacts to a runtime topology transition: both
+// directional channels of the link go down (flushing their queues) or come
+// back up.
+func (n *Network) onLinkStateChange(id topology.LinkID, failed bool) {
+	n.faulty = true
+	l := n.G.Link(id)
+	for _, dir := range [2][2]topology.NodeID{{l.A, l.B}, {l.B, l.A}} {
+		if ch := n.chans[chanKey{dir[0], dir[1]}]; ch != nil {
+			if failed {
+				ch.markDown()
+			} else {
+				ch.markUp()
+			}
+		}
+	}
+	// A transition creates (failure) or unblocks (heal) frame holes that
+	// DCQCN pacing alone never fills: kick every unfinished flow's
+	// selective-repeat scan so dropped frames are re-sent once a path
+	// exists again. Failure-free runs never reach this, so their event
+	// streams are untouched.
+	if n.Cfg.RepairRTO <= 0 {
+		return
+	}
+	for _, f := range n.flows {
+		f.armRepairs()
+	}
+}
+
+// markDown transitions the channel to the failed state: queued frames are
+// flushed (they were in the dead link's egress queue), buffer accounting is
+// unwound (possibly releasing PFC), and NIC-blocked senders are woken so
+// their flows drain instead of waiting forever. A frame mid-serialization
+// finishes serializing and is dropped at finishTx.
+func (ch *channel) markDown() {
+	if ch.down {
+		return
+	}
+	n := ch.net
+	ch.down = true
+	ch.DownCount++
+	ch.downSince = n.Engine.Now()
+
+	start := ch.head
+	if ch.sending {
+		start++ // the in-flight frame is finishTx's to drop
+	}
+	fromSwitch := n.G.Node(ch.from).Kind.IsSwitch()
+	for i := start; i < len(ch.queue); i++ {
+		f := ch.queue[i]
+		ch.qBytes -= f.bytes
+		ch.Drops++
+		n.LinkDrops++
+		if fromSwitch {
+			n.nodes[ch.from].bufBytes -= f.bytes
+		}
+		ch.queue[i] = nil
+	}
+	ch.queue = ch.queue[:start]
+	if fromSwitch {
+		ns := &n.nodes[ch.from]
+		if n.Cfg.PFCEnabled && ns.paused && ns.bufBytes <= n.Cfg.pfcResumeThreshold() {
+			n.resume(ch.from)
+		}
+	}
+	for _, w := range ch.waiters {
+		n.Engine.After(0, w)
+	}
+	ch.waiters = nil
+}
+
+// markUp transitions the channel back to service and accounts the outage.
+func (ch *channel) markUp() {
+	if !ch.down {
+		return
+	}
+	ch.down = false
+	ch.DownTime += ch.net.Engine.Now() - ch.downSince
+	ch.maybeSend()
+}
+
+// LinkDown reports whether a link's channels are currently down.
+func (n *Network) LinkDown(id topology.LinkID) bool {
+	l := n.G.Link(id)
+	ch := n.Channel(l.A, l.B)
+	return ch != nil && ch.down
+}
+
+// LinkDownStats returns a link's failure telemetry: down transitions and
+// accumulated down time (per direction; both directions transition
+// together, so the A→B channel is representative). An ongoing outage counts
+// up to the current simulated time.
+func (n *Network) LinkDownStats(id topology.LinkID) (downs int64, downTime sim.Time) {
+	l := n.G.Link(id)
+	ch := n.Channel(l.A, l.B)
+	if ch == nil {
+		return 0, 0
+	}
+	downs, downTime = ch.DownCount, ch.DownTime
+	if ch.down {
+		downTime += n.Engine.Now() - ch.downSince
+	}
+	return downs, downTime
 }
 
 // Channel returns the directed channel from→to, or nil if absent.
@@ -141,6 +275,14 @@ func (n *Network) InFlight() bool {
 // egress queues and PFC accounting, and starts serialization if idle.
 func (ch *channel) enqueue(f *frame) {
 	n := ch.net
+	if ch.down {
+		// Dead link: the frame vanishes. The sender keeps pacing (it has no
+		// link-layer feedback, as in real RoCE fabrics); recovery is the
+		// collective layer's watchdog, not this queue.
+		ch.Drops++
+		n.LinkDrops++
+		return
+	}
 	// ECN marking decision uses the queue depth seen on arrival (DCQCN's
 	// egress marking), only at switch egress ports.
 	if n.G.Node(ch.from).Kind.IsSwitch() {
@@ -180,7 +322,7 @@ func (ch *channel) enqueue(f *frame) {
 // neighbors, so a channel stops starting new frames while its
 // *destination* has pause asserted.
 func (ch *channel) maybeSend() {
-	if ch.sending || ch.head >= len(ch.queue) {
+	if ch.down || ch.sending || ch.head >= len(ch.queue) {
 		return
 	}
 	n := ch.net
@@ -204,9 +346,11 @@ func (ch *channel) finishTx(f *frame) {
 		ch.head = 0
 	}
 	ch.qBytes -= f.bytes
-	ch.BytesSent += f.bytes
-	ch.FramesSent++
 	ch.sending = false
+	if !ch.down {
+		ch.BytesSent += f.bytes
+		ch.FramesSent++
+	}
 
 	if n.G.Node(ch.from).Kind.IsSwitch() {
 		ns := &n.nodes[ch.from]
@@ -216,8 +360,15 @@ func (ch *channel) finishTx(f *frame) {
 		}
 	}
 
-	to := ch.to
-	n.Engine.After(n.Cfg.PropDelay, func() { n.deliver(f, to) })
+	if ch.down {
+		// The link died under this frame: it was serialized onto a dead
+		// wire and is lost.
+		ch.Drops++
+		n.LinkDrops++
+	} else {
+		to := ch.to
+		n.Engine.After(n.Cfg.PropDelay, func() { n.deliver(f, to) })
+	}
 	ch.wakeNext()
 	ch.maybeSend()
 }

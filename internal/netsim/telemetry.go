@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"peel/internal/sim"
 	"peel/internal/topology"
 )
 
@@ -25,6 +26,13 @@ type Telemetry struct {
 	// ECNMarks / PFCPauses mirror the Network counters.
 	ECNMarks  uint64
 	PFCPauses uint64
+	// LinkDrops counts frames lost to failed links fabric-wide.
+	LinkDrops uint64
+	// DownLinks is the number of links currently down.
+	DownLinks int
+	// LinkDownTime sums accumulated outage time across all links (one
+	// direction each; both directions fail together).
+	LinkDownTime sim.Time
 }
 
 // tierLabel names the tier of a link by its endpoint kinds, with the
@@ -41,6 +49,7 @@ func (n *Network) Telemetry() Telemetry {
 		TierBytes: map[string]int64{},
 		ECNMarks:  n.TotalECNMarks,
 		PFCPauses: n.PFCPauses,
+		LinkDrops: n.LinkDrops,
 		HotLink:   -1,
 	}
 	perLink := map[topology.LinkID]int64{}
@@ -55,6 +64,14 @@ func (n *Network) Telemetry() Telemetry {
 		if id >= 0 {
 			perLink[id] += ch.BytesSent
 		}
+	}
+	for i := 0; i < n.G.NumLinks(); i++ {
+		id := topology.LinkID(i)
+		if n.LinkDown(id) {
+			t.DownLinks++
+		}
+		_, dt := n.LinkDownStats(id)
+		t.LinkDownTime += dt
 	}
 	for id, b := range perLink {
 		if b > t.HotLinkBytes || (b == t.HotLinkBytes && (t.HotLink < 0 || id < t.HotLink)) {
@@ -75,8 +92,9 @@ func (t Telemetry) String() string {
 	for _, k := range tiers {
 		out += fmt.Sprintf("%s=%dB ", k, t.TierBytes[k])
 	}
-	return fmt.Sprintf("%smaxQ=%dB hotLink=%d(%dB) ecn=%d pfc=%d",
-		out, t.MaxQueueBytes, t.HotLink, t.HotLinkBytes, t.ECNMarks, t.PFCPauses)
+	return fmt.Sprintf("%smaxQ=%dB hotLink=%d(%dB) ecn=%d pfc=%d linkDrops=%d downLinks=%d downTime=%v",
+		out, t.MaxQueueBytes, t.HotLink, t.HotLinkBytes, t.ECNMarks, t.PFCPauses,
+		t.LinkDrops, t.DownLinks, t.LinkDownTime.Duration())
 }
 
 // UtilizationOf returns the average utilization of a directed channel

@@ -7,6 +7,7 @@
 package routing
 
 import (
+	"errors"
 	"fmt"
 
 	"peel/internal/topology"
@@ -14,6 +15,11 @@ import (
 
 // Unreachable is the distance reported for nodes cut off from the source.
 const Unreachable = int32(-1)
+
+// ErrUnreachable is the sentinel wrapped by every "destination cut off"
+// error in this package and in the tree builders above it, so callers can
+// distinguish a disconnected receiver (errors.Is) from construction bugs.
+var ErrUnreachable = errors.New("destination unreachable")
 
 // DistanceField holds BFS hop counts from one source node.
 type DistanceField struct {
@@ -72,7 +78,7 @@ func (d *DistanceField) Farthest(dests []topology.NodeID) (int32, error) {
 	for _, dst := range dests {
 		dd := d.Dist[dst]
 		if dd == Unreachable {
-			return 0, fmt.Errorf("routing: destination %d unreachable from %d", dst, d.Source)
+			return 0, fmt.Errorf("routing: destination %d from %d: %w", dst, d.Source, ErrUnreachable)
 		}
 		if dd > f {
 			f = dd

@@ -48,7 +48,7 @@ func ExactSmall(g *topology.Graph, src topology.NodeID, dests []topology.NodeID)
 	}
 	for _, term := range terminals {
 		if term != src && dist[src][term] == routing.Unreachable {
-			return 0, fmt.Errorf("steiner: terminal %d unreachable", term)
+			return 0, fmt.Errorf("steiner: terminal %d: %w", term, ErrUnreachable)
 		}
 	}
 

@@ -8,6 +8,13 @@ import (
 	"peel/internal/topology"
 )
 
+// ErrUnreachable marks tree-construction failures caused by a destination
+// with no live path from the source (as opposed to construction bugs).
+// Every builder in this package — LayerPeeling, SymmetricOptimal,
+// ExactSmall — wraps it, so callers use errors.Is to tell a disconnected
+// receiver apart from real errors.
+var ErrUnreachable = routing.ErrUnreachable
+
 // PeelingStats reports diagnostics of one LayerPeeling run, matching the
 // quantities in the paper's analysis (§2.3): F is the farthest-destination
 // hop distance, SwitchesAdded the number of Steiner (non-terminal) nodes

@@ -57,7 +57,7 @@ func SymmetricOptimalVariant(g *topology.Graph, src topology.NodeID, dests []top
 		}
 		e := g.EdgeSwitchOf(d)
 		if e == topology.None {
-			return nil, fmt.Errorf("steiner: destination %d has no live uplink", d)
+			return nil, fmt.Errorf("steiner: destination %d has no live uplink: %w", d, ErrUnreachable)
 		}
 		byEdge[e] = append(byEdge[e], d)
 		t.add(d, e) // parent set now; edge switch added below

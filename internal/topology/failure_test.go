@@ -1,0 +1,168 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// transition records one observer notification.
+type transition struct {
+	id     LinkID
+	failed bool
+}
+
+func TestFailureObserverSeesTransitionsOnly(t *testing.T) {
+	g := LeafSpine(2, 2, 1)
+	var seen []transition
+	g.OnFailureChange(func(id LinkID, failed bool) {
+		seen = append(seen, transition{id, failed})
+	})
+
+	g.FailLink(0)
+	g.FailLink(0) // already failed: no notification
+	g.RestoreLink(0)
+	g.RestoreLink(0) // already live: no notification
+	want := []transition{{0, true}, {0, false}}
+	if len(seen) != len(want) {
+		t.Fatalf("got %d notifications %v, want %v", len(seen), seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("notification %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestFailureObserverFiresPerLinkOnNodeAndRestoreAll(t *testing.T) {
+	g := LeafSpine(2, 3, 1)
+	spine := g.NodesOfKind(Spine)[0]
+	degree := len(g.Adj(spine))
+
+	fails, heals := 0, 0
+	g.OnFailureChange(func(_ LinkID, failed bool) {
+		if failed {
+			fails++
+		} else {
+			heals++
+		}
+	})
+	g.FailNode(spine)
+	if fails != degree {
+		t.Fatalf("FailNode notified %d failures, want %d (spine degree)", fails, degree)
+	}
+	g.RestoreAll()
+	if heals != degree {
+		t.Fatalf("RestoreAll notified %d heals, want %d", heals, degree)
+	}
+	if g.NumFailedLinks() != 0 {
+		t.Fatalf("NumFailedLinks=%d after RestoreAll", g.NumFailedLinks())
+	}
+}
+
+func TestCloneDropsObservers(t *testing.T) {
+	g := LeafSpine(2, 2, 1)
+	calls := 0
+	g.OnFailureChange(func(LinkID, bool) { calls++ })
+	c := g.Clone()
+	c.FailLink(0)
+	if calls != 0 {
+		t.Fatalf("clone notified the original's observer %d times", calls)
+	}
+	g.FailLink(1)
+	if calls != 1 {
+		t.Fatalf("original observer got %d calls, want 1", calls)
+	}
+}
+
+func TestFailNodeWithAlreadyFailedLinks(t *testing.T) {
+	g := LeafSpine(2, 3, 1)
+	spine := g.NodesOfKind(Spine)[0]
+	degree := len(g.Adj(spine))
+
+	// Pre-fail one of the spine's links, then fail the whole node: the
+	// counter must not double-count the shared link.
+	pre := g.Adj(spine)[0].Link
+	g.FailLink(pre)
+	if g.NumFailedLinks() != 1 {
+		t.Fatalf("NumFailedLinks=%d after one FailLink", g.NumFailedLinks())
+	}
+	g.FailNode(spine)
+	if g.NumFailedLinks() != degree {
+		t.Fatalf("NumFailedLinks=%d after FailNode, want %d", g.NumFailedLinks(), degree)
+	}
+	for _, he := range g.Adj(spine) {
+		if !g.Link(he.Link).Failed {
+			t.Fatalf("link %d of failed node still live", he.Link)
+		}
+	}
+}
+
+func TestRestoreNodeRevivesIncidentLinks(t *testing.T) {
+	g := LeafSpine(2, 3, 1)
+	spine := g.NodesOfKind(Spine)[0]
+	g.FailNode(spine)
+	g.RestoreNode(spine)
+	if g.NumFailedLinks() != 0 {
+		t.Fatalf("NumFailedLinks=%d after RestoreNode, want 0", g.NumFailedLinks())
+	}
+}
+
+func TestRestoreAllAfterFailNode(t *testing.T) {
+	g := FatTree(4)
+	agg := g.NodesOfKind(Agg)[1]
+	g.FailNode(agg)
+	if g.NumFailedLinks() == 0 {
+		t.Fatal("FailNode failed nothing")
+	}
+	g.RestoreAll()
+	if g.NumFailedLinks() != 0 {
+		t.Fatalf("NumFailedLinks=%d after RestoreAll", g.NumFailedLinks())
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		if g.Link(LinkID(i)).Failed {
+			t.Fatalf("link %d still failed after RestoreAll", i)
+		}
+	}
+}
+
+func TestFailRandomFractionEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	// Fraction 0 fails nothing.
+	g := LeafSpine(4, 4, 2)
+	if ids := g.FailRandomFraction(0, SwitchLinks, rng); len(ids) != 0 {
+		t.Fatalf("fraction 0 failed %d links", len(ids))
+	}
+	if g.NumFailedLinks() != 0 {
+		t.Fatalf("NumFailedLinks=%d after fraction 0", g.NumFailedLinks())
+	}
+
+	// Fraction 1 fails every eligible link exactly once.
+	eligible := 0
+	for i := 0; i < g.NumLinks(); i++ {
+		if SwitchLinks(g, g.Link(LinkID(i))) {
+			eligible++
+		}
+	}
+	ids := g.FailRandomFraction(1, SwitchLinks, rng)
+	if len(ids) != eligible || g.NumFailedLinks() != eligible {
+		t.Fatalf("fraction 1: failed %d (counter %d), want %d", len(ids), g.NumFailedLinks(), eligible)
+	}
+
+	// A filter matching nothing fails nothing (empty eligible set).
+	g2 := LeafSpine(2, 2, 1)
+	none := func(*Graph, Link) bool { return false }
+	if ids := g2.FailRandomFraction(1, none, rng); len(ids) != 0 {
+		t.Fatalf("empty filter failed %d links", len(ids))
+	}
+
+	// Fractions outside [0,1] clamp instead of panicking.
+	g3 := LeafSpine(2, 2, 1)
+	if ids := g3.FailRandomFraction(-0.5, nil, rng); len(ids) != 0 {
+		t.Fatalf("negative fraction failed %d links", len(ids))
+	}
+	g3.RestoreAll()
+	if ids := g3.FailRandomFraction(2.5, nil, rng); len(ids) != g3.NumLinks() {
+		t.Fatalf("fraction >1 failed %d links, want all %d", len(ids), g3.NumLinks())
+	}
+}

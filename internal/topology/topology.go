@@ -114,6 +114,29 @@ type Graph struct {
 	HostsPerEdge int
 
 	failedLinks int
+	observers   []FailureObserver
+}
+
+// FailureObserver is notified on every link failure-state transition:
+// failed=true when the link goes down, false when it is restored. Observers
+// run synchronously inside FailLink/RestoreLink (and everything built on
+// them: FailNode, RestoreAll, FailRandomFraction), so runtime consumers —
+// the network simulator, the chaos injector's accounting — see transitions
+// in exact order. Observers must not mutate the graph's failure state.
+type FailureObserver func(id LinkID, failed bool)
+
+// OnFailureChange registers an observer. Registration order is notification
+// order. Clone does not carry observers over: a cloned graph is a fresh
+// scenario with no attached runtime.
+func (g *Graph) OnFailureChange(fn FailureObserver) {
+	g.observers = append(g.observers, fn)
+}
+
+// notifyFailure fans a transition out to the registered observers.
+func (g *Graph) notifyFailure(id LinkID, failed bool) {
+	for _, fn := range g.observers {
+		fn(id, failed)
+	}
 }
 
 // NewGraph returns an empty graph; use AddNode/AddLink to build custom
@@ -189,35 +212,47 @@ func (g *Graph) LinkBetween(a, b NodeID) LinkID {
 	return -1
 }
 
-// FailLink marks a link failed. Failing an already-failed link is a no-op.
+// FailLink marks a link failed. Failing an already-failed link is a no-op
+// (observers are only notified on actual transitions).
 func (g *Graph) FailLink(id LinkID) {
 	if !g.links[id].Failed {
 		g.links[id].Failed = true
 		g.failedLinks++
+		g.notifyFailure(id, true)
 	}
 }
 
-// RestoreLink clears a link's failed flag.
+// RestoreLink clears a link's failed flag. Restoring a live link is a no-op.
 func (g *Graph) RestoreLink(id LinkID) {
 	if g.links[id].Failed {
 		g.links[id].Failed = false
 		g.failedLinks--
+		g.notifyFailure(id, false)
 	}
 }
 
-// FailNode fails every link incident to n (a switch failure).
+// FailNode fails every link incident to n (a switch failure). Links already
+// failed stay failed and produce no duplicate notification.
 func (g *Graph) FailNode(n NodeID) {
 	for _, he := range g.adj[n] {
 		g.FailLink(he.Link)
 	}
 }
 
-// RestoreAll clears every failure.
+// RestoreNode restores every link incident to n (a switch coming back).
+// Note this also revives incident links that were failed independently of
+// the node: link-level failure state is a single flag, as in FailNode.
+func (g *Graph) RestoreNode(n NodeID) {
+	for _, he := range g.adj[n] {
+		g.RestoreLink(he.Link)
+	}
+}
+
+// RestoreAll clears every failure, notifying observers per restored link.
 func (g *Graph) RestoreAll() {
 	for i := range g.links {
-		g.links[i].Failed = false
+		g.RestoreLink(LinkID(i))
 	}
-	g.failedLinks = 0
 }
 
 // LinkFilter selects links eligible for random failure injection.

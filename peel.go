@@ -101,6 +101,12 @@ func LayerPeeling(g *Graph, src NodeID, dests []NodeID) (*Tree, PeelingStats, er
 	return steiner.LayerPeeling(g, src, dests)
 }
 
+// ErrUnreachable is the sentinel wrapped by every tree builder when a
+// destination has no live path from the source (a degraded fabric cut it
+// off). Test with errors.Is to distinguish "this group cannot be served"
+// from planner-internal failures.
+var ErrUnreachable = steiner.ErrUnreachable
+
 // OptimalTree computes the exact minimum multicast tree on a failure-free
 // Clos fabric (Lemma 2.1 generalized to three tiers).
 func OptimalTree(g *Graph, src NodeID, dests []NodeID) (*Tree, error) {
@@ -189,6 +195,11 @@ var (
 	FragmentationStudy = experiments.FragmentationStudy
 	DeploymentStudy    = experiments.DeploymentStudy
 	MultipathStudy     = experiments.MultipathStudy
+	// ChaosStudy measures CCT inflation, delivered-byte downtime, and
+	// repair counts when links fail mid-flight and the collective layer
+	// repairs its trees online (see internal/chaos and
+	// internal/collective/recovery.go).
+	ChaosStudy = experiments.ChaosStudy
 )
 
 // PlanOptions re-exports the §3.4 planning knobs (packet budgets,
