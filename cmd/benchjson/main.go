@@ -1,0 +1,41 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repository's BENCH_*.json schema on stdout (see internal/perfstats).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson -label after -note "post-optimization" > BENCH_after.json
+//
+// scripts/bench.sh wraps the full capture-and-convert flow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"peel/internal/perfstats"
+)
+
+func main() {
+	label := flag.String("label", "", "report label (e.g. baseline, after)")
+	note := flag.String("note", "", "free-form context for the report")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+	benches, err := perfstats.ParseGoBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	rep := perfstats.NewBenchReport(*label, *note, benches)
+	if err := rep.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -10,19 +10,31 @@
 //
 // Flags:
 //
-//	-samples N   collectives per configuration point (default 40)
-//	-seed S      workload/simulation seed (default 1)
-//	-frames F    simulation frames per message (default 128)
-//	-load L      offered load for Poisson workloads (default 0.30)
-//	-quick       reduced-fidelity settings (tests/smoke)
-//	-csv         emit comma-separated values instead of aligned tables
-//	-chaosfrac F single mid-flight failure fraction for the chaos experiment
+//	-samples N     collectives per configuration point (default 40)
+//	-seed S        workload/simulation seed (default 1)
+//	-frames F      simulation frames per message (default 128)
+//	-load L        offered load for Poisson workloads (default 0.30)
+//	-quick         reduced-fidelity settings (tests/smoke)
+//	-csv           emit comma-separated values instead of aligned tables
+//	-chaosfrac F   single mid-flight failure fraction for the chaos experiment
+//	-workers N     concurrent simulation runs per sweep, and concurrent
+//	               experiments when several are requested (default GOMAXPROCS;
+//	               1 = serial, the determinism oracle)
+//	-perf          append a perf digest (runs, events/s, speedup, allocs)
+//	               to each experiment's notes
+//	-cpuprofile F  write a CPU profile to F
+//	-memprofile F  write a heap profile to F at exit
+//
+// Results are byte-identical for any -workers value: every (scheme, X)
+// point is an independent deterministic simulation collected by index.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,6 +77,10 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity settings")
 	csv := flag.Bool("csv", false, "CSV output")
 	chaosFrac := flag.Float64("chaosfrac", 0, "single mid-flight failure fraction for the chaos experiment (0 = sweep)")
+	workers := flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
+	perf := flag.Bool("perf", false, "append perf digests to experiment notes")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -91,63 +107,130 @@ func main() {
 	if *chaosFrac > 0 {
 		opts.ChaosFrac = *chaosFrac
 	}
+	opts.Workers = *workers
+	opts.Perf = *perf
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peelsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "peelsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	names := flag.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = order
 	}
-	failed := 0
-	for _, name := range names {
-		run, ok := runners[strings.ToLower(name)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "peelsim: unknown experiment %q\n", name)
-			failed++
-			continue
-		}
-		start := time.Now()
-		res, err := run(opts)
+	failed := run(names, opts, *csv)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "peelsim: %s: %v\n", name, err)
-			failed++
-			continue
+			fmt.Fprintf(os.Stderr, "peelsim: %v\n", err)
+			os.Exit(1)
 		}
-		if *csv {
-			printCSV(res)
-		} else {
-			fmt.Print(res.Render())
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "peelsim: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		f.Close()
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
-func printCSV(r *experiments.Result) {
-	fmt.Printf("# %s\n", r.Name)
+// run executes the requested experiments — concurrently when the worker
+// budget allows — and prints each result in request order as soon as all
+// earlier ones are out. Returns the number of failures.
+func run(names []string, opts experiments.Options, csv bool) int {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		out  string // rendered result (stdout)
+		errs string // error text (stderr)
+		took time.Duration
+	}
+	outs := make([]outcome, len(names))
+	done := make([]chan struct{}, len(names))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, workers)
+	for i, name := range names {
+		go func(i int, name string) {
+			defer close(done[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runFn, ok := runners[strings.ToLower(name)]
+			if !ok {
+				outs[i].errs = fmt.Sprintf("peelsim: unknown experiment %q\n", name)
+				return
+			}
+			start := time.Now()
+			res, err := runFn(opts)
+			outs[i].took = time.Since(start)
+			if err != nil {
+				outs[i].errs = fmt.Sprintf("peelsim: %s: %v\n", name, err)
+				return
+			}
+			if csv {
+				outs[i].out = renderCSV(res)
+			} else {
+				outs[i].out = res.Render()
+			}
+		}(i, name)
+	}
+	failed := 0
+	for i, name := range names {
+		<-done[i]
+		if outs[i].errs != "" {
+			fmt.Fprint(os.Stderr, outs[i].errs)
+			failed++
+			continue
+		}
+		fmt.Print(outs[i].out)
+		fmt.Printf("(%s took %v)\n\n", name, outs[i].took.Round(time.Millisecond))
+	}
+	return failed
+}
+
+func renderCSV(r *experiments.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", r.Name)
 	emit := func(kind string, ss []metrics.Series) {
 		for _, s := range ss {
-			fmt.Printf("%s,%s", kind, s.Label)
+			fmt.Fprintf(&b, "%s,%s", kind, s.Label)
 			for i := range r.X {
 				if i < len(s.Y) {
-					fmt.Printf(",%g", s.Y[i])
+					fmt.Fprintf(&b, ",%g", s.Y[i])
 				} else {
-					fmt.Print(",")
+					b.WriteString(",")
 				}
 			}
-			fmt.Println()
+			b.WriteString("\n")
 		}
 	}
-	fmt.Printf("x,%s", r.XLabel)
+	fmt.Fprintf(&b, "x,%s", r.XLabel)
 	for _, x := range r.X {
-		fmt.Printf(",%g", x)
+		fmt.Fprintf(&b, ",%g", x)
 	}
-	fmt.Println()
+	b.WriteString("\n")
 	emit("mean", r.Mean)
 	emit("p99", r.P99)
 	for _, n := range r.Notes {
-		fmt.Printf("# %s\n", n)
+		fmt.Fprintf(&b, "# %s\n", n)
 	}
+	return b.String()
 }
 
 func usage() {

@@ -173,7 +173,8 @@ func (in *instance) repairTree() {
 	if len(pending) == 0 {
 		return // everything delivered; completion is NVLink-stage bound
 	}
-	d := routing.BFS(in.r.Net.G, in.c.Source())
+	d := routing.BorrowBFS(in.r.Net.G, in.c.Source())
+	defer d.Release()
 	reachable := pending[:0:0]
 	for _, m := range pending {
 		if d.Reachable(m) {

@@ -8,12 +8,15 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"time"
 
 	"peel/internal/collective"
 	"peel/internal/controller"
 	"peel/internal/core"
 	"peel/internal/metrics"
 	"peel/internal/netsim"
+	"peel/internal/perfstats"
 	"peel/internal/sim"
 	"peel/internal/topology"
 	"peel/internal/workload"
@@ -38,6 +41,16 @@ type Options struct {
 	// ChaosFrac, when positive, restricts ChaosStudy to a single failure
 	// fraction instead of the default sweep.
 	ChaosFrac float64
+	// Workers bounds the number of concurrent simulation runs per sweep.
+	// Each (scheme, X) point is an independent deterministic simulation,
+	// so results are byte-identical for any worker count; 1 runs the
+	// points serially (the determinism oracle), 0 defaults to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Perf, when set, appends a performance digest (runs, events/s, wall
+	// time, parallel speedup, allocations) to each Result's Notes. Off by
+	// default so rendered output stays byte-stable across machines.
+	Perf bool
 }
 
 // Defaults returns full-fidelity options.
@@ -67,7 +80,45 @@ func (o Options) normalized() Options {
 	if o.MaxEvents == 0 {
 		o.MaxEvents = d.MaxEvents
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// perfCollector returns a live collector when perf reporting is on; a
+// nil *perfstats.Collector ignores Record calls, so run helpers thread
+// it unconditionally.
+func (o Options) perfCollector() *perfstats.Collector {
+	if !o.Perf {
+		return nil
+	}
+	return new(perfstats.Collector)
+}
+
+// perfSpan brackets one figure's simulation work for the perf note:
+// created before the runs, finished (with the Result) after them.
+type perfSpan struct {
+	c      *perfstats.Collector
+	start  time.Time
+	allocs uint64
+}
+
+func (o Options) perfSpanStart() perfSpan {
+	c := o.perfCollector()
+	if c == nil {
+		return perfSpan{}
+	}
+	return perfSpan{c: c, start: time.Now(), allocs: perfstats.MemAllocs()}
+}
+
+// finish appends the digest to res.Notes. No-op for a dead span, so the
+// rendered output is untouched unless -perf was requested.
+func (p perfSpan) finish(res *Result) {
+	if p.c == nil || res == nil {
+		return
+	}
+	res.Notes = append(res.Notes, p.c.Note(time.Since(p.start), perfstats.MemAllocs()-p.allocs))
 }
 
 // frameFor picks the simulation frame for a message size.
@@ -125,8 +176,16 @@ func (r *Result) Render() string {
 // runWorkload simulates one (fabric, scheme, workload) combination and
 // returns the CCT samples. Every collective must complete; a stall is an
 // error (it would silently bias the tail otherwise).
+//
+// Concurrency contract: runWorkload is called from worker goroutines, so
+// everything it mutates — engine, network, samples, and the
+// startErr/completed closure state — is a per-call local. The inputs it
+// shares with sibling runs (cols, cfg) are read-only here; in particular
+// the *workload.Collective structs must not be written. The -race sweep
+// test in experiments_test.go enforces this.
 func runWorkload(build func() *topology.Graph, usePlanner bool, scheme collective.Scheme,
-	cols []*workload.Collective, cfg netsim.Config, gpusPerHost int, maxEvents uint64) (*metrics.Samples, *netsim.Network, error) {
+	cols []*workload.Collective, cfg netsim.Config, gpusPerHost int, maxEvents uint64,
+	perf *perfstats.Collector) (*metrics.Samples, *netsim.Network, error) {
 
 	g := build()
 	eng := &sim.Engine{}
@@ -157,9 +216,11 @@ func runWorkload(build func() *topology.Graph, usePlanner bool, scheme collectiv
 			}
 		})
 	}
+	runStart := time.Now()
 	if err := eng.Run(maxEvents); err != nil {
 		return nil, nil, fmt.Errorf("experiments: %s: %w", scheme, err)
 	}
+	perf.Record(eng.Processed(), time.Since(runStart))
 	if startErr != nil {
 		return nil, nil, startErr
 	}
@@ -171,34 +232,51 @@ func runWorkload(build func() *topology.Graph, usePlanner bool, scheme collectiv
 
 // sweepCCT runs a full scheme × X sweep, generating an identical workload
 // per X for every scheme (same seed ⇒ same arrivals and placements).
+//
+// The (X, scheme) grid fans out over o.Workers goroutines: every cell is
+// an independent simulation writing its mean/p99 into a preallocated
+// index-addressed slot, so the Result is byte-identical for any worker
+// count. Workloads are generated serially up front (cheap, and it keeps
+// RNG consumption order fixed); each point's seed comes from its sweep
+// index via pointSeed, never from the float X value.
 func sweepCCT(name, xLabel string, xs []float64, schemes []collective.Scheme,
 	build func() *topology.Graph, usePlanner bool, gpusPerHost int,
 	gen func(x float64, rng *rand.Rand, cl *workload.Cluster) ([]*workload.Collective, error),
-	cfgFor func(x float64) netsim.Config, maxEvents uint64, seed int64) (*Result, error) {
+	cfgFor func(x float64) netsim.Config, o Options) (*Result, error) {
 
 	res := &Result{Name: name, XLabel: xLabel, X: xs}
 	for _, s := range schemes {
-		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: xs})
-		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: xs})
+		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: xs, Y: make([]float64, len(xs))})
+		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: xs, Y: make([]float64, len(xs))})
 	}
-	for _, x := range xs {
-		// One workload per X, shared verbatim across schemes.
+	// One workload per X, shared read-only across schemes.
+	workloads := make([][]*workload.Collective, len(xs))
+	for xi, x := range xs {
 		gWork := build()
 		clWork := workload.NewCluster(gWork, gpusPerHost)
-		rng := rand.New(rand.NewSource(seed + int64(x*1000)))
+		rng := rand.New(rand.NewSource(pointSeed(o.Seed, xi)))
 		cols, err := gen(x, rng, clWork)
 		if err != nil {
 			return nil, err
 		}
-		for si, s := range schemes {
-			cfg := cfgFor(x)
-			samples, _, err := runWorkload(build, usePlanner, s, cols, cfg, gpusPerHost, maxEvents)
-			if err != nil {
-				return nil, fmt.Errorf("%s @ %s=%v: %w", name, xLabel, x, err)
-			}
-			res.Mean[si].Y = append(res.Mean[si].Y, samples.Mean())
-			res.P99[si].Y = append(res.P99[si].Y, samples.P99())
-		}
+		workloads[xi] = cols
 	}
+	span := o.perfSpanStart()
+	grid := len(xs) * len(schemes)
+	err := forEachIndex(o.Workers, grid, func(k int) error {
+		xi, si := k/len(schemes), k%len(schemes)
+		cfg := cfgFor(xs[xi])
+		samples, _, err := runWorkload(build, usePlanner, schemes[si], workloads[xi], cfg, gpusPerHost, o.MaxEvents, span.c)
+		if err != nil {
+			return fmt.Errorf("%s @ %s=%v: %w", name, xLabel, xs[xi], err)
+		}
+		res.Mean[si].Y[xi] = samples.Mean()
+		res.P99[si].Y[xi] = samples.P99()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	span.finish(res)
 	return res, nil
 }

@@ -51,6 +51,7 @@ func GuardAblation(o Options) (*Result, error) {
 	o = o.normalized()
 	const msg = int64(32) << 20
 	build := func() *topology.Graph { return topology.FatTree(8) }
+	span := o.perfSpanStart()
 	run := func(guard bool) (*metrics.Samples, uint64, uint64, error) {
 		gWork := build()
 		cl := workload.NewCluster(gWork, 8)
@@ -62,7 +63,7 @@ func GuardAblation(o Options) (*Result, error) {
 		cfg := netsim.DefaultConfig()
 		cfg.FrameBytes = 16 << 10 // near-MTU granularity; paper thresholds
 		cfg.Seed = o.Seed
-		samples, net, err := runWorkload(build, true, peelVariantScheme(guard), cols, cfg, 8, o.MaxEvents)
+		samples, net, err := runWorkload(build, true, peelVariantScheme(guard), cols, cfg, 8, o.MaxEvents, span.c)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -93,6 +94,7 @@ func GuardAblation(o Options) (*Result, error) {
 			without.P99()/with.P99(), without.Mean()/with.Mean()),
 		fmt.Sprintf("rate cuts: %d guarded (%d CNPs suppressed) vs %d unguarded — the CNP implosion",
 			wReacts, wIgnored, woReacts))
+	span.finish(res)
 	return res, nil
 }
 
@@ -177,13 +179,23 @@ func BandwidthStudy(o Options) (*Result, error) {
 		return nil, err
 	}
 	cfg := o.configFor(msg, o.Seed)
-	bytesOf := map[collective.Scheme]float64{}
-	for _, s := range []collective.Scheme{collective.Ring, collective.PEEL, collective.Optimal} {
-		_, net, err := runWorkload(build, true, s, cols, cfg, 8, o.MaxEvents)
+	span := o.perfSpanStart()
+	schemes := []collective.Scheme{collective.Ring, collective.PEEL, collective.Optimal}
+	totals := make([]float64, len(schemes))
+	err = forEachIndex(o.Workers, len(schemes), func(i int) error {
+		_, net, err := runWorkload(build, true, schemes[i], cols, cfg, 8, o.MaxEvents, span.c)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bytesOf[s] = float64(net.TotalBytes())
+		totals[i] = float64(net.TotalBytes())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bytesOf := map[collective.Scheme]float64{}
+	for i, s := range schemes {
+		bytesOf[s] = totals[i]
 	}
 	res := &Result{
 		Name:   "Aggregate bandwidth: one 512-GPU broadcast",
@@ -194,6 +206,7 @@ func BandwidthStudy(o Options) (*Result, error) {
 	}
 	saving := 1 - bytesOf[collective.PEEL]/bytesOf[collective.Ring]
 	res.Notes = append(res.Notes, fmt.Sprintf("PEEL uses %.0f%% less aggregate bandwidth than Ring (paper: 23%%)", saving*100))
+	span.finish(res)
 	return res, nil
 }
 

@@ -93,7 +93,7 @@ func Fig4(o Options) (*Result, error) {
 		[]collective.Scheme{collective.Orca, collective.OrcaInstant},
 		build, false, 8, gen,
 		func(x float64) netsim.Config { return o.configFor(int64(x)<<20, o.Seed) },
-		o.MaxEvents, o.Seed)
+		o)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +121,7 @@ func Fig5(o Options) (*Result, error) {
 	return sweepCCT("Fig5: CCT vs message size (512 GPUs, 30% load)", "msgMB", sizes,
 		collective.AllSchemes, build, true, 8, gen,
 		func(x float64) netsim.Config { return o.configFor(int64(x)<<20, o.Seed) },
-		o.MaxEvents, o.Seed)
+		o)
 }
 
 // Fig6 reproduces Figure 6: mean and p99 CCT versus broadcast scale
@@ -141,7 +141,7 @@ func Fig6(o Options) (*Result, error) {
 	return sweepCCT("Fig6: CCT vs scale (64 MB)", "gpus", scales,
 		collective.AllSchemes, build, true, 8, gen,
 		func(x float64) netsim.Config { return o.configFor(msg, o.Seed) },
-		o.MaxEvents, o.Seed)
+		o)
 }
 
 // Fig7 reproduces Figure 7: robustness to failures. A two-tier leaf–spine
@@ -162,32 +162,46 @@ func Fig7(o Options) (*Result, error) {
 	res := &Result{Name: "Fig7: CCT vs failure rate (64-GPU, 8 MB, leaf-spine)", XLabel: "fail%", X: failPcts}
 	schemes := []collective.Scheme{collective.BinTree, collective.Ring, collective.PEEL}
 	for _, s := range schemes {
-		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: failPcts})
-		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: failPcts})
+		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: failPcts, Y: make([]float64, len(failPcts))})
+		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: failPcts, Y: make([]float64, len(failPcts))})
 	}
-	for _, pct := range failPcts {
-		failedBuild := func() *topology.Graph {
+	// Per-point builders and workloads are prepared serially; the
+	// (pct, scheme) grid then fans out like sweepCCT — every cell is an
+	// independent simulation writing into its preallocated slot.
+	builds := make([]func() *topology.Graph, len(failPcts))
+	workloads := make([][]*workload.Collective, len(failPcts))
+	for pi, pct := range failPcts {
+		pct := pct
+		builds[pi] = func() *topology.Graph {
 			g := build()
 			rng := rand.New(rand.NewSource(o.Seed + int64(pct)))
 			g.FailRandomFraction(pct/100, spineLeaf, rng)
 			return g
 		}
-		gWork := failedBuild()
+		gWork := builds[pi]()
 		cl := workload.NewCluster(gWork, 8)
 		rng := rand.New(rand.NewSource(o.Seed + 100 + int64(pct)))
 		cols, err := cl.Generate(o.Samples, o.Load, 100e9, workload.Spec{GPUs: 64, Bytes: msg}, rng)
 		if err != nil {
 			return nil, err
 		}
-		cfg := o.configFor(msg, o.Seed)
-		for si, s := range schemes {
-			samples, _, err := runWorkload(failedBuild, false, s, cols, cfg, 8, o.MaxEvents)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s @ %v%%: %w", s, pct, err)
-			}
-			res.Mean[si].Y = append(res.Mean[si].Y, samples.Mean())
-			res.P99[si].Y = append(res.P99[si].Y, samples.P99())
-		}
+		workloads[pi] = cols
 	}
+	span := o.perfSpanStart()
+	cfg := o.configFor(msg, o.Seed)
+	err := forEachIndex(o.Workers, len(failPcts)*len(schemes), func(k int) error {
+		pi, si := k/len(schemes), k%len(schemes)
+		samples, _, err := runWorkload(builds[pi], false, schemes[si], workloads[pi], cfg, 8, o.MaxEvents, span.c)
+		if err != nil {
+			return fmt.Errorf("fig7 %s @ %v%%: %w", schemes[si], failPcts[pi], err)
+		}
+		res.Mean[si].Y[pi] = samples.Mean()
+		res.P99[si].Y[pi] = samples.P99()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	span.finish(res)
 	return res, nil
 }

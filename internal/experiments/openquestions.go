@@ -3,12 +3,14 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"peel/internal/collective"
 	"peel/internal/controller"
 	"peel/internal/core"
 	"peel/internal/metrics"
 	"peel/internal/netsim"
+	"peel/internal/perfstats"
 	"peel/internal/routing"
 	"peel/internal/sim"
 	"peel/internal/steiner"
@@ -122,21 +124,27 @@ func DeploymentStudy(o Options) (*Result, error) {
 		XLabel: "deployment(static=0,tor=1,cores=2,both=3)",
 		X:      []float64{0, 1, 2, 3},
 	}
-	meanS := metrics.Series{Label: "meanCCT", X: res.X}
-	p99S := metrics.Series{Label: "p99CCT", X: res.X}
-	bytesS := metrics.Series{Label: "fabricGB", X: res.X}
-	for _, s := range schemes {
-		samples, net, err := runWorkload(build, true, s, cols, cfg, 8, o.MaxEvents)
+	meanS := metrics.Series{Label: "meanCCT", X: res.X, Y: make([]float64, len(schemes))}
+	p99S := metrics.Series{Label: "p99CCT", X: res.X, Y: make([]float64, len(schemes))}
+	bytesS := metrics.Series{Label: "fabricGB", X: res.X, Y: make([]float64, len(schemes))}
+	span := o.perfSpanStart()
+	err = forEachIndex(o.Workers, len(schemes), func(i int) error {
+		samples, net, err := runWorkload(build, true, schemes[i], cols, cfg, 8, o.MaxEvents, span.c)
 		if err != nil {
-			return nil, fmt.Errorf("deployment %s: %w", s, err)
+			return fmt.Errorf("deployment %s: %w", schemes[i], err)
 		}
-		meanS.Y = append(meanS.Y, samples.Mean())
-		p99S.Y = append(p99S.Y, samples.P99())
-		bytesS.Y = append(bytesS.Y, float64(net.TotalBytes())/1e9)
+		meanS.Y[i] = samples.Mean()
+		p99S.Y[i] = samples.P99()
+		bytesS.Y[i] = float64(net.TotalBytes()) / 1e9
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Mean = []metrics.Series{meanS, bytesS}
 	res.P99 = []metrics.Series{p99S}
 	res.Notes = append(res.Notes, fmt.Sprintf("deployments: %v", labels))
+	span.finish(res)
 	return res, nil
 }
 
@@ -178,21 +186,27 @@ func MultipathStudy(o Options) (*Result, error) {
 		XLabel: "trees",
 		X:      []float64{1, 2, 4},
 	}
-	meanS := metrics.Series{Label: "meanCCT", X: res.X}
-	p99S := metrics.Series{Label: "p99CCT", X: res.X}
-	for _, v := range variants {
-		samples, _, err := runWorkload(build, false, v.scheme, cols, cfg, 8, o.MaxEvents)
+	meanS := metrics.Series{Label: "meanCCT", X: res.X, Y: make([]float64, len(variants))}
+	p99S := metrics.Series{Label: "p99CCT", X: res.X, Y: make([]float64, len(variants))}
+	span := o.perfSpanStart()
+	err = forEachIndex(o.Workers, len(variants), func(i int) error {
+		samples, _, err := runWorkload(build, false, variants[i].scheme, cols, cfg, 8, o.MaxEvents, span.c)
 		if err != nil {
-			return nil, fmt.Errorf("multipath %s: %w", v.label, err)
+			return fmt.Errorf("multipath %s: %w", variants[i].label, err)
 		}
-		meanS.Y = append(meanS.Y, samples.Mean())
-		p99S.Y = append(p99S.Y, samples.P99())
+		meanS.Y[i] = samples.Mean()
+		p99S.Y[i] = samples.P99()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Mean = []metrics.Series{meanS}
 	res.P99 = []metrics.Series{p99S}
 	res.Notes = append(res.Notes,
 		"2:1 oversubscribed core; striping spreads a broadcast's bytes over distinct core links",
 		"gains appear when trees, not NICs, are the bottleneck")
+	span.finish(res)
 	return res, nil
 }
 
@@ -219,10 +233,11 @@ func AllGatherStudy(o Options) (*Result, error) {
 	}
 	res := &Result{Name: "AllGather: ring vs concurrent multicast (512 GPUs)", XLabel: "totalMB", X: sizes}
 	for _, v := range variants {
-		res.Mean = append(res.Mean, metrics.Series{Label: v.label, X: sizes})
-		res.P99 = append(res.P99, metrics.Series{Label: v.label + "/p99", X: sizes})
+		res.Mean = append(res.Mean, metrics.Series{Label: v.label, X: sizes, Y: make([]float64, len(sizes))})
+		res.P99 = append(res.P99, metrics.Series{Label: v.label + "/p99", X: sizes, Y: make([]float64, len(sizes))})
 	}
-	for _, mb := range sizes {
+	workloads := make([][]*workload.Collective, len(sizes))
+	for mi, mb := range sizes {
 		msg := int64(mb) << 20
 		gWork := build()
 		clW := workload.NewCluster(gWork, 8)
@@ -231,23 +246,34 @@ func AllGatherStudy(o Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		for vi, v := range variants {
-			samples, err := runAllGather(build, v.scheme, cols, o.configFor(msg, o.Seed), o.MaxEvents)
-			if err != nil {
-				return nil, fmt.Errorf("allgather %s @ %vMB: %w", v.label, mb, err)
-			}
-			res.Mean[vi].Y = append(res.Mean[vi].Y, samples.Mean())
-			res.P99[vi].Y = append(res.P99[vi].Y, samples.P99())
+		workloads[mi] = cols
+	}
+	span := o.perfSpanStart()
+	err := forEachIndex(o.Workers, len(sizes)*len(variants), func(k int) error {
+		mi, vi := k/len(variants), k%len(variants)
+		msg := int64(sizes[mi]) << 20
+		samples, err := runAllGather(build, variants[vi].scheme, workloads[mi], o.configFor(msg, o.Seed), o.MaxEvents, span.c)
+		if err != nil {
+			return fmt.Errorf("allgather %s @ %vMB: %w", variants[vi].label, sizes[mi], err)
 		}
+		res.Mean[vi].Y[mi] = samples.Mean()
+		res.P99[vi].Y[mi] = samples.P99()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes,
 		"ring allgather is aggregate-bandwidth-optimal but serializes N-1 hops; multicast shards cut the latency chain")
+	span.finish(res)
 	return res, nil
 }
 
-// runAllGather mirrors runWorkload for the AllGather collective.
+// runAllGather mirrors runWorkload for the AllGather collective,
+// including its concurrency contract: all mutable state is per-call.
 func runAllGather(build func() *topology.Graph, scheme collective.Scheme,
-	cols []*workload.Collective, cfg netsim.Config, maxEvents uint64) (*metrics.Samples, error) {
+	cols []*workload.Collective, cfg netsim.Config, maxEvents uint64,
+	perf *perfstats.Collector) (*metrics.Samples, error) {
 
 	g := build()
 	eng := &sim.Engine{}
@@ -274,9 +300,11 @@ func runAllGather(build func() *topology.Graph, scheme collective.Scheme,
 			}
 		})
 	}
+	runStart := time.Now()
 	if err := eng.Run(maxEvents); err != nil {
 		return nil, err
 	}
+	perf.Record(eng.Processed(), time.Since(runStart))
 	if startErr != nil {
 		return nil, startErr
 	}
@@ -309,22 +337,27 @@ func LossStudy(o Options) (*Result, error) {
 	schemes := []collective.Scheme{collective.PEEL, collective.Ring}
 	res := &Result{Name: "Loss recovery: CCT vs frame-loss rate (256-GPU, 32 MB)", XLabel: "loss", X: lossRates}
 	for _, s := range schemes {
-		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: lossRates})
-		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: lossRates})
+		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: lossRates, Y: make([]float64, len(lossRates))})
+		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: lossRates, Y: make([]float64, len(lossRates))})
 	}
-	for _, loss := range lossRates {
+	span := o.perfSpanStart()
+	err = forEachIndex(o.Workers, len(lossRates)*len(schemes), func(k int) error {
+		li, si := k/len(schemes), k%len(schemes)
 		cfg := o.configFor(msg, o.Seed)
-		cfg.LossRate = loss
-		for si, s := range schemes {
-			samples, _, err := runWorkload(build, true, s, cols, cfg, 8, o.MaxEvents)
-			if err != nil {
-				return nil, fmt.Errorf("loss %v %s: %w", loss, s, err)
-			}
-			res.Mean[si].Y = append(res.Mean[si].Y, samples.Mean())
-			res.P99[si].Y = append(res.P99[si].Y, samples.P99())
+		cfg.LossRate = lossRates[li]
+		samples, _, err := runWorkload(build, true, schemes[si], cols, cfg, 8, o.MaxEvents, span.c)
+		if err != nil {
+			return fmt.Errorf("loss %v %s: %w", lossRates[li], schemes[si], err)
 		}
+		res.Mean[si].Y[li] = samples.Mean()
+		res.P99[si].Y[li] = samples.P99()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Notes = append(res.Notes, "selective-repeat repair per flow; repairs traverse the original tree/path")
+	span.finish(res)
 	return res, nil
 }
 

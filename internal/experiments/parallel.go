@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachIndex runs job(0..n-1) on a bounded pool of workers goroutines.
+// Each job must be independent; callers write results into preallocated
+// index-addressed slots so the output is byte-identical to running the
+// jobs serially. With workers <= 1 the jobs run inline in index order —
+// the determinism oracle for the parallel path.
+//
+// Error handling is deterministic too: all jobs run to completion (no
+// cancellation, so partial sweeps never depend on scheduling), then the
+// lowest-index error is returned — the same one the serial path reports
+// first.
+func forEachIndex(workers, n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pointSeed derives the workload seed for sweep point i from the base
+// seed with a splitmix64-style mix. Seeds depend on the sweep *index*,
+// never on the (float) X value: the old `seed + int64(x*1000)` scheme
+// collided whenever two X values truncated to the same integer (e.g.
+// loss rates 0.001 and 0.0005 ⇒ both 0), silently reusing one workload
+// for two points.
+func pointSeed(seed int64, i int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

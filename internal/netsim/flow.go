@@ -206,7 +206,8 @@ func (f *Flow) inject(fromWake bool) {
 		sf := f.repairQ[0]
 		f.repairQ = f.repairQ[1:]
 		size = sf.bytes
-		fr = &frame{flow: f, chunkID: sf.chunkID, bytes: sf.bytes, hop: 0, at: f.src, seq: sf.seq}
+		fr = f.net.newFrame()
+		*fr = frame{flow: f, chunkID: sf.chunkID, bytes: sf.bytes, hop: 0, at: f.src, seq: sf.seq}
 		f.Retransmissions++
 	} else {
 		cs := f.chunks[f.nextChunk]
@@ -214,7 +215,8 @@ func (f *Flow) inject(fromWake bool) {
 		if rem := cs.bytes - f.offset; rem < size {
 			size = rem
 		}
-		fr = &frame{flow: f, chunkID: cs.id, bytes: size, hop: 0, at: f.src, seq: f.nextSeq}
+		fr = f.net.newFrame()
+		*fr = frame{flow: f, chunkID: cs.id, bytes: size, hop: 0, at: f.src, seq: f.nextSeq}
 		f.nextSeq++
 		// Every frame is retained for selective repeat: random loss needs
 		// it from the start, and a link can fail at any later moment.
@@ -312,20 +314,28 @@ func (f *Flow) uplink() *channel {
 	return f.net.Channel(f.src, kids[0])
 }
 
-// firstHop places a fresh frame on the source host's uplink(s).
+// firstHop places a fresh frame on the source host's uplink(s): the
+// template frame rides to the first child, copies to the rest.
 func (f *Flow) firstHop(fr *frame) {
 	if f.path != nil {
 		f.net.send(fr, f.path[0], f.path[1])
 		return
 	}
-	for _, c := range f.tree.Children()[f.src] {
-		f.net.send(f.cloneFrame(fr), f.src, c)
+	kids := f.tree.Children()[f.src]
+	if len(kids) == 0 {
+		f.net.freeFrame(fr)
+		return
 	}
+	for i := 1; i < len(kids); i++ {
+		f.net.send(f.cloneFrame(fr), f.src, kids[i])
+	}
+	f.net.send(fr, f.src, kids[0])
 }
 
 func (f *Flow) cloneFrame(fr *frame) *frame {
-	cp := *fr
-	return &cp
+	cp := f.net.newFrame()
+	*cp = *fr
+	return cp
 }
 
 // forward routes a frame onward from a switch.
@@ -342,6 +352,7 @@ func (f *Flow) forward(fr *frame, at topology.NodeID) {
 	}
 	kids := f.tree.Children()[at]
 	if len(kids) == 0 {
+		f.net.freeFrame(fr)
 		return // over-covered interior with no members below; discard
 	}
 	// Replicate: reuse fr for the first child, copy for the rest.
@@ -354,27 +365,33 @@ func (f *Flow) forward(fr *frame, at topology.NodeID) {
 // receive consumes a frame at a host: receiver bookkeeping, chunk
 // completion callbacks, and CNP generation for ECN-marked frames.
 func (f *Flow) receive(fr *frame, at topology.NodeID) {
+	// The host consumes the frame on every path below. Its fields are
+	// copied out and the frame recycled up front, because the onChunk
+	// callback may synchronously inject new frames (relay pipelining) and
+	// reuse this slot.
+	chunkID, bytes, seq, ecn := fr.chunkID, fr.bytes, fr.seq, fr.ecn
+	f.net.freeFrame(fr)
 	rs, isReceiver := f.recv[at]
 	if !isReceiver {
 		// Over-covered host: the NIC discards the frame without a QP, so
 		// no CNP is generated either (PEEL §3.2).
 		return
 	}
-	if fr.ecn {
+	if ecn {
 		f.noteCongestion(rs)
 	}
-	if rs.gotSeq[fr.seq] {
+	if rs.gotSeq[seq] {
 		return // duplicate repair copy (loss-rate or link-failure repair)
 	}
-	rs.gotSeq[fr.seq] = true
-	rs.gotChunk[fr.chunkID] += fr.bytes
+	rs.gotSeq[seq] = true
+	rs.gotChunk[chunkID] += bytes
 	// Chunk size is known from the sender's queue; completion is when the
 	// receiver holds all bytes of that chunk.
-	want := f.chunkBytes(fr.chunkID)
-	if want > 0 && rs.gotChunk[fr.chunkID] >= want && !rs.doneChunk[fr.chunkID] {
-		rs.doneChunk[fr.chunkID] = true
+	want := f.chunkBytes(chunkID)
+	if want > 0 && rs.gotChunk[chunkID] >= want && !rs.doneChunk[chunkID] {
+		rs.doneChunk[chunkID] = true
 		if f.onChunk != nil {
-			f.onChunk(at, fr.chunkID)
+			f.onChunk(at, chunkID)
 		}
 	}
 }

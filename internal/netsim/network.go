@@ -21,6 +21,11 @@ type Network struct {
 
 	flows  []*Flow
 	ecnRNG *rand.Rand
+	// framePool is the frame free list. Frame ownership is linear — a
+	// frame sits in exactly one queue or one in-flight closure at a time —
+	// so every consumption point (host receive, drop, discard) recycles
+	// its frame here and steady-state forwarding allocates no frames.
+	framePool []*frame
 	// faulty latches once any link transition happened at runtime: it
 	// widens the selective-repeat arming condition to cover link-failure
 	// drops (not just random loss) without touching failure-free runs.
@@ -96,6 +101,23 @@ type frame struct {
 	hop     int // unicast: index of the node the frame is currently at, within flow.path
 	at      topology.NodeID
 	seq     int64 // flow-scoped sequence number (loss recovery de-dup)
+}
+
+// newFrame returns a zeroed frame from the free list (or a fresh one).
+func (n *Network) newFrame() *frame {
+	if len(n.framePool) == 0 {
+		return &frame{}
+	}
+	f := n.framePool[len(n.framePool)-1]
+	n.framePool = n.framePool[:len(n.framePool)-1]
+	*f = frame{}
+	return f
+}
+
+// freeFrame recycles a consumed frame. Callers must hold the frame's only
+// reference (see framePool).
+func (n *Network) freeFrame(f *frame) {
+	n.framePool = append(n.framePool, f)
 }
 
 // New builds a Network over g. Every link gets a channel pair; channels of
@@ -184,6 +206,7 @@ func (ch *channel) markDown() {
 			n.nodes[ch.from].bufBytes -= f.bytes
 		}
 		ch.queue[i] = nil
+		n.freeFrame(f)
 	}
 	ch.queue = ch.queue[:start]
 	if fromSwitch {
@@ -281,6 +304,7 @@ func (ch *channel) enqueue(f *frame) {
 		// collective layer's watchdog, not this queue.
 		ch.Drops++
 		n.LinkDrops++
+		n.freeFrame(f)
 		return
 	}
 	// ECN marking decision uses the queue depth seen on arrival (DCQCN's
@@ -365,6 +389,7 @@ func (ch *channel) finishTx(f *frame) {
 		// wire and is lost.
 		ch.Drops++
 		n.LinkDrops++
+		n.freeFrame(f)
 	} else {
 		to := ch.to
 		n.Engine.After(n.Cfg.PropDelay, func() { n.deliver(f, to) })
@@ -413,6 +438,7 @@ func (ch *channel) wakeNext() {
 func (n *Network) deliver(f *frame, at topology.NodeID) {
 	if n.Cfg.LossRate > 0 && n.ecnRNG.Float64() < n.Cfg.LossRate {
 		n.TotalDrops++
+		n.freeFrame(f)
 		return
 	}
 	f.at = at

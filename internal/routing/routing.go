@@ -9,6 +9,7 @@ package routing
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"peel/internal/topology"
 )
@@ -21,25 +22,46 @@ const Unreachable = int32(-1)
 // distinguish a disconnected receiver (errors.Is) from construction bugs.
 var ErrUnreachable = errors.New("destination unreachable")
 
-// DistanceField holds BFS hop counts from one source node.
+// DistanceField holds BFS hop counts from one source node. Fields may be
+// reused across computations via BFSInto (or the Borrow/Release pool), in
+// which case the queue and layer scratch persist and later runs stop
+// allocating.
 type DistanceField struct {
 	Source topology.NodeID
 	Dist   []int32 // indexed by NodeID; Unreachable if cut off
 	Max    int32   // largest finite distance
+
+	queue  []topology.NodeID   // BFS frontier scratch
+	nbr    []topology.NodeID   // Neighbors scratch
+	layers [][]topology.NodeID // Layers scratch (see Layers)
 }
 
 // BFS computes hop distances from src over non-failed links.
 func BFS(g *topology.Graph, src topology.NodeID) *DistanceField {
-	d := &DistanceField{Source: src, Dist: make([]int32, g.NumNodes())}
+	return BFSInto(g, src, &DistanceField{})
+}
+
+// BFSInto computes hop distances from src into d, reusing d's storage.
+// Repeated calls on one field — or on a pooled field from BorrowBFS —
+// run allocation-free once the scratch has grown to the fabric's size.
+// The previous contents of d (including any Layers result) are invalid
+// afterwards.
+func BFSInto(g *topology.Graph, src topology.NodeID, d *DistanceField) *DistanceField {
+	n := g.NumNodes()
+	if cap(d.Dist) < n {
+		d.Dist = make([]int32, n)
+	}
+	d.Dist = d.Dist[:n]
 	for i := range d.Dist {
 		d.Dist[i] = Unreachable
 	}
+	d.Source = src
+	d.Max = 0
 	d.Dist[src] = 0
-	queue := []topology.NodeID{src}
-	var scratch []topology.NodeID
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
+	queue := append(d.queue[:0], src)
+	scratch := d.nbr
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
 		nd := d.Dist[n]
 		scratch = g.Neighbors(n, scratch[:0])
 		for _, p := range scratch {
@@ -52,22 +74,49 @@ func BFS(g *topology.Graph, src topology.NodeID) *DistanceField {
 			}
 		}
 	}
+	d.queue = queue[:0]
+	d.nbr = scratch
 	return d
 }
+
+// fieldPool recycles DistanceFields for the hot callers (tree peeling,
+// per-flow ECMP path selection) that need a field only within one call.
+var fieldPool = sync.Pool{New: func() any { return &DistanceField{} }}
+
+// BorrowBFS computes a distance field into a pooled DistanceField. The
+// caller must Release it when done and must not retain Dist, Layers, or
+// any slice derived from the field past the Release.
+func BorrowBFS(g *topology.Graph, src topology.NodeID) *DistanceField {
+	return BFSInto(g, src, fieldPool.Get().(*DistanceField))
+}
+
+// Release returns a borrowed field to the pool.
+func (d *DistanceField) Release() { fieldPool.Put(d) }
 
 // Reachable reports whether n has a live path from the source.
 func (d *DistanceField) Reachable(n topology.NodeID) bool { return d.Dist[n] != Unreachable }
 
 // Layers groups nodes by hop distance: Layers()[j] is the paper's l_j, the
 // set of nodes exactly j hops from the source. Unreachable nodes appear in
-// no layer.
+// no layer. The returned slices are the field's reusable scratch: they are
+// valid until the next BFSInto or Layers call on this field (callers that
+// outlive the field must copy).
 func (d *DistanceField) Layers() [][]topology.NodeID {
-	layers := make([][]topology.NodeID, d.Max+1)
+	want := int(d.Max) + 1
+	layers := d.layers
+	for len(layers) < want {
+		layers = append(layers, nil)
+	}
+	layers = layers[:want]
+	for i := range layers {
+		layers[i] = layers[i][:0]
+	}
 	for id, dist := range d.Dist {
 		if dist != Unreachable {
 			layers[dist] = append(layers[dist], topology.NodeID(id))
 		}
 	}
+	d.layers = layers
 	return layers
 }
 
@@ -90,7 +139,8 @@ func (d *DistanceField) Farthest(dests []topology.NodeID) (int32, error) {
 // ShortestPath returns one shortest path src→dst (inclusive) using
 // deterministic lowest-ID tie-breaking, or nil if unreachable.
 func ShortestPath(g *topology.Graph, src, dst topology.NodeID) []topology.NodeID {
-	d := BFS(g, dst) // reverse field so we can walk forward from src
+	d := BorrowBFS(g, dst) // reverse field so we can walk forward from src
+	defer d.Release()
 	if !d.Reachable(src) {
 		return nil
 	}
@@ -118,7 +168,8 @@ func ShortestPath(g *topology.Graph, src, dst topology.NodeID) []topology.NodeID
 // next-hops by hashing flowKey at every branch point, emulating per-flow
 // ECMP. Deterministic for a given (topology, src, dst, flowKey).
 func ECMPPath(g *topology.Graph, src, dst topology.NodeID, flowKey uint64) []topology.NodeID {
-	d := BFS(g, dst)
+	d := BorrowBFS(g, dst)
+	defer d.Release()
 	if !d.Reachable(src) {
 		return nil
 	}
@@ -176,7 +227,8 @@ func PathLinks(g *topology.Graph, path []topology.NodeID) []topology.LinkID {
 // shortest path (the shortest-path DAG). Used by tests and by the optimal
 // tree builder to enumerate candidate cores.
 func AllMinNextHops(g *topology.Graph, dst topology.NodeID) [][]topology.NodeID {
-	d := BFS(g, dst)
+	d := BorrowBFS(g, dst)
+	defer d.Release()
 	out := make([][]topology.NodeID, g.NumNodes())
 	var scratch []topology.NodeID
 	for id := range out {

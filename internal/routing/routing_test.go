@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -222,5 +223,103 @@ func TestQuickECMPShortestUnderFailures(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkBFS measures one distance-field computation on the Fig. 7
+// leaf-spine fabric — the kernel every tree construction and ECMP path
+// lookup re-runs.
+func BenchmarkBFS(b *testing.B) {
+	g := topology.LeafSpine(16, 48, 2)
+	src := g.Hosts()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := BFS(g, src)
+		if d.Max == 0 {
+			b.Fatal("degenerate field")
+		}
+	}
+}
+
+// BFSInto must produce fields identical to a fresh BFS even when the
+// reused field previously held a larger fabric's result.
+func TestBFSIntoReuseMatchesFresh(t *testing.T) {
+	big := topology.FatTree(8)
+	small := topology.LeafSpine(2, 4, 2)
+	var reused DistanceField
+	BFSInto(big, big.Hosts()[3], &reused) // dirty the scratch with a big run
+	for _, src := range []topology.NodeID{small.Hosts()[0], small.Hosts()[5]} {
+		got := BFSInto(small, src, &reused)
+		want := BFS(small, src)
+		if got.Max != want.Max || got.Source != want.Source || len(got.Dist) != len(want.Dist) {
+			t.Fatalf("field header mismatch: got{src=%d max=%d n=%d} want{src=%d max=%d n=%d}",
+				got.Source, got.Max, len(got.Dist), want.Source, want.Max, len(want.Dist))
+		}
+		for i := range want.Dist {
+			if got.Dist[i] != want.Dist[i] {
+				t.Fatalf("dist[%d]=%d want %d after reuse", i, got.Dist[i], want.Dist[i])
+			}
+		}
+		gl, wl := got.Layers(), want.Layers()
+		if len(gl) != len(wl) {
+			t.Fatalf("layer count %d want %d", len(gl), len(wl))
+		}
+		for j := range wl {
+			if len(gl[j]) != len(wl[j]) {
+				t.Fatalf("layer %d size %d want %d", j, len(gl[j]), len(wl[j]))
+			}
+			for k := range wl[j] {
+				if gl[j][k] != wl[j][k] {
+					t.Fatalf("layer %d member %d: %d want %d", j, k, gl[j][k], wl[j][k])
+				}
+			}
+		}
+	}
+}
+
+// Borrowed fields must be safe under concurrent use — the parallel
+// experiment harness runs many simulations at once, each borrowing.
+func TestBorrowBFSConcurrent(t *testing.T) {
+	g := topology.FatTree(4)
+	hosts := g.Hosts()
+	want := BFS(g, hosts[0])
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				d := BorrowBFS(g, hosts[0])
+				for j := range want.Dist {
+					if d.Dist[j] != want.Dist[j] {
+						d.Release()
+						done <- fmt.Errorf("dist[%d]=%d want %d", j, d.Dist[j], want.Dist[j])
+						return
+					}
+				}
+				d.Release()
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBorrowBFS measures the pooled variant BenchmarkBFS allocates
+// for; steady state is allocation-free.
+func BenchmarkBorrowBFS(b *testing.B) {
+	g := topology.LeafSpine(16, 48, 2)
+	src := g.Hosts()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := BorrowBFS(g, src)
+		if d.Max == 0 {
+			b.Fatal("degenerate field")
+		}
+		d.Release()
 	}
 }

@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventLoop measures the raw schedule/dispatch cost of the
+// event queue: a self-rescheduling chain interleaved with a fan of
+// same-tick events, the pattern netsim generates (tx-finish chains plus
+// propagation fans). Events are pushed hundreds of millions of times per
+// figure, so allocs/op here dominate harness memory traffic.
+func BenchmarkEngineEventLoop(b *testing.B) {
+	b.ReportAllocs()
+	var e Engine
+	nop := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Nanosecond, nop)
+		e.After(2*Nanosecond, nop)
+		e.Step()
+		e.Step()
+	}
+}
+
+// BenchmarkEngineChurn measures heap behavior under a deep queue: 1024
+// pending events with continuous push/pop churn, the steady state of a
+// loaded fabric simulation.
+func BenchmarkEngineChurn(b *testing.B) {
+	b.ReportAllocs()
+	var e Engine
+	nop := func() {}
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		e.After(Time(i)*Microsecond, nop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(depth)*Microsecond, nop)
+		e.Step()
+	}
+}

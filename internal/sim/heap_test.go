@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is a container/heap reference implementation with the engine's
+// exact ordering (at, then seq) — the oracle the hand-rolled heap is
+// checked against.
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// TestHeapMatchesContainerHeap drives the hand-rolled heap and the
+// container/heap reference through identical random push/pop
+// interleavings and requires identical pop sequences — including the
+// seq tie-break for events sharing a timestamp.
+func TestHeapMatchesContainerHeap(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var got eventHeap
+		var want refHeap
+		var seq uint64
+		ops := 400 + rng.Intn(400)
+		for op := 0; op < ops; op++ {
+			if rng.Intn(3) > 0 || len(got) == 0 {
+				seq++
+				// Few distinct timestamps: ties are the interesting case.
+				e := event{at: Time(rng.Intn(16)) * Microsecond, seq: seq}
+				got.push(e)
+				heap.Push(&want, e)
+			} else {
+				g := got.pop()
+				w := heap.Pop(&want).(event)
+				if g.at != w.at || g.seq != w.seq {
+					t.Fatalf("trial %d op %d: pop (at=%v seq=%d) want (at=%v seq=%d)",
+						trial, op, g.at, g.seq, w.at, w.seq)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: size %d vs reference %d", trial, len(got), len(want))
+			}
+		}
+		for len(want) > 0 {
+			g := got.pop()
+			w := heap.Pop(&want).(event)
+			if g.at != w.at || g.seq != w.seq {
+				t.Fatalf("trial %d drain: pop (at=%v seq=%d) want (at=%v seq=%d)",
+					trial, g.at, g.seq, w.at, w.seq)
+			}
+		}
+		if len(got) != 0 {
+			t.Fatalf("trial %d: %d events left after reference drained", trial, len(got))
+		}
+	}
+}
+
+// TestEngineReset verifies a reset engine replays a schedule identically
+// to a fresh one — the contract that lets harness code reuse engines.
+func TestEngineReset(t *testing.T) {
+	run := func(e *Engine) (order []int, now Time, processed uint64) {
+		e.At(30*Nanosecond, func() { order = append(order, 3) })
+		e.At(10*Nanosecond, func() { order = append(order, 1) })
+		e.At(10*Nanosecond, func() { order = append(order, 2) })
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return order, e.Now(), e.Processed()
+	}
+	var reused Engine
+	first, now1, done1 := run(&reused)
+	reused.Reset()
+	if reused.Now() != 0 || reused.Pending() != 0 || reused.Processed() != 0 {
+		t.Fatalf("reset engine not pristine: now=%v pending=%d processed=%d",
+			reused.Now(), reused.Pending(), reused.Processed())
+	}
+	second, now2, done2 := run(&reused)
+	var fresh Engine
+	third, now3, done3 := run(&fresh)
+	for i := range first {
+		if first[i] != second[i] || first[i] != third[i] {
+			t.Fatalf("replay diverged: %v / %v / %v", first, second, third)
+		}
+	}
+	if now1 != now2 || now1 != now3 || done1 != done2 || done1 != done3 {
+		t.Fatalf("clock/counters diverged: (%v,%d) (%v,%d) (%v,%d)",
+			now1, done1, now2, done2, now3, done3)
+	}
+}
+
+// TestResetDropsPendingEvents verifies Reset abandons scheduled events.
+func TestResetDropsPendingEvents(t *testing.T) {
+	var e Engine
+	fired := false
+	e.At(Millisecond, func() { fired = true })
+	e.Reset()
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event survived Reset")
+	}
+}

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -42,18 +41,64 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// replaces container/heap, whose any-typed Push/Pop box every event —
+// two heap allocations per scheduled event, and events are pushed
+// hundreds of millions of times per figure. Popped slots keep their
+// capacity, so a draining-and-refilling queue stops allocating entirely.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// push appends the event and restores the heap by sifting it up.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event, sifting the displaced tail
+// element down. The vacated slot's callback is cleared so the queue never
+// pins dead closures.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the closure
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && q.less(r, l) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
+}
 
 // Engine owns the clock and the pending-event queue. The zero value is
 // ready to use.
@@ -80,7 +125,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.pq.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn d after the current time.
@@ -91,7 +136,7 @@ func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pq.pop()
 	e.now = ev.at
 	e.processed++
 	ev.fn()
@@ -108,6 +153,20 @@ func (e *Engine) Run(maxEvents uint64) error {
 		}
 	}
 	return nil
+}
+
+// Reset returns the engine to its zero state — clock at 0, no pending
+// events, counters cleared — while keeping the queue's allocated
+// capacity. A pooled engine replayed across simulation runs therefore
+// schedules without reallocating its heap.
+func (e *Engine) Reset() {
+	for i := range e.pq {
+		e.pq[i] = event{}
+	}
+	e.pq = e.pq[:0]
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
 }
 
 // RunUntil processes events with timestamps ≤ deadline, advancing the

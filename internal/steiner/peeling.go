@@ -3,10 +3,57 @@ package steiner
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"peel/internal/routing"
 	"peel/internal/topology"
 )
+
+// peelScratch is the reusable working state of one LayerPeeling call:
+// membership flags, set-cover counters with their touched list, and the
+// neighbor/orphan buffers. Pooled because planners and the failure-recovery
+// watchdog re-peel trees constantly; steady-state peeling allocates only
+// the returned Tree and stats.
+type peelScratch struct {
+	inT     []bool
+	marked  []topology.NodeID // inT indexes set, for O(set) reset
+	counts  []int32           // set-cover candidate counters
+	touched []topology.NodeID // counts indexes set this round
+	nbr     []topology.NodeID
+	orphans []topology.NodeID
+}
+
+var peelPool = sync.Pool{New: func() any { return new(peelScratch) }}
+
+// grab sizes the scratch for an n-node graph and returns it reset.
+func grabPeelScratch(n int) *peelScratch {
+	s := peelPool.Get().(*peelScratch)
+	if cap(s.inT) < n {
+		s.inT = make([]bool, n)
+		s.counts = make([]int32, n)
+	}
+	s.inT = s.inT[:n]
+	s.counts = s.counts[:n]
+	return s
+}
+
+// release clears the membership flags it set and returns to the pool.
+func (s *peelScratch) release() {
+	for _, id := range s.marked {
+		s.inT[id] = false
+	}
+	s.marked = s.marked[:0]
+	for _, id := range s.touched {
+		s.counts[id] = 0
+	}
+	s.touched = s.touched[:0]
+	peelPool.Put(s)
+}
+
+func (s *peelScratch) mark(id topology.NodeID) {
+	s.inT[id] = true
+	s.marked = append(s.marked, id)
+}
 
 // ErrUnreachable marks tree-construction failures caused by a destination
 // with no live path from the source (as opposed to construction bugs).
@@ -42,19 +89,23 @@ type PeelingStats struct {
 // Returns an error if any destination is unreachable.
 func LayerPeeling(g *topology.Graph, src topology.NodeID, dests []topology.NodeID) (*Tree, PeelingStats, error) {
 	var stats PeelingStats
-	d := routing.BFS(g, src)
+	d := routing.BorrowBFS(g, src)
+	defer d.Release()
 	f, err := d.Farthest(dests)
 	if err != nil {
 		return nil, stats, err
 	}
 	stats.F = f
 
+	sc := grabPeelScratch(g.NumNodes())
+	defer sc.release()
+	inT := sc.inT
+
 	t := newTree(src, g.NumNodes())
-	inT := make([]bool, g.NumNodes())
-	inT[src] = true
+	sc.mark(src)
 	for _, dst := range dests {
 		if dst != src && !inT[dst] {
-			inT[dst] = true
+			sc.mark(dst)
 			t.Members = append(t.Members, dst) // parent assigned during peeling
 		}
 	}
@@ -65,15 +116,16 @@ func LayerPeeling(g *topology.Graph, src topology.NodeID, dests []topology.NodeI
 	}
 	stats.PerLayer = make([]int, int(f)+1)
 
-	var scratch []topology.NodeID
+	scratch := sc.nbr
 	for i := int(f) - 1; i >= 0; i-- {
 		// Members of l_{i+1} that still lack a parent.
-		var orphans []topology.NodeID
+		orphans := sc.orphans[:0]
 		for _, n := range layers[i+1] {
 			if inT[n] && t.Parent[n] == topology.None && n != t.Source {
 				orphans = append(orphans, n)
 			}
 		}
+		sc.orphans = orphans
 		// First, attach orphans that already have a tree neighbor one
 		// layer in: no new switch needed.
 		remaining := orphans[:0]
@@ -92,38 +144,46 @@ func LayerPeeling(g *topology.Graph, src topology.NodeID, dests []topology.NodeI
 				remaining = append(remaining, n)
 			}
 		}
-		// Greedy set cover over layer-i switches for the rest.
+		// Greedy set cover over layer-i switches for the rest. Candidate
+		// counters live in a reusable NumNodes-sized slice; only the
+		// touched entries are reset, so a round costs O(candidates), not
+		// O(nodes) — and no per-round map.
 		for len(remaining) > 0 {
-			type cand struct {
-				sw    topology.NodeID
-				count int
-			}
-			counts := map[topology.NodeID]int{}
+			counts, touched := sc.counts, sc.touched[:0]
 			for _, n := range remaining {
 				scratch = g.Neighbors(n, scratch[:0])
 				for _, p := range scratch {
 					if d.Dist[p] == int32(i) && !inT[p] && (g.Node(p).Kind.IsSwitch() || p == src) {
+						if counts[p] == 0 {
+							touched = append(touched, p)
+						}
 						counts[p]++
 					}
 				}
 			}
-			if len(counts) == 0 {
+			sc.touched = touched
+			if len(touched) == 0 {
 				return nil, stats, fmt.Errorf("steiner: internal: %d layer-%d members have no candidate parent", len(remaining), i+1)
 			}
-			best := cand{sw: topology.None}
-			for sw, c := range counts {
-				if c > best.count || (c == best.count && (best.sw == topology.None || sw < best.sw)) {
-					best = cand{sw, c}
+			bestSw, bestCount := topology.None, int32(0)
+			for _, sw := range touched {
+				c := counts[sw]
+				if c > bestCount || (c == bestCount && (bestSw == topology.None || sw < bestSw)) {
+					bestSw, bestCount = sw, c
 				}
 			}
-			inT[best.sw] = true
-			t.add(best.sw, topology.None) // parent filled at layer i-1
-			t.Parent[best.sw] = topology.None
+			for _, sw := range touched {
+				counts[sw] = 0
+			}
+			sc.touched = sc.touched[:0]
+			sc.mark(bestSw)
+			t.add(bestSw, topology.None) // parent filled at layer i-1
+			t.Parent[bestSw] = topology.None
 			stats.SwitchesAdded++
 			next := remaining[:0]
 			for _, n := range remaining {
-				if g.LinkBetween(n, best.sw) >= 0 {
-					t.Parent[n] = best.sw
+				if g.LinkBetween(n, bestSw) >= 0 {
+					t.Parent[n] = bestSw
 					t.children = nil
 				} else {
 					next = append(next, n)
@@ -139,6 +199,7 @@ func LayerPeeling(g *topology.Graph, src topology.NodeID, dests []topology.NodeI
 		}
 	}
 	stats.PerLayer[0] = 1 // the source
+	sc.nbr = scratch      // keep the grown neighbor buffer for the next call
 
 	// Order members root-first so downstream consumers can stream them.
 	sortMembersByDepth(t, d)
@@ -170,7 +231,8 @@ func sortMembersByDepth(t *Tree, d *routing.DistanceField) {
 // |OPT| ≥ max(F, |D|), with F the farthest destination's hop distance and
 // |D| the number of distinct destinations (excluding the source).
 func LowerBound(g *topology.Graph, src topology.NodeID, dests []topology.NodeID) (int, error) {
-	d := routing.BFS(g, src)
+	d := routing.BorrowBFS(g, src)
+	defer d.Release()
 	f, err := d.Farthest(dests)
 	if err != nil {
 		return 0, err

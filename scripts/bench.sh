@@ -1,0 +1,22 @@
+#!/bin/sh
+# Capture the repository's benchmark suite as a BENCH_<label>.json report.
+#
+# Usage:  scripts/bench.sh <label> [note]
+#
+#   scripts/bench.sh baseline "before optimization"
+#   scripts/bench.sh after    "hand-rolled heap + scratch pools"
+#
+# The report lands at the repo root as BENCH_<label>.json; compare two
+# with your favourite diff or jq. CI runs the same suite with
+# -benchtime=1x as a smoke test (compile + one iteration).
+set -eu
+
+label="${1:?usage: scripts/bench.sh <label> [note]}"
+note="${2:-}"
+cd "$(dirname "$0")/.."
+
+out="BENCH_${label}.json"
+go test -run='^$' -bench=. -benchmem -count=1 ./... |
+	tee /dev/stderr |
+	go run ./cmd/benchjson -label "$label" -note "$note" > "$out"
+echo "wrote $out" >&2
