@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"peel/internal/experiments"
+	"peel/internal/invariant"
 	"peel/internal/prefix"
 	"peel/internal/steiner"
 	"peel/internal/topology"
@@ -23,6 +24,10 @@ func benchOpts() experiments.Options {
 
 func benchFigure(b *testing.B, run func(experiments.Options) (*experiments.Result, error)) {
 	b.Helper()
+	// The package TestMain arms the invariant suite for tests; benchmarks
+	// measure the uninstrumented hot path, so disable it for the timing
+	// window (BenchmarkFig5MessageSizeSweepChecked measures the overhead).
+	defer invariant.Enable(nil)()
 	for i := 0; i < b.N; i++ {
 		res, err := run(benchOpts())
 		if err != nil {
@@ -49,6 +54,26 @@ func BenchmarkFig4OrcaControllerOverhead(b *testing.B) { benchFigure(b, experime
 // BenchmarkFig5MessageSizeSweep regenerates Figure 5 (mean/p99 CCT vs
 // message size for all six schemes at 30% load).
 func BenchmarkFig5MessageSizeSweep(b *testing.B) { benchFigure(b, experiments.Fig5) }
+
+// BenchmarkFig5MessageSizeSweepChecked is BenchmarkFig5MessageSizeSweep
+// with the full invariant suite armed — comparing the two quantifies the
+// checking overhead (the acceptance budget is <=10%).
+func BenchmarkFig5MessageSizeSweepChecked(b *testing.B) {
+	s := invariant.NewSuite()
+	defer invariant.Enable(s)()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.X) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+	if s.TotalViolations() > 0 {
+		b.Fatal(s.Report())
+	}
+}
 
 // BenchmarkFig6ScaleSweep regenerates Figure 6 (CCT vs broadcast scale at
 // 64 MB).

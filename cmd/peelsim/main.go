@@ -16,6 +16,8 @@
 //	-load L        offered load for Poisson workloads (default 0.30)
 //	-quick         reduced-fidelity settings (tests/smoke)
 //	-csv           emit comma-separated values instead of aligned tables
+//	-check         run with the invariant checker suite armed; any
+//	               violation is reported and exits non-zero
 //	-chaosfrac F   single mid-flight failure fraction for the chaos experiment
 //	-workers N     concurrent simulation runs per sweep, and concurrent
 //	               experiments when several are requested (default GOMAXPROCS;
@@ -32,6 +34,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -39,6 +42,7 @@ import (
 	"time"
 
 	"peel/internal/experiments"
+	"peel/internal/invariant"
 	"peel/internal/metrics"
 )
 
@@ -70,23 +74,39 @@ var order = []string{
 }
 
 func main() {
-	samples := flag.Int("samples", 0, "collectives per configuration point")
-	seed := flag.Int64("seed", 0, "workload/simulation seed")
-	frames := flag.Int64("frames", 0, "simulation frames per message")
-	load := flag.Float64("load", 0, "offered load for Poisson workloads")
-	quick := flag.Bool("quick", false, "reduced-fidelity settings")
-	csv := flag.Bool("csv", false, "CSV output")
-	chaosFrac := flag.Float64("chaosfrac", 0, "single mid-flight failure fraction for the chaos experiment (0 = sweep)")
-	workers := flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
-	perf := flag.Bool("perf", false, "append perf digests to experiment notes")
-	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
-	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
-	flag.Usage = usage
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() == 0 {
-		usage()
-		os.Exit(2)
+// realMain is main with the process boundary factored out so tests can
+// drive the full flag-parse → run → exit-code path in-process. Exit codes:
+// 0 success, 1 experiment failure or invariant violation, 2 usage error.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("peelsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	samples := fs.Int("samples", 0, "collectives per configuration point")
+	seed := fs.Int64("seed", 0, "workload/simulation seed")
+	frames := fs.Int64("frames", 0, "simulation frames per message")
+	load := fs.Float64("load", 0, "offered load for Poisson workloads")
+	quick := fs.Bool("quick", false, "reduced-fidelity settings")
+	csv := fs.Bool("csv", false, "CSV output")
+	check := fs.Bool("check", false, "arm the invariant checker suite; violations exit non-zero")
+	chaosFrac := fs.Float64("chaosfrac", 0, "single mid-flight failure fraction for the chaos experiment (0 = sweep)")
+	workers := fs.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
+	perf := fs.Bool("perf", false, "append perf digests to experiment notes")
+	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := fs.String("memprofile", "", "write heap profile to file at exit")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	if err := validateFlags(*samples, *workers, *load, *chaosFrac); err != nil {
+		fmt.Fprintf(stderr, "peelsim: %v\n", err)
+		return 2
 	}
 	opts := experiments.Defaults()
 	if *quick {
@@ -110,47 +130,83 @@ func main() {
 	opts.Workers = *workers
 	opts.Perf = *perf
 
+	var suite *invariant.Suite
+	if *check {
+		suite = invariant.NewSuite()
+		defer invariant.Enable(suite)()
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "peelsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "peelsim: %v\n", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "peelsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "peelsim: %v\n", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
 
-	names := flag.Args()
+	names := fs.Args()
 	if len(names) == 1 && names[0] == "all" {
 		names = order
 	}
-	failed := run(names, opts, *csv)
+	failed := run(names, opts, *csv, stdout, stderr)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "peelsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "peelsim: %v\n", err)
+			return 1
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "peelsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "peelsim: %v\n", err)
+			return 1
 		}
 		f.Close()
 	}
-	if failed > 0 {
-		os.Exit(1)
+	return exitCode(failed, suite, stdout, stderr)
+}
+
+// validateFlags rejects flag values outside their domains before any
+// simulation starts (a usage error, exit code 2).
+func validateFlags(samples, workers int, load, chaosFrac float64) error {
+	switch {
+	case samples < 0:
+		return fmt.Errorf("-samples %d must be non-negative", samples)
+	case workers < 0:
+		return fmt.Errorf("-workers %d must be non-negative", workers)
+	case load < 0 || load > 1:
+		return fmt.Errorf("-load %v outside [0,1]", load)
+	case chaosFrac < 0 || chaosFrac > 1:
+		return fmt.Errorf("-chaosfrac %v outside [0,1]", chaosFrac)
 	}
+	return nil
+}
+
+// exitCode folds experiment failures and invariant verdicts into the
+// process exit status; with -check it always prints the suite report.
+func exitCode(failed int, suite *invariant.Suite, stdout, stderr io.Writer) int {
+	if suite != nil {
+		fmt.Fprint(stdout, suite.Report())
+		if suite.TotalViolations() > 0 {
+			fmt.Fprintf(stderr, "peelsim: %d invariant violation(s)\n", suite.TotalViolations())
+			return 1
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // run executes the requested experiments — concurrently when the worker
 // budget allows — and prints each result in request order as soon as all
 // earlier ones are out. Returns the number of failures.
-func run(names []string, opts experiments.Options, csv bool) int {
+func run(names []string, opts experiments.Options, csv bool, stdout, stderr io.Writer) int {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -194,12 +250,12 @@ func run(names []string, opts experiments.Options, csv bool) int {
 	for i, name := range names {
 		<-done[i]
 		if outs[i].errs != "" {
-			fmt.Fprint(os.Stderr, outs[i].errs)
+			fmt.Fprint(stderr, outs[i].errs)
 			failed++
 			continue
 		}
-		fmt.Print(outs[i].out)
-		fmt.Printf("(%s took %v)\n\n", name, outs[i].took.Round(time.Millisecond))
+		fmt.Fprint(stdout, outs[i].out)
+		fmt.Fprintf(stdout, "(%s took %v)\n\n", name, outs[i].took.Round(time.Millisecond))
 	}
 	return failed
 }
@@ -233,7 +289,7 @@ func renderCSV(r *experiments.Result) string {
 	return b.String()
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, "usage: peelsim [flags] <experiment>...\nexperiments: %s all\n", strings.Join(order, " "))
-	flag.PrintDefaults()
+func usage(fs *flag.FlagSet, stderr io.Writer) {
+	fmt.Fprintf(stderr, "usage: peelsim [flags] <experiment>...\nexperiments: %s all\n", strings.Join(order, " "))
+	fs.PrintDefaults()
 }

@@ -1,0 +1,41 @@
+package bloom
+
+import (
+	"testing"
+
+	"peel/internal/topology"
+)
+
+// FuzzBloom is the native-fuzzing twin of TestQuickNoFalseNegatives: the
+// fuzzer mutates an arbitrary byte string (decoded pairwise into
+// node/port elements) and a raw false-positive-rate knob; every inserted
+// element must test positive.
+func FuzzBloom(f *testing.F) {
+	f.Add([]byte("peel"), uint64(0))
+	f.Add([]byte{0x00, 0x01, 0xff, 0xfe, 0x10, 0x20}, uint64(7))
+	f.Add([]byte{}, uint64(19))
+	f.Fuzz(func(t *testing.T, data []byte, fprRaw uint64) {
+		if len(data) < 2 {
+			return
+		}
+		type elem struct {
+			node topology.NodeID
+			port int
+		}
+		var elems []elem
+		for i := 0; i+1 < len(data); i += 2 {
+			e := uint16(data[i])<<8 | uint16(data[i+1])
+			elems = append(elems, elem{topology.NodeID(e >> 4), int(e & 0xf)})
+		}
+		fpr := 0.01 + float64(fprRaw%20)/100
+		fl := NewFilter(len(elems), fpr)
+		for _, e := range elems {
+			fl.Add(e.node, e.port)
+		}
+		for _, e := range elems {
+			if !fl.Contains(e.node, e.port) {
+				t.Fatalf("false negative for node=%d port=%d (fpr=%.2f, n=%d)", e.node, e.port, fpr, len(elems))
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"peel/internal/invariant"
 	"peel/internal/sim"
 	"peel/internal/topology"
 )
@@ -47,6 +48,12 @@ func (e Event) String() string {
 // schedule: arming it injects nothing and perturbs nothing.
 type Schedule struct {
 	Events []Event
+	// HealAll declares the schedule heal-complete: every failure has a
+	// matching later heal, so no outage is permanent. Generators that
+	// guarantee this (Random always; FailFractionAt when given a heal
+	// time) set it, and Arm then verifies the pairing — scripted
+	// schedules with deliberate permanent failures leave it false.
+	HealAll bool
 }
 
 // FailLinkAt appends a link failure; returns the schedule for chaining.
@@ -110,6 +117,7 @@ func Random(g *topology.Graph, filter topology.LinkFilter, mtbf, mttr, horizon s
 			t = up + expTime(rng, mtbf)
 		}
 	}
+	s.HealAll = true
 	s.Sort()
 	return s
 }
@@ -141,7 +149,7 @@ func FailFractionAt(g *topology.Graph, filter topology.LinkFilter, fraction floa
 	}
 	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
 	chosen := eligible[:n]
-	s := &Schedule{}
+	s := &Schedule{HealAll: healAt > at}
 	for _, id := range chosen {
 		s.FailLinkAt(at, id)
 		if healAt > at {
@@ -188,11 +196,52 @@ func (inj *Injector) Arm(s *Schedule) error {
 			return fmt.Errorf("chaos: event %v scheduled before now %v", ev, now.Duration())
 		}
 	}
+	if s2 := invariant.Active(); s2 != nil && s.HealAll {
+		reportHealGuarantee(s2, s)
+	}
 	for _, ev := range s.Events {
 		ev := ev
 		inj.Eng.At(ev.At, func() { inj.apply(ev) })
 	}
 	return nil
+}
+
+// reportHealGuarantee verifies a heal-complete schedule's pairing: per
+// target (link or node), walking events in time order, the fail depth
+// must return to zero — every armed fail has its guaranteed later heal.
+func reportHealGuarantee(s2 *invariant.Suite, s *Schedule) {
+	type target struct {
+		link topology.LinkID
+		node topology.NodeID
+	}
+	evs := append([]Event(nil), s.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	depth := map[target]int{}
+	ok := true
+	for _, ev := range evs {
+		tg := target{link: ev.Link, node: ev.Node}
+		if ev.Node != topology.None {
+			tg.link = 0
+		}
+		if ev.Heal {
+			depth[tg]--
+		} else {
+			depth[tg]++
+		}
+		// A heal preceding its fail would drive the depth negative.
+		if depth[tg] < 0 {
+			ok = false
+		}
+	}
+	unhealed := 0
+	for _, d := range depth {
+		if d != 0 {
+			unhealed++
+			ok = false
+		}
+	}
+	s2.Checkf(invariant.ChaosHealGuaranteed, ok,
+		"heal-complete schedule leaves %d targets with unbalanced fail/heal events", unhealed)
 }
 
 // apply executes one transition, counting real state changes.

@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"testing"
+
+	"peel/internal/invariant"
+	"peel/internal/invariant/invtest"
+	"peel/internal/sim"
+	"peel/internal/topology"
+)
+
+// Mutation self-test: a schedule that claims heal-completeness but omits
+// a heal must trip the heal-guarantee checker at Arm time.
+
+func TestMutationHealGuaranteeFires(t *testing.T) {
+	g := topology.FatTree(4)
+	s := invtest.Capture(t, func() {
+		sch := &Schedule{HealAll: true}
+		sch.FailLinkAt(10*sim.Microsecond, 0) // no matching heal
+		if err := NewInjector(g, &sim.Engine{}).Arm(sch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if s.Violations(invariant.ChaosHealGuaranteed) == 0 {
+		t.Fatal("heal-guarantee checker did not fire on an unhealed failure")
+	}
+}
+
+func TestHealGuaranteePassesOnBalancedSchedule(t *testing.T) {
+	g := topology.FatTree(4)
+	s := invtest.Capture(t, func() {
+		sch := &Schedule{HealAll: true}
+		sch.FailLinkAt(10*sim.Microsecond, 0)
+		sch.HealLinkAt(20*sim.Microsecond, 0)
+		sch.FailNodeAt(12*sim.Microsecond, 1)
+		sch.HealNodeAt(25*sim.Microsecond, 1)
+		if err := NewInjector(g, &sim.Engine{}).Arm(sch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if s.Checks(invariant.ChaosHealGuaranteed) == 0 {
+		t.Fatal("heal-guarantee checker never evaluated")
+	}
+	if s.Violations(invariant.ChaosHealGuaranteed) != 0 {
+		t.Fatalf("balanced schedule reported a violation: %s", s.FirstFailure(invariant.ChaosHealGuaranteed))
+	}
+}

@@ -1,0 +1,58 @@
+package collective
+
+import (
+	"testing"
+
+	"peel/internal/invariant"
+	"peel/internal/invariant/invtest"
+	"peel/internal/netsim"
+	"peel/internal/sim"
+	"peel/internal/topology"
+	"peel/internal/workload"
+)
+
+// Mutation self-test: corrupt completion tracking and prove the delivery
+// checker fires.
+
+func TestMutationDeliveryFires(t *testing.T) {
+	g := topology.FatTree(4)
+	eng := &sim.Engine{}
+	net := netsim.New(g, eng, netsim.DefaultConfig())
+	cl := workload.NewCluster(g, 8)
+	r := NewRunner(net, cl, nil, nil)
+	hosts := g.Hosts()
+	c := &workload.Collective{Hosts: []topology.NodeID{hosts[0], hosts[1], hosts[2]}, Bytes: 1 << 10}
+
+	s := invtest.Capture(t, func() {
+		in := &instance{r: r, c: c}
+		in.initCompletion()
+		in.pendingHosts = 1 // corrupted: two receivers actually pending
+		in.hostComplete(hosts[1])
+	})
+	if s.Violations(invariant.CollectiveDelivery) == 0 {
+		t.Fatal("delivery checker did not fire on completion with an undelivered receiver")
+	}
+}
+
+func TestDeliveryCheckPassesOnHonestCompletion(t *testing.T) {
+	g := topology.FatTree(4)
+	eng := &sim.Engine{}
+	net := netsim.New(g, eng, netsim.DefaultConfig())
+	cl := workload.NewCluster(g, 8)
+	r := NewRunner(net, cl, nil, nil)
+	hosts := g.Hosts()
+	c := &workload.Collective{Hosts: []topology.NodeID{hosts[0], hosts[1], hosts[2]}, Bytes: 1 << 10}
+
+	s := invtest.Capture(t, func() {
+		in := &instance{r: r, c: c, reportDone: func(Report) {}}
+		in.initCompletion()
+		in.hostComplete(hosts[1])
+		in.hostComplete(hosts[2])
+	})
+	if s.Violations(invariant.CollectiveDelivery) != 0 {
+		t.Fatalf("honest completion reported a violation: %s", s.FirstFailure(invariant.CollectiveDelivery))
+	}
+	if s.Checks(invariant.CollectiveDelivery) == 0 {
+		t.Fatal("delivery checker never evaluated")
+	}
+}

@@ -2,9 +2,11 @@ package collective
 
 import (
 	"peel/internal/core"
+	"peel/internal/invariant"
 	"peel/internal/netsim"
 	"peel/internal/routing"
 	"peel/internal/sim"
+	"peel/internal/steiner"
 	"peel/internal/topology"
 )
 
@@ -249,6 +251,11 @@ func (in *instance) installRepair(targets []topology.NodeID) {
 
 	tree, err := core.BuildTree(in.r.Net.G, in.c.Source(), pending)
 	if err == nil {
+		if s := invariant.Active(); s != nil {
+			// Every repair re-peel must still be a valid tree within the
+			// Theorem 2.5 cost budget on the *degraded* fabric.
+			steiner.ReportTreeChecks(s, in.r.Net.G, tree, pending)
+		}
 		rf, ferr := in.r.Net.NewMulticastFlow(tree, pending, params)
 		if ferr == nil {
 			in.recovery.Repairs++

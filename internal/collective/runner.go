@@ -14,6 +14,7 @@ import (
 	"peel/internal/controller"
 	"peel/internal/core"
 	"peel/internal/dcqcn"
+	"peel/internal/invariant"
 	"peel/internal/netsim"
 	"peel/internal/routing"
 	"peel/internal/sim"
@@ -222,6 +223,21 @@ func (in *instance) hostComplete(h topology.NodeID) {
 		return
 	}
 	in.finished = true
+	if s := invariant.Active(); s != nil {
+		// Completion means every receiver was delivered to exactly once: the
+		// de-dup guard above makes double completion impossible, so a zero
+		// pending count with a receiver missing from hostDone (or a nonzero
+		// pending count here) is corrupted completion tracking.
+		missing := 0
+		for _, m := range in.c.Receivers() {
+			if !in.hostDone[m] {
+				missing++
+			}
+		}
+		s.Checkf(invariant.CollectiveDelivery, in.pendingHosts == 0 && missing == 0,
+			"collective %d finished with pending=%d, %d of %d receivers undelivered",
+			in.c.ID, in.pendingHosts, missing, len(in.c.Receivers()))
+	}
 	eng := in.r.Net.Engine
 	eng.After(in.r.nvlinkStage(in.c.Bytes), func() {
 		in.reportDone(Report{CCT: eng.Now() - in.startedAt, Recovery: in.recovery})

@@ -11,6 +11,7 @@ package controller
 import (
 	"math/rand"
 
+	"peel/internal/invariant"
 	"peel/internal/sim"
 )
 
@@ -45,6 +46,17 @@ func (m *Model) SetupDelay() sim.Time {
 // a new group, returning the sampled delay.
 func (m *Model) Install(eng *sim.Engine, fn func()) sim.Time {
 	d := m.SetupDelay()
+	m.reportSetup(invariant.Active(), d)
 	eng.After(d, fn)
 	return d
+}
+
+// reportSetup checks the truncation contract: no sampled setup delay may
+// undercut the floor (§3.1's "cannot finish before the request arrives").
+func (m *Model) reportSetup(s *invariant.Suite, d sim.Time) {
+	if s == nil {
+		return
+	}
+	s.Checkf(invariant.ControllerSetupFloor, d >= m.Floor,
+		"setup delay %v below floor %v", d.Duration(), m.Floor.Duration())
 }

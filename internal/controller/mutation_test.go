@@ -1,0 +1,24 @@
+package controller
+
+import (
+	"math/rand"
+	"testing"
+
+	"peel/internal/invariant"
+)
+
+// Mutation self-test: a setup delay below the truncation floor must trip
+// the floor checker.
+
+func TestMutationSetupFloorFires(t *testing.T) {
+	m := New(rand.New(rand.NewSource(1)))
+	s := invariant.NewSuite()
+	m.reportSetup(s, m.Floor-1)
+	if s.Violations(invariant.ControllerSetupFloor) == 0 {
+		t.Fatal("setup-floor checker did not fire on a sub-floor delay")
+	}
+	m.reportSetup(s, m.Floor)
+	if got := s.Violations(invariant.ControllerSetupFloor); got != 1 {
+		t.Fatalf("floor-respecting delay also flagged: %d violations", got)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"peel/internal/invariant"
+)
+
+// reportPlanChecks verifies a finished plan against the paper's switch-
+// state and cover guarantees (§3.2): the pre-installed rule tables fit in
+// k−1 TCAM entries, the two-tuple header fits in 8 bytes, and each pod's
+// emitted prefixes are pairwise disjoint, reach every member ToR, and —
+// when unbudgeted — cover exactly the member ToR set.
+func (pl *Planner) reportPlanChecks(s *invariant.Suite, plan *Plan, opts PlanOptions) {
+	k := pl.G.K
+	s.Checkf(invariant.PrefixRuleBudget,
+		pl.ToRSpace.NumRules() <= k-1 && pl.HostSpace.NumRules() <= k-1,
+		"rule tables (tor=%d host=%d) exceed k-1=%d", pl.ToRSpace.NumRules(), pl.HostSpace.NumRules(), k-1)
+	s.Checkf(invariant.PrefixHeaderBudget,
+		plan.HeaderBytes <= 8 && plan.HeaderBytes == pl.Codec.EncodedLen(),
+		"header %d bytes (codec says %d, budget 8)", plan.HeaderBytes, pl.Codec.EncodedLen())
+
+	// Member ToR ids per pod, reconstructed from the members themselves.
+	want := map[int]map[uint32]bool{}
+	for _, m := range plan.Members {
+		pod := pl.G.PodOf(m)
+		if want[pod] == nil {
+			want[pod] = map[uint32]bool{}
+		}
+		want[pod][uint32(pl.G.ToRIndexOf(m))] = true
+	}
+	covered := map[int]map[uint32]bool{}
+	for i := range plan.Packets {
+		pkt := &plan.Packets[i]
+		pod := pkt.Header.Pod
+		if covered[pod] == nil {
+			covered[pod] = map[uint32]bool{}
+		}
+		lo, hi := pkt.Header.ToR.Block(pl.ToRSpace.M)
+		for id := lo; id < hi; id++ {
+			s.Checkf(invariant.PrefixCover, !covered[pod][id],
+				"pod %d ToR id %d covered by two packets (prefix %v)", pod, id, pkt.Header.ToR)
+			covered[pod][id] = true
+			if opts.PacketBudget <= 0 {
+				s.Checkf(invariant.PrefixCover, want[pod][id],
+					"unbudgeted cover reaches non-member ToR id %d in pod %d", id, pod)
+			}
+		}
+	}
+	for pod, ids := range want {
+		for id := range ids {
+			s.Checkf(invariant.PrefixCover, covered[pod][id],
+				"member ToR id %d in pod %d not covered by any packet", id, pod)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"peel/internal/topology"
+)
+
+// Table-driven rejection tests: every error path of NewPlanner and
+// PlanGroupOpts must actually reject, and the good path must not.
+
+func TestNewPlannerRejectsNonFatTree(t *testing.T) {
+	if _, err := NewPlanner(topology.LeafSpine(4, 4, 2)); err == nil {
+		t.Fatal("NewPlanner accepted a leaf-spine fabric (no fat-tree pod structure)")
+	}
+	if _, err := NewPlanner(topology.FatTree(4)); err != nil {
+		t.Fatalf("NewPlanner rejected a k=4 fat-tree: %v", err)
+	}
+}
+
+func TestPlanGroupOptsRejections(t *testing.T) {
+	g := topology.FatTree(4)
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	var tor topology.NodeID = topology.None
+	for _, he := range g.Adj(hosts[0]) {
+		tor = he.Peer
+	}
+	if tor == topology.None {
+		t.Fatal("host 0 has no uplink")
+	}
+
+	cases := []struct {
+		name    string
+		src     topology.NodeID
+		members []topology.NodeID
+		opts    PlanOptions
+	}{
+		{"negative packet budget", hosts[0], []topology.NodeID{hosts[1]}, PlanOptions{PacketBudget: -1}},
+		{"switch as source", tor, []topology.NodeID{hosts[1]}, PlanOptions{}},
+		{"switch as member", hosts[0], []topology.NodeID{hosts[1], tor}, PlanOptions{}},
+	}
+	for _, tc := range cases {
+		if _, err := pl.PlanGroupOpts(tc.src, tc.members, tc.opts); err == nil {
+			t.Errorf("%s: PlanGroupOpts accepted the group", tc.name)
+		}
+	}
+
+	// Good path for contrast: a clean group plans without error.
+	if _, err := pl.PlanGroupOpts(hosts[0], []topology.NodeID{hosts[1], hosts[5]}, PlanOptions{}); err != nil {
+		t.Fatalf("clean group rejected: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"peel/internal/invariant"
+	"peel/internal/topology"
+)
+
+// Mutation self-tests for the plan checkers: corrupt a clean PEEL plan
+// (or the planner's spaces) and prove the matching checker fires.
+
+func mutationPlan(t *testing.T) (*Planner, *Plan) {
+	t.Helper()
+	g := topology.FatTree(4)
+	pl, err := NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	// Members spread across pods so the plan carries several packets.
+	plan, err := pl.PlanGroup(hosts[0], []topology.NodeID{hosts[1], hosts[3], hosts[6], hosts[9]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Packets) < 2 {
+		t.Fatalf("mutation plan needs >=2 packets, got %d", len(plan.Packets))
+	}
+	return pl, plan
+}
+
+func TestMutationRuleBudgetFires(t *testing.T) {
+	pl, plan := mutationPlan(t)
+	mutated := *pl
+	mutated.ToRSpace.M = 5 // 2·2^5−1 = 63 rules ≫ k−1 = 3
+	s := invariant.NewSuite()
+	mutated.reportPlanChecks(s, plan, PlanOptions{})
+	if s.Violations(invariant.PrefixRuleBudget) == 0 {
+		t.Fatal("rule-budget checker did not fire on an oversized rule table")
+	}
+}
+
+func TestMutationHeaderBudgetFires(t *testing.T) {
+	pl, plan := mutationPlan(t)
+	corrupted := *plan
+	corrupted.HeaderBytes = 9
+	s := invariant.NewSuite()
+	pl.reportPlanChecks(s, &corrupted, PlanOptions{})
+	if s.Violations(invariant.PrefixHeaderBudget) == 0 {
+		t.Fatal("header-budget checker did not fire on a 9-byte header")
+	}
+}
+
+func TestMutationCoverDuplicateFires(t *testing.T) {
+	pl, plan := mutationPlan(t)
+	corrupted := *plan
+	corrupted.Packets = append(append([]Packet(nil), plan.Packets...), plan.Packets[0])
+	s := invariant.NewSuite()
+	pl.reportPlanChecks(s, &corrupted, PlanOptions{})
+	if s.Violations(invariant.PrefixCover) == 0 {
+		t.Fatal("cover checker did not fire on a duplicated packet")
+	}
+}
+
+func TestMutationCoverMissingFires(t *testing.T) {
+	pl, plan := mutationPlan(t)
+	corrupted := *plan
+	corrupted.Packets = plan.Packets[:len(plan.Packets)-1]
+	s := invariant.NewSuite()
+	pl.reportPlanChecks(s, &corrupted, PlanOptions{})
+	if s.Violations(invariant.PrefixCover) == 0 {
+		t.Fatal("cover checker did not fire on a dropped packet")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"peel/internal/invariant"
 	"peel/internal/prefix"
 	"peel/internal/topology"
 )
@@ -28,6 +29,9 @@ type PlanOptions struct {
 // equivalent to PlanGroupOpts with the zero options.
 func (pl *Planner) PlanGroupOpts(src topology.NodeID, members []topology.NodeID, opts PlanOptions) (*Plan, error) {
 	g := pl.G
+	if opts.PacketBudget < 0 {
+		return nil, fmt.Errorf("core: negative packet budget %d", opts.PacketBudget)
+	}
 	if g.Node(src).Kind != topology.Host {
 		return nil, fmt.Errorf("core: source %d is not a host", src)
 	}
@@ -82,6 +86,9 @@ func (pl *Planner) PlanGroupOpts(src topology.NodeID, members []topology.NodeID,
 			}
 			plan.Packets = append(plan.Packets, *pkt)
 		}
+	}
+	if s := invariant.Active(); s != nil {
+		pl.reportPlanChecks(s, plan, opts)
 	}
 	return plan, nil
 }

@@ -8,6 +8,7 @@ import (
 	"peel/internal/collective"
 	"peel/internal/controller"
 	"peel/internal/core"
+	"peel/internal/invariant"
 	"peel/internal/metrics"
 	"peel/internal/netsim"
 	"peel/internal/sim"
@@ -145,5 +146,6 @@ func runChaosOne(build func() *topology.Graph, scheme collective.Scheme, c *work
 	if !done {
 		return collective.Report{}, fmt.Errorf("experiments: %s did not complete under chaos", scheme)
 	}
+	net.CheckQuiesced(invariant.Active())
 	return rep, nil
 }

@@ -14,6 +14,7 @@ import (
 	"peel/internal/collective"
 	"peel/internal/controller"
 	"peel/internal/core"
+	"peel/internal/invariant"
 	"peel/internal/metrics"
 	"peel/internal/netsim"
 	"peel/internal/perfstats"
@@ -227,6 +228,9 @@ func runWorkload(build func() *topology.Graph, usePlanner bool, scheme collectiv
 	if completed != len(cols) {
 		return nil, nil, fmt.Errorf("experiments: %s: %d/%d collectives completed", scheme, completed, len(cols))
 	}
+	// The engine drained and every collective completed: the fabric must be
+	// truly quiescent (no frames live, all byte accounting zeroed).
+	net.CheckQuiesced(invariant.Active())
 	return samples, net, nil
 }
 

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"peel/internal/collective"
+	"peel/internal/controller"
+	"peel/internal/core"
+	"peel/internal/netsim"
+	"peel/internal/sim"
+	"peel/internal/topology"
+	"peel/internal/workload"
+)
+
+// TestGoldenTraceDigest pins the exact event-by-event execution of a fixed
+// PEEL workload: every processed event's (time, sequence) pair feeds an
+// FNV-1a digest, and the final (event count, finish time, hash) triple is
+// compared byte-for-byte against testdata/golden_trace.txt. Any change to
+// event ordering, scheduling, or timing — however small — shows up here.
+//
+// After an intentional semantics change, regenerate with
+//
+//	PEEL_UPDATE_GOLDEN=1 go test -run TestGoldenTraceDigest ./internal/experiments
+func TestGoldenTraceDigest(t *testing.T) {
+	g := topology.FatTree(4)
+	eng := &sim.Engine{}
+	cfg := Quick().configFor(1<<20, 1)
+	net := netsim.New(g, eng, cfg)
+	planner, err := core.NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := workload.NewCluster(g, 8)
+	runner := collective.NewRunner(net, cl, planner, controller.New(cfg.RNG(netsim.SaltController)))
+
+	cols, err := cl.Generate(3, 0.3, cfg.LinkBps,
+		workload.Spec{GPUs: 32, Bytes: 1 << 20}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// FNV-1a over the little-endian (at, seq) pair of every event.
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	hash := uint64(fnvOffset)
+	events := uint64(0)
+	eng.SetTrace(func(at sim.Time, seq uint64) {
+		events++
+		for _, w := range [2]uint64{uint64(at), seq} {
+			for i := 0; i < 8; i++ {
+				hash ^= (w >> (8 * i)) & 0xff
+				hash *= fnvPrime
+			}
+		}
+	})
+
+	completed := 0
+	for _, c := range cols {
+		c := c
+		eng.At(c.Arrival, func() {
+			if err := runner.Start(c, collective.PEEL, func(sim.Time) { completed++ }); err != nil {
+				t.Errorf("start collective %d: %v", c.ID, err)
+			}
+		})
+	}
+	if err := eng.Run(Quick().MaxEvents); err != nil {
+		t.Fatal(err)
+	}
+	if completed != len(cols) {
+		t.Fatalf("%d/%d collectives completed", completed, len(cols))
+	}
+
+	got := fmt.Sprintf("events=%d final=%s hash=%016x\n", events, eng.Now().Duration(), hash)
+	goldenPath := filepath.Join("testdata", "golden_trace.txt")
+	if os.Getenv("PEEL_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden trace updated: %s", got)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with PEEL_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace digest drifted from golden snapshot:\n got: %s want: %s"+
+			"if the change is intentional, regenerate with PEEL_UPDATE_GOLDEN=1", got, want)
+	}
+}

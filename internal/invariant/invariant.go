@@ -1,0 +1,304 @@
+// Package invariant is the always-on correctness layer: a registry of
+// named checkers anchored to the paper's machine-checkable claims, and a
+// Suite that accumulates per-checker check/violation counts with
+// first-failure context. Hook points across the stack (sim engine, netsim
+// frame paths, the collective runner, tree construction, PEEL planning,
+// chaos injection, the controller model) consult the globally enabled
+// suite via Active(); with no suite enabled a hook costs one atomic load,
+// so the data path of a production run is untouched.
+//
+// The package sits below every other internal package (it imports only
+// the standard library) so any layer can report into it without import
+// cycles. Tests enable a suite per package via invtest.Main; cmd/peelsim
+// enables one behind -check.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Checker describes one registered invariant: a stable dotted name
+// ("layer.property"), the paper anchor that justifies it, and a one-line
+// description. Checkers carry no code — hook points report against the
+// name — so the registry doubles as the documentation of record
+// (DESIGN.md's invariant table is generated from the same entries).
+type Checker struct {
+	Name   string
+	Anchor string
+	Desc   string
+}
+
+// The built-in checker names. Hook points reference these constants; the
+// names are stable because peelsim -check prints them.
+const (
+	SimTimeMonotone      = "sim.time-monotone"
+	SimHeapIntegrity     = "sim.heap-integrity"
+	NetFrameConservation = "netsim.frame-conservation"
+	NetFrameRecycle      = "netsim.no-double-recycle"
+	NetByteAccounting    = "netsim.byte-accounting"
+	NetOverDelivery      = "netsim.no-over-delivery"
+	CollectiveDelivery   = "collective.delivery"
+	SteinerTreeValid     = "steiner.tree-valid"
+	SteinerPeelBound     = "steiner.peel-bound"
+	PrefixRuleBudget     = "prefix.rule-budget"
+	PrefixHeaderBudget   = "prefix.header-budget"
+	PrefixCover          = "prefix.cover"
+	ChaosHealGuaranteed  = "chaos.heal-guaranteed"
+	ControllerSetupFloor = "controller.setup-floor"
+)
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Checker{}
+)
+
+func init() {
+	for _, c := range []Checker{
+		{SimTimeMonotone, "discrete-event causality", "no event runs at a timestamp earlier than the engine clock"},
+		{SimHeapIntegrity, "engine §PR2 (hand-rolled heap)", "the pending-event queue satisfies the (at, seq) min-heap property"},
+		{NetFrameConservation, "frame free-list linear ownership", "every allocated frame is consumed: at quiesce no frames are live and no queue holds bytes"},
+		{NetFrameRecycle, "frame free-list linear ownership", "no frame is recycled to the free list twice"},
+		{NetByteAccounting, "§4 fabric model", "channel qBytes equals the sum of queued frame bytes; switch bufBytes equals the sum of its egress queues — checked across fail/heal transitions"},
+		{NetOverDelivery, "§1 fn.1 (selective repeat)", "after de-dup, a receiver never holds more bytes of a chunk than the chunk's size"},
+		{CollectiveDelivery, "§4 (CCT definition)", "a collective completes only when every member host was delivered to exactly once (no missing, no duplicate completion)"},
+		{SteinerTreeValid, "Lemma 2.1, §2.3", "every constructed multicast tree is a loop-free tree over live links spanning all destinations"},
+		{SteinerPeelBound, "Lemma 2.4, Theorem 2.5", "tree cost lies in [max(F,|D|), max(F,|D|)·min(F,|D|)] — the peeling approximation budget, re-checked on every recovery re-peel"},
+		{PrefixRuleBudget, "§3.2 (k−1 rule bound)", "the pre-installed prefix rule table has at most k−1 entries per aggregation switch"},
+		{PrefixHeaderBudget, "§3.2 (<8 B header)", "the encoded two-tuple PEEL header fits in 8 bytes"},
+		{PrefixCover, "§3.2 (trie cover)", "per-pod prefix covers are pairwise disjoint, reach every member ToR, and are exact when unbudgeted"},
+		{ChaosHealGuaranteed, "chaos renewal process", "in a heal-complete schedule every armed failure has a matching later heal"},
+		{ControllerSetupFloor, "§3.1 (He et al.)", "controller setup delays never undercut the truncation floor"},
+	} {
+		Register(c)
+	}
+}
+
+// Register adds a checker to the registry. Call from init(): suites built
+// by NewSuite snapshot the registry, so late registrations are invisible
+// to suites that already exist. Re-registering a name panics.
+func Register(c Checker) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[c.Name]; dup {
+		panic(fmt.Sprintf("invariant: checker %q registered twice", c.Name))
+	}
+	registry[c.Name] = c
+}
+
+// Checkers returns every registered checker sorted by name.
+func Checkers() []Checker {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Checker, 0, len(registry))
+	for _, c := range registry {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// stat is one checker's accumulator. Counts are atomics because sweep
+// workers report concurrently into a shared suite; the first failure is
+// captured lock-free via CompareAndSwap.
+type stat struct {
+	checks     atomic.Uint64
+	violations atomic.Uint64
+	first      atomic.Pointer[string]
+}
+
+// Suite accumulates results for every registered checker. All methods are
+// safe on a nil *Suite (they no-op), so hook code can write
+// invariant.Active().Checkf(...) without guarding — though hot paths
+// should still test Active() != nil to skip argument evaluation.
+type Suite struct {
+	stats map[string]*stat // fixed at construction: lock-free reads
+}
+
+// NewSuite returns a suite tracking a snapshot of the current registry.
+func NewSuite() *Suite {
+	s := &Suite{stats: make(map[string]*stat, len(registry))}
+	regMu.Lock()
+	for name := range registry {
+		s.stats[name] = &stat{}
+	}
+	regMu.Unlock()
+	return s
+}
+
+func (s *Suite) stat(name string) *stat {
+	st, ok := s.stats[name]
+	if !ok {
+		panic(fmt.Sprintf("invariant: checker %q not registered", name))
+	}
+	return st
+}
+
+// Checkf records one evaluation of the named checker: a check count
+// always, a violation (with the formatted context, kept for the first
+// failure only) when ok is false. It returns ok so call sites can branch.
+// The format arguments are only rendered on failure.
+func (s *Suite) Checkf(name string, ok bool, format string, args ...any) bool {
+	if s == nil {
+		return ok
+	}
+	st := s.stat(name)
+	st.checks.Add(1)
+	if !ok {
+		st.violations.Add(1)
+		msg := fmt.Sprintf(format, args...)
+		st.first.CompareAndSwap(nil, &msg)
+	}
+	return ok
+}
+
+// Violatef records an unconditional violation of the named checker.
+func (s *Suite) Violatef(name, format string, args ...any) {
+	s.Checkf(name, false, format, args...)
+}
+
+// Pass records one passing evaluation without touching the format
+// arguments — the hot-path twin of Checkf. Call sites that run per event
+// or per frame branch on the predicate themselves and pay for formatting
+// (and its argument boxing) only when the check actually fails.
+func (s *Suite) Pass(name string) {
+	if s == nil {
+		return
+	}
+	s.stat(name).checks.Add(1)
+}
+
+// Counter is a pre-resolved slot for one checker of one suite: per-event
+// call sites resolve it once (per suite change) and record passes without
+// re-hashing the checker name. The zero Counter is a no-op.
+type Counter struct{ st *stat }
+
+// Counter resolves the named checker's slot; panics on unregistered names
+// like every other name-taking method.
+func (s *Suite) Counter(name string) Counter {
+	if s == nil {
+		return Counter{}
+	}
+	return Counter{st: s.stat(name)}
+}
+
+// Pass records one passing evaluation.
+func (c Counter) Pass() {
+	if c.st != nil {
+		c.st.checks.Add(1)
+	}
+}
+
+// Checks returns how often the named checker was evaluated.
+func (s *Suite) Checks(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.stat(name).checks.Load()
+}
+
+// Violations returns the named checker's violation count.
+func (s *Suite) Violations(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.stat(name).violations.Load()
+}
+
+// FirstFailure returns the context captured with the named checker's
+// first violation, or "" if it never fired.
+func (s *Suite) FirstFailure(name string) string {
+	if s == nil {
+		return ""
+	}
+	if p := s.stat(name).first.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// TotalViolations sums violations across every checker.
+func (s *Suite) TotalViolations() uint64 {
+	if s == nil {
+		return 0
+	}
+	var total uint64
+	for _, st := range s.stats {
+		total += st.violations.Load()
+	}
+	return total
+}
+
+// TotalChecks sums evaluations across every checker.
+func (s *Suite) TotalChecks() uint64 {
+	if s == nil {
+		return 0
+	}
+	var total uint64
+	for _, st := range s.stats {
+		total += st.checks.Load()
+	}
+	return total
+}
+
+// Err returns nil when no checker fired, or an error summarizing every
+// violated checker with its first-failure context.
+func (s *Suite) Err() error {
+	if s == nil || s.TotalViolations() == 0 {
+		return nil
+	}
+	var b strings.Builder
+	for _, name := range s.names() {
+		if v := s.Violations(name); v > 0 {
+			fmt.Fprintf(&b, "%s: %d violations (first: %s); ", name, v, s.FirstFailure(name))
+		}
+	}
+	return fmt.Errorf("invariant: %s", strings.TrimSuffix(b.String(), "; "))
+}
+
+// Report renders a per-checker table: evaluations, violations, and the
+// first failure of each violated checker. peelsim -check prints it.
+func (s *Suite) Report() string {
+	if s == nil {
+		return "invariant checking disabled\n"
+	}
+	var b strings.Builder
+	b.WriteString("invariant checks:\n")
+	for _, name := range s.names() {
+		fmt.Fprintf(&b, "  %-28s checks=%-10d violations=%d\n", name, s.Checks(name), s.Violations(name))
+		if f := s.FirstFailure(name); f != "" {
+			fmt.Fprintf(&b, "    first: %s\n", f)
+		}
+	}
+	return b.String()
+}
+
+func (s *Suite) names() []string {
+	out := make([]string, 0, len(s.stats))
+	for name := range s.stats {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// active is the globally enabled suite; nil means checking is off and
+// every hook point reduces to one atomic load.
+var active atomic.Pointer[Suite]
+
+// Enable installs s as the global suite (nil disables checking) and
+// returns a restore function reinstating the previous one. Callers that
+// swap suites (mutation self-tests, isolated scenario runs) must not do
+// so concurrently with simulation work on other goroutines.
+func Enable(s *Suite) (restore func()) {
+	prev := active.Swap(s)
+	return func() { active.Store(prev) }
+}
+
+// Active returns the globally enabled suite, or nil when checking is off.
+func Active() *Suite {
+	return active.Load()
+}

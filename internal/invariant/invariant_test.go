@@ -1,0 +1,135 @@
+package invariant
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryHasAllBuiltins(t *testing.T) {
+	names := map[string]bool{}
+	for _, c := range Checkers() {
+		if c.Anchor == "" || c.Desc == "" {
+			t.Errorf("checker %q missing anchor or description", c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, want := range []string{
+		SimTimeMonotone, SimHeapIntegrity,
+		NetFrameConservation, NetFrameRecycle, NetByteAccounting, NetOverDelivery,
+		CollectiveDelivery, SteinerTreeValid, SteinerPeelBound,
+		PrefixRuleBudget, PrefixHeaderBudget, PrefixCover,
+		ChaosHealGuaranteed, ControllerSetupFloor,
+	} {
+		if !names[want] {
+			t.Errorf("builtin checker %q not registered", want)
+		}
+	}
+	if len(names) < 7 {
+		t.Fatalf("tentpole requires >=7 checkers, registry has %d", len(names))
+	}
+}
+
+func TestSuiteCountsAndFirstFailure(t *testing.T) {
+	s := NewSuite()
+	if !s.Checkf(SimTimeMonotone, true, "unused %d", 1) {
+		t.Fatal("Checkf(ok=true) must return true")
+	}
+	if s.Checkf(SimTimeMonotone, false, "bad at=%d", 42) {
+		t.Fatal("Checkf(ok=false) must return false")
+	}
+	s.Violatef(SimTimeMonotone, "bad at=%d", 43)
+	if got := s.Checks(SimTimeMonotone); got != 3 {
+		t.Errorf("Checks = %d, want 3", got)
+	}
+	if got := s.Violations(SimTimeMonotone); got != 2 {
+		t.Errorf("Violations = %d, want 2", got)
+	}
+	if got := s.FirstFailure(SimTimeMonotone); got != "bad at=42" {
+		t.Errorf("FirstFailure = %q, want the first message", got)
+	}
+	if s.TotalViolations() != 2 {
+		t.Errorf("TotalViolations = %d, want 2", s.TotalViolations())
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "bad at=42") {
+		t.Errorf("Err = %v, want first-failure context", err)
+	}
+	if !strings.Contains(s.Report(), SimTimeMonotone) {
+		t.Errorf("Report missing checker name:\n%s", s.Report())
+	}
+}
+
+func TestCleanSuiteHasNoError(t *testing.T) {
+	s := NewSuite()
+	s.Checkf(SteinerTreeValid, true, "")
+	if err := s.Err(); err != nil {
+		t.Fatalf("clean suite Err = %v, want nil", err)
+	}
+}
+
+func TestNilSuiteIsSafe(t *testing.T) {
+	var s *Suite
+	if !s.Checkf(SimTimeMonotone, true, "") || s.Checkf(SimTimeMonotone, false, "") {
+		t.Error("nil suite Checkf must pass ok through")
+	}
+	s.Violatef(SimTimeMonotone, "ignored")
+	if s.Checks(SimTimeMonotone) != 0 || s.Violations(SimTimeMonotone) != 0 ||
+		s.TotalViolations() != 0 || s.TotalChecks() != 0 ||
+		s.FirstFailure(SimTimeMonotone) != "" || s.Err() != nil {
+		t.Error("nil suite must report nothing")
+	}
+	if s.Report() == "" {
+		t.Error("nil suite Report must still render")
+	}
+}
+
+func TestUnregisteredNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Checkf on an unregistered name must panic")
+		}
+	}()
+	NewSuite().Checkf("no.such-checker", true, "")
+}
+
+func TestEnableRestores(t *testing.T) {
+	outer := NewSuite()
+	restoreOuter := Enable(outer)
+	defer restoreOuter()
+	if Active() != outer {
+		t.Fatal("Enable did not install the suite")
+	}
+	inner := NewSuite()
+	restore := Enable(inner)
+	if Active() != inner {
+		t.Fatal("nested Enable did not swap")
+	}
+	restore()
+	if Active() != outer {
+		t.Fatal("restore did not reinstate the previous suite")
+	}
+}
+
+func TestSuiteConcurrentReports(t *testing.T) {
+	s := NewSuite()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Checkf(NetByteAccounting, i%10 != 0, "worker violation %d", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Checks(NetByteAccounting); got != 8000 {
+		t.Errorf("Checks = %d, want 8000", got)
+	}
+	if got := s.Violations(NetByteAccounting); got != 800 {
+		t.Errorf("Violations = %d, want 800", got)
+	}
+	if s.FirstFailure(NetByteAccounting) == "" {
+		t.Error("concurrent violations must still capture a first failure")
+	}
+}

@@ -1,0 +1,46 @@
+// Package invtest wires invariant checking into package test binaries.
+//
+// Each package's TestMain calls Main(m): every test in the package then
+// runs with a fresh global suite enabled, and the binary fails if any
+// checker recorded a violation — this is how the invariants are "enabled
+// in all tests" without touching individual test functions. Mutation
+// self-tests that corrupt state on purpose use Capture to swap in a
+// private suite, so their deliberate violations never leak into the
+// package verdict.
+package invtest
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"peel/internal/invariant"
+)
+
+// Main runs the package's tests with invariant checking enabled and
+// turns any recorded violation into a test-binary failure.
+func Main(m *testing.M) {
+	s := invariant.NewSuite()
+	restore := invariant.Enable(s)
+	code := m.Run()
+	restore()
+	if code == 0 && s.TotalViolations() > 0 {
+		fmt.Fprintf(os.Stderr, "invtest: invariant violations recorded during tests\n%s", s.Report())
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// Capture runs fn with a fresh suite enabled in place of the package-wide
+// one and returns it for assertions. Mutation self-tests use it to prove
+// a checker fires without poisoning the Main verdict. The swap is
+// process-global: fn must not race with simulation work on other
+// goroutines (package tests here are single-threaded per test).
+func Capture(t *testing.T, fn func()) *invariant.Suite {
+	t.Helper()
+	s := invariant.NewSuite()
+	restore := invariant.Enable(s)
+	defer restore()
+	fn()
+	return s
+}

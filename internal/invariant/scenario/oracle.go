@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"peel/internal/prefix"
+	"peel/internal/routing"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+// This file holds the differential oracles: independent reference
+// computations that the production algorithms must agree with.
+
+// PeelVsExact draws a small random fabric (optionally degraded) and checks
+// layer peeling against the exact Dreyfus–Wagner Steiner solver:
+//
+//	opt <= peelCost <= opt * min(F, |D|)
+//
+// The right inequality is Theorem 2.5's approximation guarantee; the left
+// is optimality of the exact solver. Unreachable draws are skipped.
+func PeelVsExact(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.LeafSpine(2+rng.Intn(3), 3+rng.Intn(4), 1+rng.Intn(2))
+	if rng.Intn(2) == 1 {
+		g.FailRandomFraction(0.15*rng.Float64(), topology.SwitchLinks, rng)
+	}
+
+	hosts := g.Hosts()
+	rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+	n := 2 + rng.Intn(7) // src + <=7 dests stays within ExactSmall's terminal cap
+	if n > len(hosts) {
+		n = len(hosts)
+	}
+	src, dests := hosts[0], hosts[1:n]
+
+	df := routing.BorrowBFS(g, src)
+	reachable := df.Reachable(dests[len(dests)-1])
+	for _, d := range dests {
+		reachable = reachable && df.Reachable(d)
+	}
+	df.Release()
+	if !reachable {
+		return nil // degraded fabric disconnected the draw; nothing to compare
+	}
+
+	tree, stats, err := steiner.LayerPeeling(g, src, dests)
+	if err != nil {
+		return fmt.Errorf("seed %d: layer peeling: %w", seed, err)
+	}
+	opt, err := steiner.ExactSmall(g, src, dests)
+	if err != nil {
+		return fmt.Errorf("seed %d: exact solver: %w", seed, err)
+	}
+
+	cost := tree.Cost()
+	ratio := int(stats.F)
+	if len(dests) < ratio {
+		ratio = len(dests)
+	}
+	if cost < opt || cost > opt*ratio {
+		return fmt.Errorf("seed %d: peel cost %d outside [opt, opt*min(F,|D|)] = [%d, %d] (F=%d, |D|=%d)",
+			seed, cost, opt, opt*ratio, stats.F, len(dests))
+	}
+	return nil
+}
+
+// CoverVsBrute draws a random membership set in a small prefix space and
+// checks ExactCover against a brute-force subset-DP minimum, plus the
+// structural contracts of BudgetedCover.
+func CoverVsBrute(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	sp := prefix.Space{M: 2 + rng.Intn(3)} // M in 2..4 keeps the DP at <=65536 masks
+	universe := sp.Universe()
+
+	var ids []uint32
+	var mask uint32
+	for id := 0; id < universe; id++ {
+		if rng.Intn(3) == 0 {
+			ids = append(ids, uint32(id))
+			mask |= 1 << id
+		}
+	}
+	if len(ids) == 0 {
+		ids = append(ids, uint32(rng.Intn(universe)))
+		mask = 1 << ids[0]
+	}
+
+	cover, err := sp.ExactCover(ids)
+	if err != nil {
+		return fmt.Errorf("seed %d: ExactCover: %w", seed, err)
+	}
+	if err := checkCoverShape(sp, cover, mask, true); err != nil {
+		return fmt.Errorf("seed %d: ExactCover: %w", seed, err)
+	}
+	if want := bruteMinCover(sp, mask); len(cover) != want {
+		return fmt.Errorf("seed %d: ExactCover used %d prefixes, brute-force minimum is %d (members %v)",
+			seed, len(cover), want, ids)
+	}
+
+	budget := 1 + rng.Intn(4)
+	bud, err := sp.BudgetedCover(ids, budget)
+	if err != nil {
+		return fmt.Errorf("seed %d: BudgetedCover: %w", seed, err)
+	}
+	if len(bud) > budget {
+		return fmt.Errorf("seed %d: BudgetedCover(%d) returned %d prefixes", seed, budget, len(bud))
+	}
+	if err := checkCoverShape(sp, bud, mask, false); err != nil {
+		return fmt.Errorf("seed %d: BudgetedCover: %w", seed, err)
+	}
+	return nil
+}
+
+// checkCoverShape validates a cover's structure against a member bitmask:
+// blocks are disjoint and every member is covered; when exact is set, no
+// non-member may be covered either.
+func checkCoverShape(sp prefix.Space, cover []prefix.Prefix, mask uint32, exact bool) error {
+	var covered uint32
+	for _, p := range cover {
+		lo, hi := p.Block(sp.M) // half-open [lo, hi)
+		for id := lo; id < hi; id++ {
+			bit := uint32(1) << id
+			if covered&bit != 0 {
+				return fmt.Errorf("id %d covered twice", id)
+			}
+			if exact && mask&bit == 0 {
+				return fmt.Errorf("non-member id %d covered", id)
+			}
+			covered |= bit
+		}
+	}
+	if missing := mask &^ covered; missing != 0 {
+		return fmt.Errorf("member id %d not covered", bits.TrailingZeros32(missing))
+	}
+	return nil
+}
+
+// bruteMinCover computes, by subset DP over the member bitmask, the fewest
+// prefix blocks whose union is exactly the target set. Prefix blocks form
+// a laminar family, so an exact disjoint decomposition always exists and
+// restricting the DP to fully-contained blocks is lossless.
+func bruteMinCover(sp prefix.Space, target uint32) int {
+	universe := sp.Universe()
+	// Bitmask of each candidate prefix block that fits inside the target.
+	var blocks []uint32
+	for _, p := range sp.AllRules() {
+		lo, hi := p.Block(sp.M) // half-open [lo, hi)
+		var bm uint32
+		for id := lo; id < hi; id++ {
+			bm |= 1 << id
+		}
+		if bm&^target == 0 {
+			blocks = append(blocks, bm)
+		}
+	}
+	const inf = int(^uint(0) >> 1)
+	f := make([]int, 1<<universe)
+	for i := range f {
+		f[i] = inf
+	}
+	f[0] = 0
+	for mask := uint32(1); mask < 1<<universe; mask++ {
+		if mask&^target != 0 {
+			continue
+		}
+		low := uint32(1) << bits.TrailingZeros32(mask)
+		for _, bm := range blocks {
+			if bm&low == 0 || bm&^mask != 0 {
+				continue // block must consume mask's lowest id and stay inside mask
+			}
+			if rest := f[mask&^bm]; rest != inf && rest+1 < f[mask] {
+				f[mask] = rest + 1
+			}
+		}
+	}
+	return f[target]
+}
+
+// ParallelVsSerial runs the same scenario set once serially and once on a
+// worker pool and demands field-identical results: the simulation must be
+// deterministic regardless of host-level concurrency. It runs under the
+// globally enabled suite (which is race-safe).
+func ParallelVsSerial(seeds []int64, workers int) error {
+	serial := make([]Result, len(seeds))
+	for i, seed := range seeds {
+		res, err := Run(Generate(seed))
+		if err != nil {
+			return fmt.Errorf("serial seed %d: %w", seed, err)
+		}
+		serial[i] = res
+	}
+
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	par := make([]Result, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := Run(Generate(seeds[i]))
+				par[i], errs[i] = res, err
+			}
+		}()
+	}
+	for i := range seeds {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, seed := range seeds {
+		if errs[i] != nil {
+			return fmt.Errorf("parallel seed %d: %w", seed, errs[i])
+		}
+		if par[i] != serial[i] {
+			return fmt.Errorf("seed %d diverged across workers: serial %+v, parallel %+v",
+				seed, serial[i], par[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"testing"
+
+	"peel/internal/invariant"
+	"peel/internal/invariant/invtest"
+)
+
+func TestMain(m *testing.M) { invtest.Main(m) }
+
+// scenarioSeeds is how many generated end-to-end scenarios the harness
+// replays per run; shortened under -short.
+func scenarioSeeds(t *testing.T) int {
+	if testing.Short() {
+		return 10
+	}
+	return 40
+}
+
+func oracleSeeds(t *testing.T) int {
+	if testing.Short() {
+		return 30
+	}
+	return 120
+}
+
+// TestScenariosZeroViolations replays generated scenarios under an
+// isolated suite each; any failure is shrunk to a minimal reproducer
+// before reporting.
+func TestScenariosZeroViolations(t *testing.T) {
+	for seed := int64(1); seed <= int64(scenarioSeeds(t)); seed++ {
+		sc := Generate(seed)
+		if _, err := RunIsolated(sc); err != nil {
+			fails := func(c Scenario) bool {
+				_, e := RunIsolated(c)
+				return e != nil
+			}
+			min := Shrink(sc, fails)
+			_, minErr := RunIsolated(min)
+			t.Fatalf("scenario {%s} failed: %v\nminimal reproducer {%s}: %v", sc, err, min, minErr)
+		}
+	}
+}
+
+func TestOraclePeelVsExact(t *testing.T) {
+	for seed := int64(1); seed <= int64(oracleSeeds(t)); seed++ {
+		if err := PeelVsExact(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOracleCoverVsBrute(t *testing.T) {
+	for seed := int64(1); seed <= int64(oracleSeeds(t)); seed++ {
+		if err := CoverVsBrute(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOracleParallelVsSerial(t *testing.T) {
+	seeds := []int64{3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	if err := ParallelVsSerial(seeds, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShrinkFindsMinimal drives Shrink with a synthetic failure predicate
+// and checks it strips chaos and halves the group/message to the floor the
+// predicate allows.
+func TestShrinkFindsMinimal(t *testing.T) {
+	sc := Scenario{
+		Seed: 99, GroupGPUs: 60, Bytes: 1 << 20, FrameBytes: 32 << 10,
+		ChaosFrac: 0.2, FailAt: 1, HealAt: 2,
+	}
+	// Fails whenever the group still has >= 12 GPUs, regardless of chaos
+	// or message size.
+	fails := func(c Scenario) bool { return c.GroupGPUs >= 12 }
+	min := Shrink(sc, fails)
+	if !fails(min) {
+		t.Fatalf("shrunk scenario no longer fails: {%s}", min)
+	}
+	if min.ChaosFrac != 0 {
+		t.Errorf("chaos not stripped: %+v", min)
+	}
+	if min.GroupGPUs != 15 { // 60 -> 30 -> 15; 15/2=7 < 9 floor stops halving
+		t.Errorf("group not minimized: got %d GPUs, want 15", min.GroupGPUs)
+	}
+	if min.Bytes != 64<<10 {
+		t.Errorf("message not minimized: got %d bytes, want %d", min.Bytes, 64<<10)
+	}
+}
+
+// TestGenerateIsDeterministic pins the seed -> scenario mapping the CI
+// harness and ParallelVsSerial both rely on.
+func TestGenerateIsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		if a, b := Generate(seed), Generate(seed); a != b {
+			t.Fatalf("seed %d generated two different scenarios:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestRunIsolatedRestoresSuite guards against the shrink loop leaking its
+// temporary suites into the global slot.
+func TestRunIsolatedRestoresSuite(t *testing.T) {
+	before := invariant.Active()
+	if _, err := RunIsolated(Generate(2)); err != nil {
+		t.Fatal(err)
+	}
+	if invariant.Active() != before {
+		t.Fatal("RunIsolated did not restore the previously active suite")
+	}
+}

@@ -26,12 +26,15 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"negative LossRate", func(c *Config) { c.LossRate = -0.1 }},
 		{"LossRate above 1", func(c *Config) { c.LossRate = 1.5 }},
 		{"loss without RTO", func(c *Config) { c.LossRate = 0.01; c.RepairRTO = 0 }},
+		{"negative BufferBytes", func(c *Config) { c.BufferBytes = -1 }},
 		{"negative ECN Kmin", func(c *Config) { c.ECNKminBytes = -1 }},
 		{"inverted ECN thresholds", func(c *Config) { c.ECNKminBytes = 10 << 10; c.ECNKmaxBytes = 5 << 10 }},
+		{"negative ECNPmax", func(c *Config) { c.ECNPmax = -0.01 }},
 		{"ECNPmax above 1", func(c *Config) { c.ECNPmax = 1.2 }},
 		{"PFC with zero free fraction", func(c *Config) { c.PFCFreeFrac = 0 }},
 		{"PFC free fraction one", func(c *Config) { c.PFCFreeFrac = 1 }},
 		{"zero HostQueueFrames", func(c *Config) { c.HostQueueFrames = 0 }},
+		{"negative HostQueueFrames", func(c *Config) { c.HostQueueFrames = -2 }},
 	}
 	for _, tc := range cases {
 		cfg := DefaultConfig()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"peel/internal/dcqcn"
+	"peel/internal/invariant"
 	"peel/internal/sim"
 	"peel/internal/steiner"
 	"peel/internal/topology"
@@ -388,6 +389,16 @@ func (f *Flow) receive(fr *frame, at topology.NodeID) {
 	// Chunk size is known from the sender's queue; completion is when the
 	// receiver holds all bytes of that chunk.
 	want := f.chunkBytes(chunkID)
+	if s := invariant.Active(); s != nil && want > 0 {
+		// Past the per-seq de-dup above, accumulated bytes can never exceed
+		// the chunk size — more means duplicate delivery leaked through.
+		if rs.gotChunk[chunkID] <= want {
+			f.net.overDeliveryCounter(s).Pass()
+		} else {
+			s.Violatef(invariant.NetOverDelivery,
+				"host %d chunk %d holds %d bytes of %d", at, chunkID, rs.gotChunk[chunkID], want)
+		}
+	}
 	if want > 0 && rs.gotChunk[chunkID] >= want && !rs.doneChunk[chunkID] {
 		rs.doneChunk[chunkID] = true
 		if f.onChunk != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"peel/internal/invariant"
 	"peel/internal/sim"
 	"peel/internal/topology"
 )
@@ -26,6 +27,13 @@ type Network struct {
 	// so every consumption point (host receive, drop, discard) recycles
 	// its frame here and steady-state forwarding allocates no frames.
 	framePool []*frame
+	// framesLive counts frames allocated but not yet recycled; at quiesce
+	// it must be zero (frame-conservation invariant).
+	framesLive int64
+	// suite/overDelivery cache the active invariant suite's pre-resolved
+	// over-delivery counter for the per-frame receive path.
+	suite        *invariant.Suite
+	overDelivery invariant.Counter
 	// faulty latches once any link transition happened at runtime: it
 	// widens the selective-repeat arming condition to cover link-failure
 	// drops (not just random loss) without touching failure-free runs.
@@ -101,10 +109,22 @@ type frame struct {
 	hop     int // unicast: index of the node the frame is currently at, within flow.path
 	at      topology.NodeID
 	seq     int64 // flow-scoped sequence number (loss recovery de-dup)
+	pooled  bool  // true while the frame sits on the free list
+}
+
+// overDeliveryCounter returns the NetOverDelivery slot of suite s,
+// re-resolving the cached counter only when the active suite changed.
+func (n *Network) overDeliveryCounter(s *invariant.Suite) invariant.Counter {
+	if s != n.suite {
+		n.suite = s
+		n.overDelivery = s.Counter(invariant.NetOverDelivery)
+	}
+	return n.overDelivery
 }
 
 // newFrame returns a zeroed frame from the free list (or a fresh one).
 func (n *Network) newFrame() *frame {
+	n.framesLive++
 	if len(n.framePool) == 0 {
 		return &frame{}
 	}
@@ -115,8 +135,16 @@ func (n *Network) newFrame() *frame {
 }
 
 // freeFrame recycles a consumed frame. Callers must hold the frame's only
-// reference (see framePool).
+// reference (see framePool); recycling the same frame twice would alias
+// two future allocations onto one struct, so it is reported and refused.
 func (n *Network) freeFrame(f *frame) {
+	if f.pooled {
+		invariant.Active().Violatef(invariant.NetFrameRecycle,
+			"frame (flow seq=%d chunk=%d at=%d) recycled twice", f.seq, f.chunkID, f.at)
+		return
+	}
+	f.pooled = true
+	n.framesLive--
 	n.framePool = append(n.framePool, f)
 }
 
@@ -164,6 +192,12 @@ func (n *Network) onLinkStateChange(id topology.LinkID, failed bool) {
 				ch.markUp()
 			}
 		}
+	}
+	// Fail/heal transitions rewrite queue and buffer accounting (markDown
+	// flushes queues and unwinds bufBytes); re-verify the books right here,
+	// where a mistake would first appear.
+	if s := invariant.Active(); s != nil {
+		n.CheckAccounting(s)
 	}
 	// A transition creates (failure) or unblocks (heal) frame holes that
 	// DCQCN pacing alone never fills: kick every unfinished flow's

@@ -1,0 +1,48 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"peel/internal/topology"
+)
+
+// FuzzUpDownPaths is the native-fuzzing twin of
+// TestQuickECMPShortestUnderFailures: every ECMP path on a degraded
+// leaf-spine fabric must be a shortest live path that avoids failed links,
+// and must be absent exactly when the destination is unreachable.
+func FuzzUpDownPaths(f *testing.F) {
+	f.Add(int64(1), uint64(0), uint64(0))
+	f.Add(int64(9), uint64(0xdeadbeef), uint64(17))
+	f.Add(int64(23), uint64(7), uint64(29))
+	f.Fuzz(func(t *testing.T, seed int64, key, pct uint64) {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.LeafSpine(8, 8, 2)
+		g.FailRandomFraction(float64(pct%30)/100, topology.TierLinks(topology.Spine, topology.Leaf), rng)
+		hosts := g.Hosts()
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		if src == dst {
+			return
+		}
+		d := BFS(g, src)
+		p := ECMPPath(g, src, dst, key)
+		if !d.Reachable(dst) {
+			if p != nil {
+				t.Fatalf("seed=%d key=%d pct=%d: path to unreachable %d", seed, key, pct, dst)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatalf("seed=%d key=%d pct=%d: no path to reachable %d", seed, key, pct, dst)
+		}
+		if int32(len(p)-1) != d.Dist[dst] {
+			t.Fatalf("seed=%d key=%d pct=%d: path length %d, shortest is %d", seed, key, pct, len(p)-1, d.Dist[dst])
+		}
+		for _, l := range PathLinks(g, p) {
+			if g.Link(l).Failed {
+				t.Fatalf("seed=%d key=%d pct=%d: path crosses failed link %d", seed, key, pct, l)
+			}
+		}
+	})
+}

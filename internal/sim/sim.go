@@ -9,6 +9,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"peel/internal/invariant"
 )
 
 // Time is simulated time in picoseconds. Picosecond resolution keeps
@@ -100,6 +102,17 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// heapCheckInterval is how many processed events separate full heap-
+// property scans when invariant checking is on. The scan is O(pending),
+// so amortizing keeps checked runs within the overhead budget. Package
+// tests shrink it to exercise the scan densely.
+var heapCheckInterval uint64 = 4096
+
+// TraceFunc observes every processed event as (timestamp, scheduling
+// sequence number). Installed via SetTrace; the golden end-to-end trace
+// test digests this stream to pin the exact event order.
+type TraceFunc func(at Time, seq uint64)
+
 // Engine owns the clock and the pending-event queue. The zero value is
 // ready to use.
 type Engine struct {
@@ -107,7 +120,16 @@ type Engine struct {
 	now       Time
 	seq       uint64
 	processed uint64
+	trace     TraceFunc
+	// suite/monotone cache the active invariant suite's pre-resolved
+	// time-monotone counter so the per-event pass costs two atomic loads
+	// and an add instead of a string-map lookup.
+	suite    *invariant.Suite
+	monotone invariant.Counter
 }
+
+// SetTrace installs (or, with nil, removes) a per-event observer.
+func (e *Engine) SetTrace(fn TraceFunc) { e.trace = fn }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -137,10 +159,43 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.pq.pop()
+	if s := invariant.Active(); s != nil {
+		if s != e.suite {
+			e.suite = s
+			e.monotone = s.Counter(invariant.SimTimeMonotone)
+		}
+		if ev.at >= e.now {
+			e.monotone.Pass()
+		} else {
+			s.Violatef(invariant.SimTimeMonotone,
+				"event (at=%d seq=%d) popped before clock %d", ev.at, ev.seq, e.now)
+		}
+		if e.processed%heapCheckInterval == 0 {
+			e.reportHeapIntegrity(s)
+		}
+	}
 	e.now = ev.at
 	e.processed++
+	if e.trace != nil {
+		e.trace(ev.at, ev.seq)
+	}
 	ev.fn()
 	return true
+}
+
+// reportHeapIntegrity scans the full pending queue for the min-heap
+// property on (at, seq): no element may order before its parent.
+func (e *Engine) reportHeapIntegrity(s *invariant.Suite) {
+	q := e.pq
+	ok, bad := true, -1
+	for i := 1; i < len(q); i++ {
+		if q.less(i, (i-1)/2) {
+			ok, bad = false, i
+			break
+		}
+	}
+	s.Checkf(invariant.SimHeapIntegrity, ok,
+		"heap property broken at index %d (len=%d)", bad, len(q))
 }
 
 // Run processes events until the queue drains or the event budget is

@@ -1,0 +1,60 @@
+package steiner
+
+import (
+	"peel/internal/invariant"
+	"peel/internal/routing"
+	"peel/internal/topology"
+)
+
+// reportPeelBound checks Theorem 2.5's approximation budget for a built
+// tree: with lb = max(F, |D|) (Lemma 2.4's lower bound on OPT), the cost
+// must lie in [lb, lb·min(F,|D|)]. Both LayerPeeling (which already holds
+// F and |D| in scope) and ReportTreeChecks route here.
+func reportPeelBound(s *invariant.Suite, t *Tree, f int32, nd int) {
+	if nd == 0 {
+		return // degenerate self-send: no bound to check
+	}
+	cost := t.Cost()
+	lb := nd
+	if int(f) > lb {
+		lb = int(f)
+	}
+	minFD := nd
+	if int(f) < minFD {
+		minFD = int(f)
+	}
+	if minFD < 1 {
+		minFD = 1
+	}
+	s.Checkf(invariant.SteinerPeelBound, cost >= lb && cost <= lb*minFD,
+		"tree cost %d outside [%d, %d] (F=%d |D|=%d)", cost, lb, lb*minFD, f, nd)
+}
+
+// ReportTreeChecks re-validates an already-built tree against the graph
+// and destination set, reporting tree validity and the peeling cost bound.
+// The recovery path calls it after every re-peel (the "cost no worse than
+// the repair budget" check: a repaired tree must still respect Theorem
+// 2.5 on the degraded fabric); mutation self-tests call it directly.
+func ReportTreeChecks(s *invariant.Suite, g *topology.Graph, t *Tree, dests []topology.NodeID) {
+	if s == nil {
+		return
+	}
+	err := t.Validate(g, dests)
+	if !s.Checkf(invariant.SteinerTreeValid, err == nil, "invalid tree: %v", err) {
+		return // bound math is meaningless over a broken tree
+	}
+	d := routing.BorrowBFS(g, t.Source)
+	defer d.Release()
+	f, ferr := d.Farthest(dests)
+	if ferr != nil {
+		s.Violatef(invariant.SteinerTreeValid, "validated tree has unreachable destination: %v", ferr)
+		return
+	}
+	nd := 0
+	for _, dst := range dests {
+		if dst != t.Source {
+			nd++ // dests sets are de-duplicated by the planners
+		}
+	}
+	reportPeelBound(s, t, f, nd)
+}

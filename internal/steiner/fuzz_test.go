@@ -1,0 +1,60 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+
+	"peel/internal/routing"
+	"peel/internal/topology"
+)
+
+// FuzzPeelTree is the native-fuzzing twin of TestQuickLayerPeelingBounds:
+// the fuzzer mutates the (seed, group size, failure rate) tuple and the
+// target re-derives a random fabric, peels a tree, and checks validity
+// plus both cost bounds. `go test -fuzz=FuzzPeelTree` explores; the seed
+// corpus under testdata/fuzz keeps a regression set replayed by plain
+// `go test`.
+func FuzzPeelTree(f *testing.F) {
+	f.Add(int64(1), uint64(4), uint64(0))
+	f.Add(int64(7), uint64(9), uint64(12))
+	f.Add(int64(42), uint64(2), uint64(24))
+	f.Fuzz(func(t *testing.T, seed int64, nd, pct uint64) {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.LeafSpine(4+rng.Intn(8), 6+rng.Intn(10), 1+rng.Intn(3))
+		g.FailRandomFraction(float64(pct%25)/100, topology.TierLinks(topology.Spine, topology.Leaf), rng)
+		n := 2 + int(nd%10)
+		hosts := g.Hosts()
+		if n >= len(hosts) {
+			n = len(hosts) - 1
+		}
+		picked := pickHosts(g, rng, n+1)
+		src, dests := picked[0], picked[1:]
+		d := routing.BFS(g, src)
+		for _, dst := range dests {
+			if !d.Reachable(dst) {
+				return // partitioned draw: nothing to assert
+			}
+		}
+		tr, stats, err := LayerPeeling(g, src, dests)
+		if err != nil {
+			t.Fatalf("seed=%d nd=%d pct=%d: %v", seed, nd, pct, err)
+		}
+		if verr := tr.Validate(g, dests); verr != nil {
+			t.Fatalf("seed=%d nd=%d pct=%d: invalid tree: %v", seed, nd, pct, verr)
+		}
+		lb, err := LowerBound(g, src, dests)
+		if err != nil {
+			t.Fatalf("seed=%d nd=%d pct=%d: lower bound: %v", seed, nd, pct, err)
+		}
+		minFD := len(dests)
+		if int(stats.F) < minFD {
+			minFD = int(stats.F)
+		}
+		if minFD < 1 {
+			minFD = 1
+		}
+		if cost := tr.Cost(); cost < lb || cost > lb*minFD {
+			t.Fatalf("seed=%d nd=%d pct=%d: cost %d outside [%d, %d]", seed, nd, pct, cost, lb, lb*minFD)
+		}
+	})
+}

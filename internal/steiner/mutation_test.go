@@ -1,0 +1,72 @@
+package steiner
+
+import (
+	"testing"
+
+	"peel/internal/invariant"
+	"peel/internal/topology"
+)
+
+// Mutation self-tests for the tree checkers, built over a 2-spine
+// 2-leaf fabric with two hosts per leaf.
+
+// mutationFabric returns the graph plus the nodes the tests corrupt:
+// source host, a co-leaf destination host, their leaf, a spine, and the
+// other leaf.
+func mutationFabric(t *testing.T) (g *topology.Graph, src, dst, leaf, spine, leaf2 topology.NodeID) {
+	t.Helper()
+	g = topology.LeafSpine(2, 2, 2)
+	hosts := g.Hosts()
+	src = hosts[0]
+	for _, he := range g.Adj(src) {
+		leaf = he.Peer
+	}
+	for _, he := range g.Adj(leaf) {
+		switch {
+		case g.Node(he.Peer).Kind == topology.Host && he.Peer != src:
+			dst = he.Peer
+		case g.Node(he.Peer).Kind.IsSwitch():
+			spine = he.Peer
+		}
+	}
+	for _, he := range g.Adj(spine) {
+		if he.Peer != leaf {
+			leaf2 = he.Peer
+		}
+	}
+	return g, src, dst, leaf, spine, leaf2
+}
+
+func TestMutationTreeValidFires(t *testing.T) {
+	g, src, dst, leaf, spine, _ := mutationFabric(t)
+	tr := newTree(src, g.NumNodes())
+	tr.add(leaf, src)
+	tr.add(dst, leaf)
+	tr.Parent[dst] = spine // corrupt: spine is not dst's neighbor
+
+	s := invariant.NewSuite()
+	ReportTreeChecks(s, g, tr, []topology.NodeID{dst})
+	if s.Violations(invariant.SteinerTreeValid) == 0 {
+		t.Fatal("tree-valid checker did not fire on a corrupted parent edge")
+	}
+}
+
+func TestMutationPeelBoundFires(t *testing.T) {
+	g, src, dst, leaf, spine, leaf2 := mutationFabric(t)
+	// A perfectly valid tree that wastes edges: the spine/leaf2 detour
+	// pushes cost to 4 while the bound for (F=2, |D|=1) is exactly 2.
+	tr := newTree(src, g.NumNodes())
+	tr.add(leaf, src)
+	tr.add(dst, leaf)
+	tr.add(spine, leaf)
+	tr.add(leaf2, spine)
+
+	s := invariant.NewSuite()
+	ReportTreeChecks(s, g, tr, []topology.NodeID{dst})
+	if s.Violations(invariant.SteinerTreeValid) != 0 {
+		t.Fatalf("detour tree should still be valid: %s", s.FirstFailure(invariant.SteinerTreeValid))
+	}
+	if s.Violations(invariant.SteinerPeelBound) == 0 {
+		t.Fatal("peel-bound checker did not fire on an over-budget tree")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"peel/internal/invariant"
 	"peel/internal/routing"
 	"peel/internal/topology"
 )
@@ -211,6 +212,20 @@ func LayerPeeling(g *topology.Graph, src topology.NodeID, dests []topology.NodeI
 	}
 	if err := t.Validate(g, live); err != nil {
 		return nil, stats, fmt.Errorf("steiner: layer peeling produced invalid tree: %w", err)
+	}
+	if s := invariant.Active(); s != nil {
+		// Validate just passed; record it and check Theorem 2.5's budget
+		// with the F and |D| already in hand (no extra BFS).
+		s.Checkf(invariant.SteinerTreeValid, true, "")
+		nd := 0
+		seen := map[topology.NodeID]bool{}
+		for _, dst := range live {
+			if !seen[dst] {
+				seen[dst] = true
+				nd++
+			}
+		}
+		reportPeelBound(s, t, stats.F, nd)
 	}
 	return t, stats, nil
 }
