@@ -26,6 +26,17 @@
 //	               to each experiment's notes
 //	-cpuprofile F  write a CPU profile to F
 //	-memprofile F  write a heap profile to F at exit
+//	-telemetry F       arm the telemetry sink; write the JSON run-report to F
+//	                   ("-" = stdout) and append a summary table
+//	-telemetry-csv F   write the per-link CSV time series to F (arms the
+//	                   sampler; forces -workers 1)
+//	-trace-dump F      write the flight-recorder dump to F at exit ("-" = stderr)
+//	-trace-frames      record per-frame enqueue/dequeue trace events
+//	-trace-events N    flight recorder ring capacity (default 4096)
+//
+// With telemetry armed, the flight recorder is also dumped to stderr
+// automatically when an invariant violation (-check) or a watchdog
+// abandonment occurs.
 //
 // Results are byte-identical for any -workers value: every (scheme, X)
 // point is an independent deterministic simulation collected by index.
@@ -43,7 +54,8 @@ import (
 
 	"peel/internal/experiments"
 	"peel/internal/invariant"
-	"peel/internal/metrics"
+	"peel/internal/sim"
+	"peel/internal/telemetry"
 )
 
 var runners = map[string]func(experiments.Options) (*experiments.Result, error){
@@ -95,6 +107,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	perf := fs.Bool("perf", false, "append perf digests to experiment notes")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := fs.String("memprofile", "", "write heap profile to file at exit")
+	telemetryOut := fs.String("telemetry", "", "arm the telemetry sink and write the JSON run-report to file (\"-\" = stdout); also appends a summary table")
+	telemetryCSV := fs.String("telemetry-csv", "", "write the per-link CSV time series to file; arms the sampler and forces -workers 1 (run IDs are assignment-ordered)")
+	traceDump := fs.String("trace-dump", "", "write the flight-recorder dump to file at exit (\"-\" = stderr)")
+	traceFrames := fs.Bool("trace-frames", false, "record per-frame enqueue/dequeue trace events (floods the ring; short runs only)")
+	traceEvents := fs.Int("trace-events", 0, "flight recorder capacity in events (0 = 4096)")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -130,6 +147,21 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	opts.Workers = *workers
 	opts.Perf = *perf
 
+	// Any telemetry/trace flag arms the sink; experiments publish into it
+	// as they run and the exporters fire after the last one.
+	var sink *telemetry.Sink
+	if *telemetryOut != "" || *telemetryCSV != "" || *traceDump != "" || *traceFrames {
+		sink = telemetry.NewSink(*traceEvents)
+		sink.Recorder().SetFrameEvents(*traceFrames)
+		defer telemetry.Enable(sink)()
+	}
+	if *telemetryCSV != "" {
+		// Time-series rows are labeled with sink-assigned run IDs, which
+		// follow run start order; serialize runs so the CSV is stable.
+		opts.Workers = 1
+		opts.TelemetrySample = telemetryCSVInterval
+	}
+
 	var suite *invariant.Suite
 	if *check {
 		suite = invariant.NewSuite()
@@ -154,6 +186,17 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		names = order
 	}
 	failed := run(names, opts, *csv, stdout, stderr)
+
+	if sink != nil {
+		if err := exportTelemetry(sink, strings.Join(names, ","), *telemetryOut, *telemetryCSV, stdout, stderr); err != nil {
+			fmt.Fprintf(stderr, "peelsim: %v\n", err)
+			failed++
+		}
+	}
+	if err := dumpTrace(sink, suite, *traceDump, stderr); err != nil {
+		fmt.Fprintf(stderr, "peelsim: %v\n", err)
+		failed++
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -263,7 +306,7 @@ func run(names []string, opts experiments.Options, csv bool, stdout, stderr io.W
 func renderCSV(r *experiments.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s\n", r.Name)
-	emit := func(kind string, ss []metrics.Series) {
+	emit := func(kind string, ss []telemetry.Series) {
 		for _, s := range ss {
 			fmt.Fprintf(&b, "%s,%s", kind, s.Label)
 			for i := range r.X {
@@ -287,6 +330,94 @@ func renderCSV(r *experiments.Result) string {
 		fmt.Fprintf(&b, "# %s\n", n)
 	}
 	return b.String()
+}
+
+// telemetryCSVInterval is the simulated sampling period -telemetry-csv
+// arms: fine enough to resolve watchdog-scale dynamics (100 µs ticks),
+// coarse enough that a full chaos run stays in the tens of rows per link.
+const telemetryCSVInterval = 100 * sim.Microsecond
+
+// openOut resolves an output path: "-" is the given default stream (with
+// a no-op close), anything else is created as a file.
+func openOut(path string, dash io.Writer) (io.Writer, func() error, error) {
+	if path == "-" {
+		return dash, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// exportTelemetry writes the JSON run-report (and, when requested, the
+// CSV time series), then appends the human-readable summary table to the
+// experiment output.
+func exportTelemetry(sink *telemetry.Sink, label, jsonPath, csvPath string, stdout, stderr io.Writer) error {
+	rep := sink.Report(label)
+	if jsonPath != "" {
+		w, closeOut, err := openOut(jsonPath, stdout)
+		if err != nil {
+			return err
+		}
+		err = rep.WriteJSON(w)
+		if cerr := closeOut(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("telemetry report: %w", err)
+		}
+	}
+	if csvPath != "" {
+		w, closeOut, err := openOut(csvPath, stdout)
+		if err != nil {
+			return err
+		}
+		err = sink.WriteCSV(w)
+		if cerr := closeOut(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("telemetry csv: %w", err)
+		}
+	}
+	fmt.Fprint(stdout, rep.SummaryTable())
+	return nil
+}
+
+// dumpTrace writes the flight recorder when explicitly requested
+// (-trace-dump) — and automatically to stderr when the run went wrong:
+// an invariant violation with -check armed, or a telemetry abort
+// (watchdog abandonment). The dump is the black box the recorder exists
+// for; a clean run without -trace-dump writes nothing.
+func dumpTrace(sink *telemetry.Sink, suite *invariant.Suite, path string, stderr io.Writer) error {
+	if sink == nil {
+		return nil
+	}
+	wrong := suite != nil && suite.TotalViolations() > 0
+	if reason, ok := sink.Aborted(); ok {
+		fmt.Fprintf(stderr, "peelsim: telemetry abort: %s\n", reason)
+		wrong = true
+	}
+	if path == "" {
+		if !wrong {
+			return nil
+		}
+		_, err := sink.Recorder().WriteTo(stderr)
+		return err
+	}
+	w, closeOut, err := openOut(path, stderr)
+	if err != nil {
+		return err
+	}
+	_, err = sink.Recorder().WriteTo(w)
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace dump: %w", err)
+	}
+	return nil
 }
 
 func usage(fs *flag.FlagSet, stderr io.Writer) {

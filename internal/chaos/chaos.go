@@ -18,6 +18,7 @@ import (
 
 	"peel/internal/invariant"
 	"peel/internal/sim"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 )
 
@@ -247,6 +248,18 @@ func reportHealGuarantee(s2 *invariant.Suite, s *Schedule) {
 // apply executes one transition, counting real state changes.
 func (inj *Injector) apply(ev Event) {
 	inj.EventsFired++
+	if ts := telemetry.Active(); ts != nil {
+		ts.Counter("chaos.events").Inc()
+		target, isNode := int64(ev.Link), int64(0)
+		if ev.Node != topology.None {
+			target, isNode = int64(ev.Node), 1
+		}
+		heal := int64(0)
+		if ev.Heal {
+			heal = 1
+		}
+		ts.Recorder().Record(inj.Eng.Now(), telemetry.KindChaosEvent, target, isNode, heal)
+	}
 	before := inj.G.NumFailedLinks()
 	switch {
 	case ev.Node != topology.None && ev.Heal:

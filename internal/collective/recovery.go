@@ -1,12 +1,15 @@
 package collective
 
 import (
+	"fmt"
+
 	"peel/internal/core"
 	"peel/internal/invariant"
 	"peel/internal/netsim"
 	"peel/internal/routing"
 	"peel/internal/sim"
 	"peel/internal/steiner"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 )
 
@@ -127,6 +130,7 @@ func (in *instance) watchdogTick() {
 			in.recovery.Downtime += now - in.stalledSince
 			in.stalled = false
 		}
+		in.noteRepairResumed(now)
 		in.quietTicks = 0
 		return
 	}
@@ -147,6 +151,16 @@ func (in *instance) watchdogTick() {
 		in.recovery.Stalls++
 		if in.recovery.FirstStallAt == 0 {
 			in.recovery.FirstStallAt = now - in.startedAt
+		}
+		in.repairDetectAt = now
+		if ts := telemetry.Active(); ts != nil {
+			ts.Counter("collective.stalls").Inc()
+			// Detection latency: last observed progress to declaration
+			// (watchdog interval plus hysteresis).
+			ts.Histogram("collective.repair.detect_ps", telemetry.Log2Layout()).
+				Observe(int64(now - in.stalledSince))
+			ts.Recorder().Record(now, telemetry.KindRepairDetect,
+				int64(in.c.ID), 0, int64(now-in.stalledSince))
 		}
 	}
 	in.repairTree()
@@ -259,6 +273,10 @@ func (in *instance) installRepair(targets []topology.NodeID) {
 		rf, ferr := in.r.Net.NewMulticastFlow(tree, pending, params)
 		if ferr == nil {
 			in.recovery.Repairs++
+			in.noteRepairInstalled()
+			if ts := telemetry.Active(); ts != nil {
+				ts.Counter("collective.repairs").Inc()
+			}
 			in.track(rf, pending)
 			rf.OnChunk(func(recv topology.NodeID, _ int) { in.hostComplete(recv) })
 			rf.Send(0, remaining)
@@ -269,15 +287,56 @@ func (in *instance) installRepair(targets []topology.NodeID) {
 	// builder hit degraded-fabric corners): unicast around the failure,
 	// per receiver. Receivers without even a unicast path stay pending for
 	// the next attempt.
+	launched := 0
 	for _, m := range pending {
 		f, uerr := in.unicastFlow(in.c.Source(), m, params)
 		if uerr != nil {
 			continue
 		}
 		in.recovery.UnicastFallbacks++
+		launched++
+		if ts := telemetry.Active(); ts != nil {
+			ts.Counter("collective.unicast_fallbacks").Inc()
+			ts.Recorder().Record(in.r.Net.Engine.Now(), telemetry.KindUnicastFallback,
+				int64(in.c.ID), int64(m), 0)
+		}
 		recv := m
 		f.OnChunk(func(_ topology.NodeID, _ int) { in.hostComplete(recv) })
 		f.Send(0, remaining)
+	}
+	if launched > 0 {
+		in.noteRepairInstalled()
+	}
+}
+
+// noteRepairInstalled stamps the install phase of the current repair:
+// repair traffic (tree or unicast detours) is flowing as of now. The
+// install histogram covers replan plus the controller round trip —
+// detection to first repair byte offered.
+func (in *instance) noteRepairInstalled() {
+	now := in.r.Net.Engine.Now()
+	in.repairInstallAt = now
+	in.awaitResume = true
+	if ts := telemetry.Active(); ts != nil {
+		ts.Histogram("collective.repair.install_ps", telemetry.Log2Layout()).
+			Observe(int64(now - in.repairDetectAt))
+		ts.Recorder().Record(now, telemetry.KindRepairInstall,
+			int64(in.c.ID), 0, int64(now-in.repairDetectAt))
+	}
+}
+
+// noteRepairResumed closes the breakdown: receiver progress was observed
+// (or the collective finished) after a repair install.
+func (in *instance) noteRepairResumed(now sim.Time) {
+	if !in.awaitResume {
+		return
+	}
+	in.awaitResume = false
+	if ts := telemetry.Active(); ts != nil {
+		ts.Histogram("collective.repair.resume_ps", telemetry.Log2Layout()).
+			Observe(int64(now - in.repairInstallAt))
+		ts.Recorder().Record(now, telemetry.KindRepairComplete,
+			int64(in.c.ID), 0, int64(now-in.repairInstallAt))
 	}
 }
 
@@ -294,6 +353,13 @@ func (in *instance) abandonPending() {
 	// drain; nothing will ever reach the abandoned receivers anyway.
 	for _, w := range in.watch {
 		w.f.Close()
+	}
+	if ts := telemetry.Active(); ts != nil {
+		ts.Counter("collective.abandoned").Add(int64(len(pending)))
+		ts.Recorder().Record(in.r.Net.Engine.Now(), telemetry.KindAbandon,
+			int64(in.c.ID), 0, int64(len(pending)))
+		ts.NoteAbort(fmt.Sprintf("collective %d abandoned %d receivers after %d repair attempts",
+			in.c.ID, len(pending), in.repairAttempts))
 	}
 	for _, m := range pending {
 		in.recovery.Abandoned++

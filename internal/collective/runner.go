@@ -18,6 +18,7 @@ import (
 	"peel/internal/netsim"
 	"peel/internal/routing"
 	"peel/internal/sim"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 	"peel/internal/workload"
 )
@@ -203,6 +204,13 @@ type instance struct {
 	stalledSince   sim.Time
 	setupPending   bool // controller install outstanding: not a stall
 	repairPending  bool // repair install outstanding: not a stall
+
+	// Repair latency breakdown timestamps (telemetry): when the current
+	// stall was declared and when its repair went in. awaitResume marks
+	// the window between install and the first observed progress.
+	repairDetectAt  sim.Time
+	repairInstallAt sim.Time
+	awaitResume     bool
 }
 
 // initCompletion arms completion tracking over the receiver hosts.
@@ -238,9 +246,18 @@ func (in *instance) hostComplete(h topology.NodeID) {
 			"collective %d finished with pending=%d, %d of %d receivers undelivered",
 			in.c.ID, in.pendingHosts, missing, len(in.c.Receivers()))
 	}
+	// A repair whose resumed traffic finished the collective before the
+	// next watchdog tick still completes the detect→install→resume
+	// breakdown here.
+	in.noteRepairResumed(in.r.Net.Engine.Now())
 	eng := in.r.Net.Engine
 	eng.After(in.r.nvlinkStage(in.c.Bytes), func() {
-		in.reportDone(Report{CCT: eng.Now() - in.startedAt, Recovery: in.recovery})
+		cct := eng.Now() - in.startedAt
+		if ts := telemetry.Active(); ts != nil {
+			ts.Counter("collective.completed").Inc()
+			ts.Histogram("collective.cct_ps", telemetry.Log2Layout()).Observe(int64(cct))
+		}
+		in.reportDone(Report{CCT: cct, Recovery: in.recovery})
 	})
 }
 

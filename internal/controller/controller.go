@@ -13,6 +13,7 @@ import (
 
 	"peel/internal/invariant"
 	"peel/internal/sim"
+	"peel/internal/telemetry"
 )
 
 // Model samples controller flow-setup delays.
@@ -47,6 +48,11 @@ func (m *Model) SetupDelay() sim.Time {
 func (m *Model) Install(eng *sim.Engine, fn func()) sim.Time {
 	d := m.SetupDelay()
 	m.reportSetup(invariant.Active(), d)
+	if ts := telemetry.Active(); ts != nil {
+		ts.Counter("controller.installs").Inc()
+		ts.Histogram("controller.install_ps", telemetry.Log2Layout()).Observe(int64(d))
+		ts.Recorder().Record(eng.Now(), telemetry.KindControllerInstall, 0, 0, int64(d))
+	}
 	eng.After(d, fn)
 	return d
 }

@@ -9,9 +9,9 @@ import (
 	"peel/internal/controller"
 	"peel/internal/core"
 	"peel/internal/invariant"
-	"peel/internal/metrics"
 	"peel/internal/netsim"
 	"peel/internal/sim"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 	"peel/internal/workload"
 )
@@ -43,13 +43,13 @@ func ChaosStudy(o Options) (*Result, error) {
 
 	res := &Result{Name: "Chaos: CCT and recovery vs mid-flight failure fraction (64-GPU, 32 MB)",
 		XLabel: "failFrac", X: fracs}
-	down := make([]metrics.Series, len(schemes))
-	repairs := make([]metrics.Series, len(schemes))
+	down := make([]telemetry.Series, len(schemes))
+	repairs := make([]telemetry.Series, len(schemes))
 	for si, s := range schemes {
-		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: fracs})
-		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: fracs})
-		down[si] = metrics.Series{Label: string(s) + "/downtime", X: fracs}
-		repairs[si] = metrics.Series{Label: string(s) + "/repairs", X: fracs}
+		res.Mean = append(res.Mean, telemetry.Series{Label: string(s), X: fracs})
+		res.P99 = append(res.P99, telemetry.Series{Label: string(s) + "/p99", X: fracs})
+		down[si] = telemetry.Series{Label: string(s) + "/downtime", X: fracs}
+		repairs[si] = telemetry.Series{Label: string(s) + "/repairs", X: fracs}
 	}
 
 	gWork := build()
@@ -63,14 +63,14 @@ func ChaosStudy(o Options) (*Result, error) {
 	var totalStalls, totalFallbacks, totalAbandoned int
 	for _, frac := range fracs {
 		for si, s := range schemes {
-			cct := &metrics.Samples{}
+			cct := &telemetry.Samples{}
 			var downSum sim.Time
 			var repairSum int
 			for ci, c := range cols {
 				cfg := o.configFor(msg, o.Seed+int64(ci))
 				// Clean pass: the failure is scheduled relative to this
 				// collective's own failure-free CCT.
-				clean, err := runChaosOne(build, s, c, cfg, nil, o.MaxEvents)
+				clean, err := runChaosOne(build, s, c, cfg, nil, o.MaxEvents, o.TelemetrySample)
 				if err != nil {
 					return nil, fmt.Errorf("chaos clean %s: %w", s, err)
 				}
@@ -82,7 +82,7 @@ func ChaosStudy(o Options) (*Result, error) {
 				chaosRNG := cfg.RNG(netsim.SaltChaos + int64(si)*1000 + int64(ci))
 				sched, _ := chaos.FailFractionAt(build(), topology.SwitchLinks, frac,
 					failAt, failAt+mttr, chaosRNG)
-				rep, err := runChaosOne(build, s, c, cfg, sched, o.MaxEvents)
+				rep, err := runChaosOne(build, s, c, cfg, sched, o.MaxEvents, o.TelemetrySample)
 				if err != nil {
 					return nil, fmt.Errorf("chaos frac=%v %s: %w", frac, s, err)
 				}
@@ -112,7 +112,7 @@ func ChaosStudy(o Options) (*Result, error) {
 // runChaosOne simulates a single broadcast on a fresh fabric, optionally
 // arming a chaos schedule, and returns the runner's recovery report.
 func runChaosOne(build func() *topology.Graph, scheme collective.Scheme, c *workload.Collective,
-	cfg netsim.Config, sched *chaos.Schedule, maxEvents uint64) (collective.Report, error) {
+	cfg netsim.Config, sched *chaos.Schedule, maxEvents uint64, sample sim.Time) (collective.Report, error) {
 
 	g := build()
 	eng := &sim.Engine{}
@@ -137,6 +137,7 @@ func runChaosOne(build func() *topology.Graph, scheme collective.Scheme, c *work
 	if err := chaos.NewInjector(g, eng).Arm(sched); err != nil {
 		return collective.Report{}, err
 	}
+	net.ArmTelemetrySampler(telemetry.Active(), sample)
 	if err := eng.Run(maxEvents); err != nil {
 		return collective.Report{}, err
 	}
@@ -147,5 +148,6 @@ func runChaosOne(build func() *topology.Graph, scheme collective.Scheme, c *work
 		return collective.Report{}, fmt.Errorf("experiments: %s did not complete under chaos", scheme)
 	}
 	net.CheckQuiesced(invariant.Active())
+	net.PublishTelemetry(telemetry.Active())
 	return rep, nil
 }

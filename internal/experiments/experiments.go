@@ -15,10 +15,10 @@ import (
 	"peel/internal/controller"
 	"peel/internal/core"
 	"peel/internal/invariant"
-	"peel/internal/metrics"
 	"peel/internal/netsim"
 	"peel/internal/perfstats"
 	"peel/internal/sim"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 	"peel/internal/workload"
 )
@@ -52,6 +52,12 @@ type Options struct {
 	// time, parallel speedup, allocations) to each Result's Notes. Off by
 	// default so rendered output stays byte-stable across machines.
 	Perf bool
+	// TelemetrySample, when positive, arms a per-run CSV time-series
+	// sampler at this simulated interval (peelsim -telemetry-csv). The
+	// sampler adds engine events, so runs with it armed are not
+	// event-stream-comparable to runs without; aggregate telemetry totals
+	// are unaffected either way.
+	TelemetrySample sim.Time
 }
 
 // Defaults returns full-fidelity options.
@@ -154,8 +160,8 @@ type Result struct {
 	Name   string
 	XLabel string
 	X      []float64
-	Mean   []metrics.Series
-	P99    []metrics.Series
+	Mean   []telemetry.Series
+	P99    []telemetry.Series
 	Notes  []string
 }
 
@@ -163,10 +169,10 @@ type Result struct {
 func (r *Result) Render() string {
 	out := fmt.Sprintf("== %s ==\n", r.Name)
 	if len(r.Mean) > 0 {
-		out += "mean:\n" + metrics.Table(r.XLabel, r.X, r.Mean)
+		out += "mean:\n" + telemetry.Table(r.XLabel, r.X, r.Mean)
 	}
 	if len(r.P99) > 0 {
-		out += "p99:\n" + metrics.Table(r.XLabel, r.X, r.P99)
+		out += "p99:\n" + telemetry.Table(r.XLabel, r.X, r.P99)
 	}
 	for _, n := range r.Notes {
 		out += "note: " + n + "\n"
@@ -186,7 +192,7 @@ func (r *Result) Render() string {
 // test in experiments_test.go enforces this.
 func runWorkload(build func() *topology.Graph, usePlanner bool, scheme collective.Scheme,
 	cols []*workload.Collective, cfg netsim.Config, gpusPerHost int, maxEvents uint64,
-	perf *perfstats.Collector) (*metrics.Samples, *netsim.Network, error) {
+	perf *perfstats.Collector, sample sim.Time) (*telemetry.Samples, *netsim.Network, error) {
 
 	g := build()
 	eng := &sim.Engine{}
@@ -203,7 +209,7 @@ func runWorkload(build func() *topology.Graph, usePlanner bool, scheme collectiv
 	ctrl := controller.New(cfg.RNG(netsim.SaltController))
 	runner := collective.NewRunner(net, cl, planner, ctrl)
 
-	samples := &metrics.Samples{}
+	samples := &telemetry.Samples{}
 	completed := 0
 	var startErr error
 	for _, c := range cols {
@@ -217,6 +223,7 @@ func runWorkload(build func() *topology.Graph, usePlanner bool, scheme collectiv
 			}
 		})
 	}
+	net.ArmTelemetrySampler(telemetry.Active(), sample)
 	runStart := time.Now()
 	if err := eng.Run(maxEvents); err != nil {
 		return nil, nil, fmt.Errorf("experiments: %s: %w", scheme, err)
@@ -231,6 +238,7 @@ func runWorkload(build func() *topology.Graph, usePlanner bool, scheme collectiv
 	// The engine drained and every collective completed: the fabric must be
 	// truly quiescent (no frames live, all byte accounting zeroed).
 	net.CheckQuiesced(invariant.Active())
+	net.PublishTelemetry(telemetry.Active())
 	return samples, net, nil
 }
 
@@ -250,8 +258,8 @@ func sweepCCT(name, xLabel string, xs []float64, schemes []collective.Scheme,
 
 	res := &Result{Name: name, XLabel: xLabel, X: xs}
 	for _, s := range schemes {
-		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: xs, Y: make([]float64, len(xs))})
-		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: xs, Y: make([]float64, len(xs))})
+		res.Mean = append(res.Mean, telemetry.Series{Label: string(s), X: xs, Y: make([]float64, len(xs))})
+		res.P99 = append(res.P99, telemetry.Series{Label: string(s) + "/p99", X: xs, Y: make([]float64, len(xs))})
 	}
 	// One workload per X, shared read-only across schemes.
 	workloads := make([][]*workload.Collective, len(xs))
@@ -270,7 +278,7 @@ func sweepCCT(name, xLabel string, xs []float64, schemes []collective.Scheme,
 	err := forEachIndex(o.Workers, grid, func(k int) error {
 		xi, si := k/len(schemes), k%len(schemes)
 		cfg := cfgFor(xs[xi])
-		samples, _, err := runWorkload(build, usePlanner, schemes[si], workloads[xi], cfg, gpusPerHost, o.MaxEvents, span.c)
+		samples, _, err := runWorkload(build, usePlanner, schemes[si], workloads[xi], cfg, gpusPerHost, o.MaxEvents, span.c, o.TelemetrySample)
 		if err != nil {
 			return fmt.Errorf("%s @ %s=%v: %w", name, xLabel, xs[xi], err)
 		}

@@ -6,10 +6,10 @@ import (
 
 	"peel/internal/collective"
 	"peel/internal/core"
-	"peel/internal/metrics"
 	"peel/internal/netsim"
 	"peel/internal/routing"
 	"peel/internal/steiner"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 	"peel/internal/workload"
 )
@@ -20,10 +20,10 @@ import (
 func StateTable(o Options) (*Result, error) {
 	ks := []float64{8, 16, 32, 64, 128}
 	res := &Result{Name: "State: PEEL rules vs naive entries vs header", XLabel: "k", X: ks}
-	rules := metrics.Series{Label: "peel-rules", X: ks}
-	naive := metrics.Series{Label: "naive-entries", X: ks}
-	hdr := metrics.Series{Label: "header-B", X: ks}
-	hostsS := metrics.Series{Label: "hosts", X: ks}
+	rules := telemetry.Series{Label: "peel-rules", X: ks}
+	naive := telemetry.Series{Label: "naive-entries", X: ks}
+	hdr := telemetry.Series{Label: "header-B", X: ks}
+	hostsS := telemetry.Series{Label: "hosts", X: ks}
 	for _, k := range ks {
 		s := core.StateFor(int(k))
 		rules.Y = append(rules.Y, float64(s.PEELRules))
@@ -31,7 +31,7 @@ func StateTable(o Options) (*Result, error) {
 		hdr.Y = append(hdr.Y, float64(s.HeaderBytes))
 		hostsS.Y = append(hostsS.Y, float64(s.Hosts))
 	}
-	res.Mean = []metrics.Series{hostsS, rules, naive, hdr}
+	res.Mean = []telemetry.Series{hostsS, rules, naive, hdr}
 	s64 := core.StateFor(64)
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"k=64: %d hosts, %d rules (paper: 63) vs %.2g naive entries (paper: >4e9), header %d B (<8 B)",
@@ -52,7 +52,7 @@ func GuardAblation(o Options) (*Result, error) {
 	const msg = int64(32) << 20
 	build := func() *topology.Graph { return topology.FatTree(8) }
 	span := o.perfSpanStart()
-	run := func(guard bool) (*metrics.Samples, uint64, uint64, error) {
+	run := func(guard bool) (*telemetry.Samples, uint64, uint64, error) {
 		gWork := build()
 		cl := workload.NewCluster(gWork, 8)
 		rng := rand.New(rand.NewSource(o.Seed))
@@ -63,7 +63,7 @@ func GuardAblation(o Options) (*Result, error) {
 		cfg := netsim.DefaultConfig()
 		cfg.FrameBytes = 16 << 10 // near-MTU granularity; paper thresholds
 		cfg.Seed = o.Seed
-		samples, net, err := runWorkload(build, true, peelVariantScheme(guard), cols, cfg, 8, o.MaxEvents, span.c)
+		samples, net, err := runWorkload(build, true, peelVariantScheme(guard), cols, cfg, 8, o.MaxEvents, span.c, o.TelemetrySample)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -86,8 +86,8 @@ func GuardAblation(o Options) (*Result, error) {
 		Name:   "Guard-timer ablation (256-GPU, 32 MB, near-MTU frames)",
 		XLabel: "variant(with=0,without=1)",
 		X:      []float64{0, 1},
-		Mean:   []metrics.Series{{Label: "meanCCT", Y: []float64{with.Mean(), without.Mean()}}},
-		P99:    []metrics.Series{{Label: "p99CCT", Y: []float64{with.P99(), without.P99()}}},
+		Mean:   []telemetry.Series{{Label: "meanCCT", Y: []float64{with.Mean(), without.Mean()}}},
+		P99:    []telemetry.Series{{Label: "p99CCT", Y: []float64{with.P99(), without.P99()}}},
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("p99 without/with = %.1fx, mean %.1fx (paper: 12x p99 at 64-GPU)",
@@ -116,9 +116,9 @@ func ApproxStudy(o Options) (*Result, error) {
 	failPcts := []float64{1, 5, 10, 15, 20}
 	trials := o.Samples * 4
 	res := &Result{Name: "Approximation: greedy vs exact vs lower bound", XLabel: "fail%", X: failPcts}
-	vsExact := metrics.Series{Label: "greedy/exact(mean)", X: failPcts}
-	vsExactMax := metrics.Series{Label: "greedy/exact(max)", X: failPcts}
-	vsLB := metrics.Series{Label: "greedy/lowerbound(mean)", X: failPcts}
+	vsExact := telemetry.Series{Label: "greedy/exact(mean)", X: failPcts}
+	vsExactMax := telemetry.Series{Label: "greedy/exact(max)", X: failPcts}
+	vsLB := telemetry.Series{Label: "greedy/lowerbound(mean)", X: failPcts}
 	for _, pct := range failPcts {
 		var sumE, maxE, sumLB float64
 		n := 0
@@ -159,7 +159,7 @@ func ApproxStudy(o Options) (*Result, error) {
 		vsExactMax.Y = append(vsExactMax.Y, maxE)
 		vsLB.Y = append(vsLB.Y, sumLB/float64(n))
 	}
-	res.Mean = []metrics.Series{vsExact, vsExactMax, vsLB}
+	res.Mean = []telemetry.Series{vsExact, vsExactMax, vsLB}
 	res.Notes = append(res.Notes, "paper's headline: greedy within 1.4% of Steiner optimum on its fabric")
 	return res, nil
 }
@@ -183,7 +183,7 @@ func BandwidthStudy(o Options) (*Result, error) {
 	schemes := []collective.Scheme{collective.Ring, collective.PEEL, collective.Optimal}
 	totals := make([]float64, len(schemes))
 	err = forEachIndex(o.Workers, len(schemes), func(i int) error {
-		_, net, err := runWorkload(build, true, schemes[i], cols, cfg, 8, o.MaxEvents, span.c)
+		_, net, err := runWorkload(build, true, schemes[i], cols, cfg, 8, o.MaxEvents, span.c, o.TelemetrySample)
 		if err != nil {
 			return err
 		}
@@ -201,7 +201,7 @@ func BandwidthStudy(o Options) (*Result, error) {
 		Name:   "Aggregate bandwidth: one 512-GPU broadcast",
 		XLabel: "scheme(ring=0,peel=1,optimal=2)",
 		X:      []float64{0, 1, 2},
-		Mean: []metrics.Series{{Label: "fabricBytes", Y: []float64{
+		Mean: []telemetry.Series{{Label: "fabricBytes", Y: []float64{
 			bytesOf[collective.Ring], bytesOf[collective.PEEL], bytesOf[collective.Optimal]}}},
 	}
 	saving := 1 - bytesOf[collective.PEEL]/bytesOf[collective.Ring]

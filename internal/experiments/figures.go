@@ -6,8 +6,8 @@ import (
 
 	"peel/internal/bloom"
 	"peel/internal/collective"
-	"peel/internal/metrics"
 	"peel/internal/netsim"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 	"peel/internal/workload"
 )
@@ -37,7 +37,7 @@ func Fig1(o Options) (*Result, error) {
 		Name:   "Fig1: broadcast bandwidth, 2-spine/2-leaf, 8 GPUs",
 		XLabel: "metric(total=0,core=1)",
 		X:      []float64{0, 1},
-		Mean: []metrics.Series{
+		Mean: []telemetry.Series{
 			{Label: "ring", Y: []float64{float64(collective.SumLoads(g, ring, nil)), float64(collective.SumLoads(g, ring, coreF))}},
 			{Label: "tree", Y: []float64{float64(collective.SumLoads(g, tree, nil)), float64(collective.SumLoads(g, tree, coreF))}},
 			{Label: "optimal", Y: []float64{float64(collective.SumLoads(g, opt, nil)), float64(collective.SumLoads(g, opt, coreF))}},
@@ -57,7 +57,7 @@ func Fig3(o Options) (*Result, error) {
 	fprs := []float64{0.01, 0.05, 0.10, 0.15, 0.20}
 	res := &Result{Name: "Fig3: RSBF per-packet overhead (B)", XLabel: "k", X: ks}
 	for _, p := range fprs {
-		s := metrics.Series{Label: fmt.Sprintf("FPR=%.0f%%", p*100), X: ks}
+		s := telemetry.Series{Label: fmt.Sprintf("FPR=%.0f%%", p*100), X: ks}
 		for _, k := range ks {
 			s.Y = append(s.Y, float64(bloom.PerPacketOverheadBytes(int(k), p)))
 		}
@@ -162,8 +162,8 @@ func Fig7(o Options) (*Result, error) {
 	res := &Result{Name: "Fig7: CCT vs failure rate (64-GPU, 8 MB, leaf-spine)", XLabel: "fail%", X: failPcts}
 	schemes := []collective.Scheme{collective.BinTree, collective.Ring, collective.PEEL}
 	for _, s := range schemes {
-		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: failPcts, Y: make([]float64, len(failPcts))})
-		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: failPcts, Y: make([]float64, len(failPcts))})
+		res.Mean = append(res.Mean, telemetry.Series{Label: string(s), X: failPcts, Y: make([]float64, len(failPcts))})
+		res.P99 = append(res.P99, telemetry.Series{Label: string(s) + "/p99", X: failPcts, Y: make([]float64, len(failPcts))})
 	}
 	// Per-point builders and workloads are prepared serially; the
 	// (pct, scheme) grid then fans out like sweepCCT — every cell is an
@@ -191,7 +191,7 @@ func Fig7(o Options) (*Result, error) {
 	cfg := o.configFor(msg, o.Seed)
 	err := forEachIndex(o.Workers, len(failPcts)*len(schemes), func(k int) error {
 		pi, si := k/len(schemes), k%len(schemes)
-		samples, _, err := runWorkload(builds[pi], false, schemes[si], workloads[pi], cfg, 8, o.MaxEvents, span.c)
+		samples, _, err := runWorkload(builds[pi], false, schemes[si], workloads[pi], cfg, 8, o.MaxEvents, span.c, o.TelemetrySample)
 		if err != nil {
 			return fmt.Errorf("fig7 %s @ %v%%: %w", schemes[si], failPcts[pi], err)
 		}

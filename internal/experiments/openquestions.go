@@ -8,12 +8,12 @@ import (
 	"peel/internal/collective"
 	"peel/internal/controller"
 	"peel/internal/core"
-	"peel/internal/metrics"
 	"peel/internal/netsim"
 	"peel/internal/perfstats"
 	"peel/internal/routing"
 	"peel/internal/sim"
 	"peel/internal/steiner"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 	"peel/internal/workload"
 )
@@ -49,11 +49,11 @@ func FragmentationStudy(o Options) (*Result, error) {
 		{"budget1", core.PlanOptions{PacketBudget: 1}},
 	}
 	res := &Result{Name: "Fragmentation (§3.4): packets & redundancy vs placement holes", XLabel: "fragmentation", X: fracs}
-	var pktSeries, overSeries, redSeries []metrics.Series
+	var pktSeries, overSeries, redSeries []telemetry.Series
 	for _, v := range variants {
-		pktSeries = append(pktSeries, metrics.Series{Label: v.label + "/packets", X: fracs})
-		overSeries = append(overSeries, metrics.Series{Label: v.label + "/overhosts", X: fracs})
-		redSeries = append(redSeries, metrics.Series{Label: v.label + "/redundant-frac", X: fracs})
+		pktSeries = append(pktSeries, telemetry.Series{Label: v.label + "/packets", X: fracs})
+		overSeries = append(overSeries, telemetry.Series{Label: v.label + "/overhosts", X: fracs})
+		redSeries = append(redSeries, telemetry.Series{Label: v.label + "/redundant-frac", X: fracs})
 	}
 	for _, f := range fracs {
 		sums := make([]struct{ pkts, over, members float64 }, len(variants))
@@ -124,12 +124,12 @@ func DeploymentStudy(o Options) (*Result, error) {
 		XLabel: "deployment(static=0,tor=1,cores=2,both=3)",
 		X:      []float64{0, 1, 2, 3},
 	}
-	meanS := metrics.Series{Label: "meanCCT", X: res.X, Y: make([]float64, len(schemes))}
-	p99S := metrics.Series{Label: "p99CCT", X: res.X, Y: make([]float64, len(schemes))}
-	bytesS := metrics.Series{Label: "fabricGB", X: res.X, Y: make([]float64, len(schemes))}
+	meanS := telemetry.Series{Label: "meanCCT", X: res.X, Y: make([]float64, len(schemes))}
+	p99S := telemetry.Series{Label: "p99CCT", X: res.X, Y: make([]float64, len(schemes))}
+	bytesS := telemetry.Series{Label: "fabricGB", X: res.X, Y: make([]float64, len(schemes))}
 	span := o.perfSpanStart()
 	err = forEachIndex(o.Workers, len(schemes), func(i int) error {
-		samples, net, err := runWorkload(build, true, schemes[i], cols, cfg, 8, o.MaxEvents, span.c)
+		samples, net, err := runWorkload(build, true, schemes[i], cols, cfg, 8, o.MaxEvents, span.c, o.TelemetrySample)
 		if err != nil {
 			return fmt.Errorf("deployment %s: %w", schemes[i], err)
 		}
@@ -141,8 +141,8 @@ func DeploymentStudy(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Mean = []metrics.Series{meanS, bytesS}
-	res.P99 = []metrics.Series{p99S}
+	res.Mean = []telemetry.Series{meanS, bytesS}
+	res.P99 = []telemetry.Series{p99S}
 	res.Notes = append(res.Notes, fmt.Sprintf("deployments: %v", labels))
 	span.finish(res)
 	return res, nil
@@ -186,11 +186,11 @@ func MultipathStudy(o Options) (*Result, error) {
 		XLabel: "trees",
 		X:      []float64{1, 2, 4},
 	}
-	meanS := metrics.Series{Label: "meanCCT", X: res.X, Y: make([]float64, len(variants))}
-	p99S := metrics.Series{Label: "p99CCT", X: res.X, Y: make([]float64, len(variants))}
+	meanS := telemetry.Series{Label: "meanCCT", X: res.X, Y: make([]float64, len(variants))}
+	p99S := telemetry.Series{Label: "p99CCT", X: res.X, Y: make([]float64, len(variants))}
 	span := o.perfSpanStart()
 	err = forEachIndex(o.Workers, len(variants), func(i int) error {
-		samples, _, err := runWorkload(build, false, variants[i].scheme, cols, cfg, 8, o.MaxEvents, span.c)
+		samples, _, err := runWorkload(build, false, variants[i].scheme, cols, cfg, 8, o.MaxEvents, span.c, o.TelemetrySample)
 		if err != nil {
 			return fmt.Errorf("multipath %s: %w", variants[i].label, err)
 		}
@@ -201,8 +201,8 @@ func MultipathStudy(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Mean = []metrics.Series{meanS}
-	res.P99 = []metrics.Series{p99S}
+	res.Mean = []telemetry.Series{meanS}
+	res.P99 = []telemetry.Series{p99S}
 	res.Notes = append(res.Notes,
 		"2:1 oversubscribed core; striping spreads a broadcast's bytes over distinct core links",
 		"gains appear when trees, not NICs, are the bottleneck")
@@ -233,8 +233,8 @@ func AllGatherStudy(o Options) (*Result, error) {
 	}
 	res := &Result{Name: "AllGather: ring vs concurrent multicast (512 GPUs)", XLabel: "totalMB", X: sizes}
 	for _, v := range variants {
-		res.Mean = append(res.Mean, metrics.Series{Label: v.label, X: sizes, Y: make([]float64, len(sizes))})
-		res.P99 = append(res.P99, metrics.Series{Label: v.label + "/p99", X: sizes, Y: make([]float64, len(sizes))})
+		res.Mean = append(res.Mean, telemetry.Series{Label: v.label, X: sizes, Y: make([]float64, len(sizes))})
+		res.P99 = append(res.P99, telemetry.Series{Label: v.label + "/p99", X: sizes, Y: make([]float64, len(sizes))})
 	}
 	workloads := make([][]*workload.Collective, len(sizes))
 	for mi, mb := range sizes {
@@ -252,7 +252,7 @@ func AllGatherStudy(o Options) (*Result, error) {
 	err := forEachIndex(o.Workers, len(sizes)*len(variants), func(k int) error {
 		mi, vi := k/len(variants), k%len(variants)
 		msg := int64(sizes[mi]) << 20
-		samples, err := runAllGather(build, variants[vi].scheme, workloads[mi], o.configFor(msg, o.Seed), o.MaxEvents, span.c)
+		samples, err := runAllGather(build, variants[vi].scheme, workloads[mi], o.configFor(msg, o.Seed), o.MaxEvents, span.c, o.TelemetrySample)
 		if err != nil {
 			return fmt.Errorf("allgather %s @ %vMB: %w", variants[vi].label, sizes[mi], err)
 		}
@@ -273,7 +273,7 @@ func AllGatherStudy(o Options) (*Result, error) {
 // including its concurrency contract: all mutable state is per-call.
 func runAllGather(build func() *topology.Graph, scheme collective.Scheme,
 	cols []*workload.Collective, cfg netsim.Config, maxEvents uint64,
-	perf *perfstats.Collector) (*metrics.Samples, error) {
+	perf *perfstats.Collector, sample sim.Time) (*telemetry.Samples, error) {
 
 	g := build()
 	eng := &sim.Engine{}
@@ -286,7 +286,7 @@ func runAllGather(build func() *topology.Graph, scheme collective.Scheme,
 	ctrl := controller.New(cfg.RNG(netsim.SaltController))
 	runner := collective.NewRunner(net, cl, planner, ctrl)
 
-	samples := &metrics.Samples{}
+	samples := &telemetry.Samples{}
 	completed := 0
 	var startErr error
 	for _, c := range cols {
@@ -300,6 +300,7 @@ func runAllGather(build func() *topology.Graph, scheme collective.Scheme,
 			}
 		})
 	}
+	net.ArmTelemetrySampler(telemetry.Active(), sample)
 	runStart := time.Now()
 	if err := eng.Run(maxEvents); err != nil {
 		return nil, err
@@ -311,6 +312,7 @@ func runAllGather(build func() *topology.Graph, scheme collective.Scheme,
 	if completed != len(cols) {
 		return nil, fmt.Errorf("allgather %s: %d/%d completed", scheme, completed, len(cols))
 	}
+	net.PublishTelemetry(telemetry.Active())
 	return samples, nil
 }
 
@@ -337,15 +339,15 @@ func LossStudy(o Options) (*Result, error) {
 	schemes := []collective.Scheme{collective.PEEL, collective.Ring}
 	res := &Result{Name: "Loss recovery: CCT vs frame-loss rate (256-GPU, 32 MB)", XLabel: "loss", X: lossRates}
 	for _, s := range schemes {
-		res.Mean = append(res.Mean, metrics.Series{Label: string(s), X: lossRates, Y: make([]float64, len(lossRates))})
-		res.P99 = append(res.P99, metrics.Series{Label: string(s) + "/p99", X: lossRates, Y: make([]float64, len(lossRates))})
+		res.Mean = append(res.Mean, telemetry.Series{Label: string(s), X: lossRates, Y: make([]float64, len(lossRates))})
+		res.P99 = append(res.P99, telemetry.Series{Label: string(s) + "/p99", X: lossRates, Y: make([]float64, len(lossRates))})
 	}
 	span := o.perfSpanStart()
 	err = forEachIndex(o.Workers, len(lossRates)*len(schemes), func(k int) error {
 		li, si := k/len(schemes), k%len(schemes)
 		cfg := o.configFor(msg, o.Seed)
 		cfg.LossRate = lossRates[li]
-		samples, _, err := runWorkload(build, true, schemes[si], cols, cfg, 8, o.MaxEvents, span.c)
+		samples, _, err := runWorkload(build, true, schemes[si], cols, cfg, 8, o.MaxEvents, span.c, o.TelemetrySample)
 		if err != nil {
 			return fmt.Errorf("loss %v %s: %w", lossRates[li], schemes[si], err)
 		}
@@ -377,10 +379,10 @@ func RailStudy(o Options) (*Result, error) {
 	build := func() *topology.Graph { return topology.RailOptimized(rails, servers, spines) }
 
 	res := &Result{Name: "Rail-optimized fabrics (§2.1 future work): aligned vs oblivious groups", XLabel: "servers", X: sizes}
-	alignedCost := metrics.Series{Label: "aligned/tree-links", X: sizes}
-	obliviousCost := metrics.Series{Label: "oblivious/tree-links", X: sizes}
-	alignedCCT := metrics.Series{Label: "aligned/meanCCT", X: sizes}
-	obliviousCCT := metrics.Series{Label: "oblivious/meanCCT", X: sizes}
+	alignedCost := telemetry.Series{Label: "aligned/tree-links", X: sizes}
+	obliviousCost := telemetry.Series{Label: "oblivious/tree-links", X: sizes}
+	alignedCCT := telemetry.Series{Label: "aligned/meanCCT", X: sizes}
+	obliviousCCT := telemetry.Series{Label: "oblivious/meanCCT", X: sizes}
 
 	for _, n := range sizes {
 		group := int(n)
@@ -439,7 +441,7 @@ func RailStudy(o Options) (*Result, error) {
 		alignedCCT.Y = append(alignedCCT.Y, ca)
 		obliviousCCT.Y = append(obliviousCCT.Y, co)
 	}
-	res.Mean = []metrics.Series{alignedCost, obliviousCost, alignedCCT, obliviousCCT}
+	res.Mean = []telemetry.Series{alignedCost, obliviousCost, alignedCCT, obliviousCCT}
 	res.Notes = append(res.Notes,
 		"aligned groups stay on one rail switch (no spine crossings); NVLink finishes intra-server fan-out either way")
 	return res, nil
@@ -471,8 +473,8 @@ func IsolationStudy(o Options) (*Result, error) {
 		XLabel: "aggressor(idle=0,peel=1,optimal=2,ring=3,dtree=4)",
 		X:      []float64{0, 1, 2, 3, 4},
 	}
-	meanS := metrics.Series{Label: "victimMeanFCT", X: res.X}
-	p99S := metrics.Series{Label: "victimP99FCT", X: res.X}
+	meanS := telemetry.Series{Label: "victimMeanFCT", X: res.X}
+	p99S := telemetry.Series{Label: "victimP99FCT", X: res.X}
 
 	for _, v := range schemes {
 		g := topology.FatTree(8)
@@ -490,7 +492,7 @@ func IsolationStudy(o Options) (*Result, error) {
 		rng := rand.New(rand.NewSource(o.Seed + 31))
 
 		// Victim tenant: 16 closed-loop pairs, 12 transfers each.
-		victim := &metrics.Samples{}
+		victim := &telemetry.Samples{}
 		const pairs, transfers = 16, 12
 		perm := rng.Perm(len(hosts))
 		for p := 0; p < pairs; p++ {
@@ -536,8 +538,8 @@ func IsolationStudy(o Options) (*Result, error) {
 		meanS.Y = append(meanS.Y, victim.Mean())
 		p99S.Y = append(p99S.Y, victim.P99())
 	}
-	res.Mean = []metrics.Series{meanS}
-	res.P99 = []metrics.Series{p99S}
+	res.Mean = []telemetry.Series{meanS}
+	res.P99 = []telemetry.Series{p99S}
 	res.Notes = append(res.Notes,
 		"victim: 16 closed-loop 8 MB unicast pairs; aggressor: 256-GPU 64 MB broadcasts at 30% load",
 		"multicast aggressors inject fewer bytes, so bystander flows suffer less")

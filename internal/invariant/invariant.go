@@ -15,6 +15,7 @@ package invariant
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -301,4 +302,31 @@ func Enable(s *Suite) (restore func()) {
 // Active returns the globally enabled suite, or nil when checking is off.
 func Active() *Suite {
 	return active.Load()
+}
+
+// traceDumper is an optional black-box dump hook registered by a higher
+// layer (internal/telemetry's flight recorder). It lives here — the
+// bottom of the import graph — so harnesses like invtest can dump the
+// trace alongside a violation report without importing telemetry, which
+// would cycle through the packages telemetry instruments.
+var traceDumper atomic.Pointer[func(io.Writer)]
+
+// SetTraceDumper registers fn as the violation-context dumper. The
+// telemetry package registers its flight recorder at init; test binaries
+// that never link telemetry simply have no dumper.
+func SetTraceDumper(fn func(io.Writer)) {
+	if fn == nil {
+		traceDumper.Store(nil)
+		return
+	}
+	traceDumper.Store(&fn)
+}
+
+// DumpTrace invokes the registered dumper, if any — called by harnesses
+// after printing a violation report to attach the event history that led
+// up to the failure.
+func DumpTrace(w io.Writer) {
+	if fn := traceDumper.Load(); fn != nil {
+		(*fn)(w)
+	}
 }

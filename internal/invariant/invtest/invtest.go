@@ -18,7 +18,11 @@ import (
 )
 
 // Main runs the package's tests with invariant checking enabled and
-// turns any recorded violation into a test-binary failure.
+// turns any recorded violation into a test-binary failure. If the test
+// binary links the telemetry package and a test armed its sink, the
+// flight recorder is dumped alongside the violation report (via the
+// dumper telemetry registers with invariant.SetTraceDumper) — the trace
+// of what the simulation did leading up to the failed check.
 func Main(m *testing.M) {
 	s := invariant.NewSuite()
 	restore := invariant.Enable(s)
@@ -26,6 +30,7 @@ func Main(m *testing.M) {
 	restore()
 	if code == 0 && s.TotalViolations() > 0 {
 		fmt.Fprintf(os.Stderr, "invtest: invariant violations recorded during tests\n%s", s.Report())
+		invariant.DumpTrace(os.Stderr)
 		code = 1
 	}
 	os.Exit(code)

@@ -6,6 +6,7 @@ import (
 
 	"peel/internal/invariant"
 	"peel/internal/sim"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 )
 
@@ -34,6 +35,10 @@ type Network struct {
 	// over-delivery counter for the per-frame receive path.
 	suite        *invariant.Suite
 	overDelivery invariant.Counter
+	// tsink/tc likewise cache the active telemetry sink's pre-resolved
+	// counters (see telHooks); disabled telemetry costs one atomic load.
+	tsink *telemetry.Sink
+	tc    telHooks
 	// faulty latches once any link transition happened at runtime: it
 	// widens the selective-repeat arming condition to cover link-failure
 	// drops (not just random loss) without touching failure-free runs.
@@ -125,6 +130,9 @@ func (n *Network) overDeliveryCounter(s *invariant.Suite) invariant.Counter {
 // newFrame returns a zeroed frame from the free list (or a fresh one).
 func (n *Network) newFrame() *frame {
 	n.framesLive++
+	if tc := n.tel(); tc != nil {
+		tc.framesAllocated.Inc()
+	}
 	if len(n.framePool) == 0 {
 		return &frame{}
 	}
@@ -145,6 +153,9 @@ func (n *Network) freeFrame(f *frame) {
 	}
 	f.pooled = true
 	n.framesLive--
+	if tc := n.tel(); tc != nil {
+		tc.framesConsumed.Inc()
+	}
 	n.framePool = append(n.framePool, f)
 }
 
@@ -231,6 +242,7 @@ func (ch *channel) markDown() {
 		start++ // the in-flight frame is finishTx's to drop
 	}
 	fromSwitch := n.G.Node(ch.from).Kind.IsSwitch()
+	flushed := int64(len(ch.queue) - start)
 	for i := start; i < len(ch.queue); i++ {
 		f := ch.queue[i]
 		ch.qBytes -= f.bytes
@@ -243,6 +255,10 @@ func (ch *channel) markDown() {
 		n.freeFrame(f)
 	}
 	ch.queue = ch.queue[:start]
+	if tc := n.tel(); tc != nil {
+		tc.linkDrops.Add(flushed)
+		tc.rec.Record(n.Engine.Now(), telemetry.KindLinkDown, int64(ch.from), int64(ch.to), flushed)
+	}
 	if fromSwitch {
 		ns := &n.nodes[ch.from]
 		if n.Cfg.PFCEnabled && ns.paused && ns.bufBytes <= n.Cfg.pfcResumeThreshold() {
@@ -262,6 +278,10 @@ func (ch *channel) markUp() {
 	}
 	ch.down = false
 	ch.DownTime += ch.net.Engine.Now() - ch.downSince
+	n := ch.net
+	if tc := n.tel(); tc != nil {
+		tc.rec.Record(n.Engine.Now(), telemetry.KindLinkUp, int64(ch.from), int64(ch.to), 0)
+	}
 	ch.maybeSend()
 }
 
@@ -338,6 +358,10 @@ func (ch *channel) enqueue(f *frame) {
 		// collective layer's watchdog, not this queue.
 		ch.Drops++
 		n.LinkDrops++
+		if tc := n.tel(); tc != nil {
+			tc.linkDrops.Inc()
+			tc.rec.Record(n.Engine.Now(), telemetry.KindFrameDrop, int64(ch.from), int64(ch.to), 1)
+		}
 		n.freeFrame(f)
 		return
 	}
@@ -362,6 +386,12 @@ func (ch *channel) enqueue(f *frame) {
 	ch.qBytes += f.bytes
 	if ch.qBytes > ch.maxQBytes {
 		ch.maxQBytes = ch.qBytes
+	}
+	if tc := n.tel(); tc != nil {
+		tc.framesEnqueued.Inc()
+		if tc.rec.FrameEvents() {
+			tc.rec.Record(n.Engine.Now(), telemetry.KindFrameEnqueue, int64(ch.from), int64(ch.to), f.bytes)
+		}
 	}
 	if n.G.Node(ch.from).Kind.IsSwitch() {
 		ns := &n.nodes[ch.from]
@@ -408,6 +438,12 @@ func (ch *channel) finishTx(f *frame) {
 	if !ch.down {
 		ch.BytesSent += f.bytes
 		ch.FramesSent++
+		if tc := n.tel(); tc != nil {
+			tc.framesSent.Inc()
+			if tc.rec.FrameEvents() {
+				tc.rec.Record(n.Engine.Now(), telemetry.KindFrameDequeue, int64(ch.from), int64(ch.to), f.bytes)
+			}
+		}
 	}
 
 	if n.G.Node(ch.from).Kind.IsSwitch() {
@@ -423,6 +459,10 @@ func (ch *channel) finishTx(f *frame) {
 		// wire and is lost.
 		ch.Drops++
 		n.LinkDrops++
+		if tc := n.tel(); tc != nil {
+			tc.linkDrops.Inc()
+			tc.rec.Record(n.Engine.Now(), telemetry.KindFrameDrop, int64(ch.from), int64(ch.to), 1)
+		}
 		n.freeFrame(f)
 	} else {
 		to := ch.to
@@ -472,12 +512,19 @@ func (ch *channel) wakeNext() {
 func (n *Network) deliver(f *frame, at topology.NodeID) {
 	if n.Cfg.LossRate > 0 && n.ecnRNG.Float64() < n.Cfg.LossRate {
 		n.TotalDrops++
+		if tc := n.tel(); tc != nil {
+			tc.lossDrops.Inc()
+			tc.rec.Record(n.Engine.Now(), telemetry.KindLossDrop, int64(at), 0, f.bytes)
+		}
 		n.freeFrame(f)
 		return
 	}
 	f.at = at
 	node := n.G.Node(at)
 	if node.Kind == topology.Host {
+		if tc := n.tel(); tc != nil {
+			tc.framesDelivered.Inc()
+		}
 		f.flow.receive(f, at)
 		return
 	}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"fmt"
+
+	"peel/internal/sim"
+	"peel/internal/telemetry"
+	"peel/internal/topology"
+)
+
+// telHooks caches the active telemetry sink's pre-resolved primitives for
+// the per-frame fast paths, mirroring the invariant suite cache
+// (overDeliveryCounter): names are resolved once per sink change, then
+// every update is a lock-free atomic.
+type telHooks struct {
+	framesAllocated *telemetry.Counter // newFrame calls
+	framesConsumed  *telemetry.Counter // freeFrame calls (host receive, drop, discard)
+	framesEnqueued  *telemetry.Counter // frames accepted into a channel queue
+	framesSent      *telemetry.Counter // frames fully serialized on a live wire
+	framesDelivered *telemetry.Counter // frames handed to a host
+	linkDrops       *telemetry.Counter // frames lost to failed links
+	lossDrops       *telemetry.Counter // frames lost to the random loss rate
+	rec             *telemetry.Recorder
+}
+
+// tel returns the hook cache for the active sink, or nil when telemetry
+// is disabled — the disabled cost is one atomic load.
+func (n *Network) tel() *telHooks {
+	t := telemetry.Active()
+	if t == nil {
+		return nil
+	}
+	if t != n.tsink {
+		n.tsink = t
+		n.tc = telHooks{
+			framesAllocated: t.Counter("netsim.frames_allocated"),
+			framesConsumed:  t.Counter("netsim.frames_consumed"),
+			framesEnqueued:  t.Counter("netsim.frames_enqueued"),
+			framesSent:      t.Counter("netsim.frames_sent"),
+			framesDelivered: t.Counter("netsim.frames_delivered"),
+			linkDrops:       t.Counter("netsim.link_drops"),
+			lossDrops:       t.Counter("netsim.loss_drops"),
+			rec:             t.Recorder(),
+		}
+	}
+	return &n.tc
+}
+
+// linkLabel names a directed channel for per-link aggregates and CSV
+// rows: node names when the topology provides them, IDs otherwise.
+func (n *Network) linkLabel(from, to topology.NodeID) string {
+	a, b := n.G.Node(from).Name, n.G.Node(to).Name
+	if a == "" || b == "" {
+		return fmt.Sprintf("n%d>n%d", from, to)
+	}
+	return a + ">" + b
+}
+
+// PublishTelemetry folds the network's final per-channel state into the
+// sink's per-link aggregates. Call once per run after the engine drains;
+// channels that saw no traffic and no failures are skipped. All published
+// quantities are integers, so aggregates are deterministic for any worker
+// count or publication order.
+func (n *Network) PublishTelemetry(t *telemetry.Sink) {
+	if t == nil {
+		return
+	}
+	now := n.Engine.Now()
+	maxQ := t.Gauge("netsim.max_queue_bytes")
+	for i := 0; i < n.G.NumLinks(); i++ {
+		l := n.G.Link(topology.LinkID(i))
+		for _, dir := range [2][2]topology.NodeID{{l.A, l.B}, {l.B, l.A}} {
+			ch := n.Channel(dir[0], dir[1])
+			if ch == nil {
+				continue
+			}
+			if ch.BytesSent == 0 && ch.Drops == 0 && ch.DownCount == 0 {
+				continue
+			}
+			downPs := ch.DownTime
+			if ch.down {
+				downPs += now - ch.downSince
+			}
+			t.ObserveLink(n.linkLabel(dir[0], dir[1]), telemetry.LinkStat{
+				Bytes:     ch.BytesSent,
+				Frames:    ch.FramesSent,
+				Drops:     ch.Drops,
+				Downs:     ch.DownCount,
+				DownPs:    int64(downPs),
+				ElapsedPs: int64(now),
+				CapBps:    n.Cfg.LinkBps,
+			})
+			maxQ.SetMax(ch.maxQBytes)
+		}
+	}
+}
+
+// ArmTelemetrySampler schedules a periodic CSV time-series capture of
+// every active channel's cumulative counters. The tick reschedules itself
+// only while the engine still has other pending work, so an armed sampler
+// never keeps a drained simulation alive. Sampling is opt-in per run
+// (peelsim -telemetry-csv); an unarmed network schedules nothing, leaving
+// event streams — and the experiment trace goldens — untouched.
+func (n *Network) ArmTelemetrySampler(t *telemetry.Sink, interval sim.Time) {
+	if t == nil || interval <= 0 {
+		return
+	}
+	run := t.NextRunID()
+	// Pre-compute labels once: sampling must not allocate per tick beyond
+	// the rows it appends.
+	type tap struct {
+		ch    *channel
+		label string
+	}
+	taps := make([]tap, 0, 2*n.G.NumLinks())
+	for i := 0; i < n.G.NumLinks(); i++ {
+		l := n.G.Link(topology.LinkID(i))
+		for _, dir := range [2][2]topology.NodeID{{l.A, l.B}, {l.B, l.A}} {
+			if ch := n.Channel(dir[0], dir[1]); ch != nil {
+				taps = append(taps, tap{ch, n.linkLabel(dir[0], dir[1])})
+			}
+		}
+	}
+	var tick func()
+	tick = func() {
+		at := n.Engine.Now()
+		for _, tp := range taps {
+			ch := tp.ch
+			if ch.BytesSent == 0 && ch.qBytes == 0 && ch.Drops == 0 {
+				continue
+			}
+			t.RecordSample(telemetry.Sample{
+				Run: run, At: at, Link: tp.label,
+				Bytes: ch.BytesSent, Frames: ch.FramesSent,
+				Drops: ch.Drops, QBytes: ch.qBytes,
+			})
+		}
+		if n.Engine.Pending() > 0 {
+			n.Engine.After(interval, tick)
+		}
+	}
+	n.Engine.After(interval, tick)
+}

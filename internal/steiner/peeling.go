@@ -7,6 +7,7 @@ import (
 
 	"peel/internal/invariant"
 	"peel/internal/routing"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 )
 
@@ -227,7 +228,36 @@ func LayerPeeling(g *topology.Graph, src topology.NodeID, dests []topology.NodeI
 		}
 		reportPeelBound(s, t, stats.F, nd)
 	}
+	if ts := telemetry.Active(); ts != nil {
+		ts.Counter("steiner.peeled_trees").Inc()
+		ts.Counter("steiner.peel_switches_added").Add(int64(stats.SwitchesAdded))
+		publishTreeTelemetry(ts, t, live)
+	}
 	return t, stats, nil
+}
+
+// publishTreeTelemetry reports one built tree into the telemetry sink:
+// the depth and fan-out distributions the paper's Theorem 2.5 budget
+// constrains. Every builder (layer peeling, the symmetric fast path)
+// calls it on a validated tree; builds are rare (once per collective or
+// repair), so names are resolved directly rather than cached like
+// netsim's per-frame hooks.
+func publishTreeTelemetry(ts *telemetry.Sink, t *Tree, dests []topology.NodeID) {
+	ts.Counter("steiner.trees").Inc()
+	depthH := ts.Histogram("steiner.tree_depth", telemetry.LinearLayout(0, 1, 33))
+	maxDepth := 0
+	for _, dst := range dests {
+		if d := t.Depth(dst); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	depthH.Observe(int64(maxDepth))
+	fanH := ts.Histogram("steiner.fanout", telemetry.LinearLayout(0, 1, 65))
+	for _, kids := range t.Children() {
+		if len(kids) > 0 {
+			fanH.Observe(int64(len(kids)))
+		}
+	}
 }
 
 // sortMembersByDepth orders Members by BFS layer (root first), with stable

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 )
 
@@ -195,5 +196,11 @@ func finish(t *Tree, g *topology.Graph, dests []topology.NodeID) error {
 			live = append(live, d)
 		}
 	}
-	return t.Validate(g, live)
+	if err := t.Validate(g, live); err != nil {
+		return err
+	}
+	if ts := telemetry.Active(); ts != nil {
+		publishTreeTelemetry(ts, t, live)
+	}
+	return nil
 }

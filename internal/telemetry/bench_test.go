@@ -1,0 +1,60 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkDisabledHook measures the cost of a hook point with telemetry
+// off — the price every hot path pays unconditionally. CI's bench-smoke
+// greps this (and the armed benchmarks below) for "0 allocs/op".
+func BenchmarkDisabledHook(b *testing.B) {
+	restore := Enable(nil)
+	defer restore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ts := Active(); ts != nil {
+			ts.Counter("never").Inc()
+		}
+	}
+}
+
+func BenchmarkArmedCounterInc(b *testing.B) {
+	s := NewSink(64)
+	restore := Enable(s)
+	defer restore()
+	c := s.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkArmedHistogramObserve(b *testing.B) {
+	s := NewSink(64)
+	restore := Enable(s)
+	defer restore()
+	h := s.Histogram("bench", Log2Layout())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkRecorderRecord(b *testing.B) {
+	r := NewRecorder(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(0, KindChaosEvent, int64(i), 0, 0)
+	}
+}
+
+// BenchmarkRecorderGatedFrameEvent measures a frame-event record with the
+// per-frame gate off — the common armed configuration, where per-frame
+// hooks must cost only the atomic gate check.
+func BenchmarkRecorderGatedFrameEvent(b *testing.B) {
+	r := NewRecorder(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(0, KindFrameEnqueue, int64(i), 0, 0)
+	}
+}

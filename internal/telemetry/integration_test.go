@@ -1,0 +1,233 @@
+package telemetry_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"peel/internal/chaos"
+	"peel/internal/collective"
+	"peel/internal/controller"
+	"peel/internal/core"
+	"peel/internal/invariant"
+	"peel/internal/netsim"
+	"peel/internal/sim"
+	"peel/internal/telemetry"
+	"peel/internal/topology"
+	"peel/internal/workload"
+)
+
+// The integration scenario mirrors experiments.ChaosStudy's per-collective
+// harness: a 64-GPU broadcast of 32 MB on a k=4 fat-tree with the
+// collective watchdog at 100 µs. Instead of a random link fraction, the
+// chaos schedule surgically fails one switch-to-switch link *on the
+// multicast tree* at 30% of the clean CCT, healing far after completion —
+// so the watchdog must detect the stall and the repair must re-peel around
+// the failure, deterministically, every run.
+const (
+	chaosMsg      = int64(32) << 20
+	chaosSeed     = int64(1)
+	chaosMaxEv    = uint64(120_000_000)
+	chaosWatchdog = 100 * sim.Microsecond
+)
+
+func chaosConfig(seed int64) netsim.Config {
+	cfg := netsim.DefaultConfig()
+	f := chaosMsg / 128 // Defaults().FramesPerMessage, within the [4 KiB, 4 MiB] clamp
+	cfg.FrameBytes = f
+	cfg.ECNKminBytes = 10 * f / 3
+	cfg.ECNKmaxBytes = 133 * f
+	cfg.BufferBytes = 8000 * f
+	cfg.Seed = seed
+	return cfg
+}
+
+// runChaosCollective simulates one PEEL broadcast on a fresh fabric with
+// an optional chaos schedule armed, publishing network telemetry at the
+// end exactly like experiments.runChaosOne.
+func runChaosCollective(t *testing.T, c *workload.Collective, cfg netsim.Config, sched *chaos.Schedule) (collective.Report, *netsim.Network) {
+	t.Helper()
+	g := topology.FatTree(4)
+	eng := &sim.Engine{}
+	net := netsim.New(g, eng, cfg)
+	planner, err := core.NewPlanner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := workload.NewCluster(g, 8)
+	runner := collective.NewRunner(net, cl, planner, controller.New(cfg.RNG(netsim.SaltController)))
+	runner.Watchdog = chaosWatchdog
+
+	var rep collective.Report
+	done := false
+	eng.At(0, func() {
+		if err := runner.StartReport(c, collective.PEEL, func(r collective.Report) { rep, done = r, true }); err != nil {
+			t.Errorf("start: %v", err)
+		}
+	})
+	if err := chaos.NewInjector(g, eng).Arm(sched); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(chaosMaxEv); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("collective did not complete")
+	}
+	net.CheckQuiesced(invariant.Active())
+	net.PublishTelemetry(telemetry.Active())
+	return rep, net
+}
+
+// treeSwitchLink rebuilds the collective's failure-free multicast tree and
+// returns its first (lowest child node ID) switch-to-switch edge — a link
+// the broadcast provably depends on.
+func treeSwitchLink(t *testing.T, c *workload.Collective) topology.LinkID {
+	t.Helper()
+	g := topology.FatTree(4)
+	tree, err := core.BuildTree(g, c.Source(), c.Receivers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		n := topology.NodeID(id)
+		p := tree.Parent[n]
+		if p == topology.None || n == tree.Source {
+			continue
+		}
+		if g.Node(n).Kind.IsSwitch() && g.Node(p).Kind.IsSwitch() {
+			return g.LinkBetween(p, n)
+		}
+	}
+	t.Fatal("multicast tree has no switch-switch edge")
+	return -1
+}
+
+// TestChaosTraceAndConservation runs the seeded chaos scenario with a
+// private sink armed and asserts the tentpole's end-to-end promises:
+//
+//   - the flight recorder holds the failure story in causal order —
+//     link-down before repair-detect before repair-install before
+//     repair-complete, by both sequence number and simulated time;
+//   - the telemetry frame counters balance exactly (every allocated frame
+//     consumed), the differential twin of internal/invariant's
+//     frame-conservation checker, which TestMain keeps enabled throughout;
+//   - the netsim.link_drops counter equals the networks' own LinkDrops
+//     bookkeeping summed across runs (hook-level vs. network-level count);
+//   - the repair latency breakdown (detect/install/resume) is populated.
+func TestChaosTraceAndConservation(t *testing.T) {
+	sink := telemetry.NewSink(16384)
+	restore := telemetry.Enable(sink)
+	defer restore()
+
+	g := topology.FatTree(4)
+	cl := workload.NewCluster(g, 8)
+	rng := rand.New(rand.NewSource(chaosSeed))
+	cols, err := cl.Generate(1, 0.1, 100e9, workload.Spec{GPUs: 64, Bytes: chaosMsg}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cols[0]
+	cfg := chaosConfig(chaosSeed)
+
+	// Clean pass sizes the failure time, exactly like ChaosStudy.
+	clean, cleanNet := runChaosCollective(t, c, cfg, nil)
+	if clean.Recovery.Stalls != 0 {
+		t.Fatalf("clean run stalled: %+v", clean.Recovery)
+	}
+	failAt := clean.CCT * 3 / 10
+	link := treeSwitchLink(t, c)
+	sched := (&chaos.Schedule{}).FailLinkAt(failAt, link).HealLinkAt(failAt+sim.Second, link)
+
+	rep, repNet := runChaosCollective(t, c, cfg, sched)
+	if rep.Recovery.Stalls == 0 {
+		t.Fatalf("failing tree link %d did not stall the collective: %+v", link, rep.Recovery)
+	}
+	if rep.Recovery.Repairs == 0 {
+		t.Fatalf("stall was not repaired: %+v", rep.Recovery)
+	}
+	if rep.Recovery.Abandoned != 0 {
+		t.Fatalf("receivers abandoned: %+v", rep.Recovery)
+	}
+	if rep.CCT <= clean.CCT {
+		t.Errorf("repaired CCT %v not above clean CCT %v", rep.CCT.Duration(), clean.CCT.Duration())
+	}
+
+	// Causal order of the repair story in the flight recorder.
+	first := map[telemetry.Kind]telemetry.Event{}
+	for _, e := range sink.Recorder().Dump() {
+		if _, ok := first[e.Kind]; !ok {
+			first[e.Kind] = e
+		}
+	}
+	order := []telemetry.Kind{telemetry.KindLinkDown, telemetry.KindRepairDetect,
+		telemetry.KindRepairInstall, telemetry.KindRepairComplete}
+	var prev telemetry.Event
+	for i, k := range order {
+		e, ok := first[k]
+		if !ok {
+			t.Fatalf("trace has no %v event (retained %d of %d)", k,
+				sink.Recorder().Len(), sink.Recorder().Total())
+		}
+		if i > 0 {
+			if e.Seq < prev.Seq {
+				t.Errorf("%v (seq %d) recorded before %v (seq %d)", e.Kind, e.Seq, prev.Kind, prev.Seq)
+			}
+			if e.At < prev.At {
+				t.Errorf("%v at %v precedes %v at %v", e.Kind, e.At.Duration(), prev.Kind, prev.At.Duration())
+			}
+		}
+		prev = e
+	}
+	if _, ok := first[telemetry.KindLinkUp]; !ok {
+		t.Error("trace has no link-up event despite the scheduled heal")
+	}
+	if got := sink.Counter("chaos.events").Value(); got != 2 {
+		t.Errorf("chaos.events = %d, want 2 (one fail, one heal)", got)
+	}
+
+	// Frame conservation, differentially: the hook-level allocation and
+	// consumption counters must balance once both engines drained. The
+	// invariant suite (enabled by TestMain) checks the same property from
+	// the network's internal bookkeeping.
+	alloc := sink.Counter("netsim.frames_allocated").Value()
+	consumed := sink.Counter("netsim.frames_consumed").Value()
+	if alloc == 0 {
+		t.Fatal("no frames observed")
+	}
+	if alloc != consumed {
+		t.Errorf("frame conservation broken: allocated %d, consumed %d", alloc, consumed)
+	}
+
+	// Hook-level drop counter vs. the networks' own counters.
+	wantDrops := int64(cleanNet.LinkDrops) + int64(repNet.LinkDrops)
+	if wantDrops == 0 {
+		t.Error("collective stalled but the networks counted no link drops")
+	}
+	if got := sink.Counter("netsim.link_drops").Value(); got != wantDrops {
+		t.Errorf("netsim.link_drops = %d, networks counted %d", got, wantDrops)
+	}
+
+	// The repair latency breakdown must be populated end to end.
+	for _, name := range []string{"collective.repair.detect_ps",
+		"collective.repair.install_ps", "collective.repair.resume_ps"} {
+		if got := sink.Histogram(name, telemetry.Log2Layout()).Count(); got == 0 {
+			t.Errorf("%s has no observations", name)
+		}
+	}
+	if got := sink.Counter("collective.stalls").Value(); got != int64(rep.Recovery.Stalls) {
+		t.Errorf("collective.stalls = %d, report says %d", got, rep.Recovery.Stalls)
+	}
+	if got := sink.Counter("collective.repairs").Value(); got != int64(rep.Recovery.Repairs) {
+		t.Errorf("collective.repairs = %d, report says %d", got, rep.Recovery.Repairs)
+	}
+
+	// Report export sanity over the real run.
+	r := sink.Report("chaos-integration")
+	if r.Trace.Recorded == 0 || len(r.Links) == 0 || len(r.Counters) == 0 {
+		t.Errorf("run report unexpectedly empty: trace=%d links=%d counters=%d",
+			r.Trace.Recorded, len(r.Links), len(r.Counters))
+	}
+	if r.Aborted != "" {
+		t.Errorf("run reported aborted: %s", r.Aborted)
+	}
+}

@@ -1,0 +1,15 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"peel/internal/invariant/invtest"
+)
+
+// TestMain enables invariant checking for every test in both the internal
+// and external telemetry test packages — the chaos integration test runs
+// full simulations, and any frame-conservation or quiescence violation
+// they trip fails the binary.
+func TestMain(m *testing.M) {
+	invtest.Main(m)
+}

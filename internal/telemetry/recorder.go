@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"peel/internal/invariant"
+	"peel/internal/sim"
+)
+
+// Register the active sink's flight recorder as the invariant layer's
+// trace dumper: any harness that prints a violation report
+// (invtest.Main, peelsim -check) attaches the event history that led up
+// to the failure, without importing this package.
+func init() {
+	invariant.SetTraceDumper(func(w io.Writer) {
+		if s := Active(); s != nil {
+			s.Recorder().WriteTo(w)
+		}
+	})
+}
+
+// Kind classifies a flight-recorder event.
+type Kind uint8
+
+// The event taxonomy. DESIGN.md's "Observability" section documents each;
+// Event.String renders the operand meanings.
+const (
+	// KindFrameEnqueue: a frame entered a channel queue (A=from, B=to,
+	// V=bytes). Recorded only with frame events enabled — per-frame
+	// tracing floods the bounded ring otherwise.
+	KindFrameEnqueue Kind = iota + 1
+	// KindFrameDequeue: a frame finished serializing (A=from, B=to,
+	// V=bytes). Frame-events gated, like enqueue.
+	KindFrameDequeue
+	// KindFrameDrop: frames lost to a dead link (A=from, B=to, V=frames
+	// dropped — a queue flush drops several at once). Always recorded.
+	KindFrameDrop
+	// KindLossDrop: one frame lost to the configured random loss rate
+	// (A=node the frame was delivered toward, V=bytes).
+	KindLossDrop
+	// KindLinkDown / KindLinkUp: a directed channel transitioned (A=from
+	// node, B=to node; V carries the frames flushed on down, 0 on up).
+	// Both directions of a link transition together, so each failure
+	// yields an event pair.
+	KindLinkDown
+	KindLinkUp
+	// KindRepairDetect: the collective watchdog declared a stall
+	// (A=collective ID, V=no-progress time in ps at declaration).
+	KindRepairDetect
+	// KindRepairInstall: repair rules are in and the repair flow (or
+	// unicast detours) started (A=collective ID, V=ps since detection).
+	KindRepairInstall
+	// KindRepairComplete: receiver progress resumed after a repair
+	// (A=collective ID, V=ps since install).
+	KindRepairComplete
+	// KindUnicastFallback: repair-tree construction failed; one receiver
+	// is being recovered over a unicast detour (A=collective ID,
+	// B=receiver).
+	KindUnicastFallback
+	// KindAbandon: the repair budget ran out and receivers were
+	// abandoned (A=collective ID, V=receivers abandoned).
+	KindAbandon
+	// KindControllerInstall: the SDN controller finished one rule push
+	// (V=setup latency in ps).
+	KindControllerInstall
+	// KindChaosEvent: a chaos schedule event fired (A=link or node ID,
+	// B=1 for a node target, V=1 for heal / 0 for fail).
+	KindChaosEvent
+	// KindAbort: NoteAbort was called (watchdog abandonment or harness
+	// abort); the dump that follows explains why.
+	KindAbort
+)
+
+var kindNames = map[Kind]string{
+	KindFrameEnqueue:      "frame-enqueue",
+	KindFrameDequeue:      "frame-dequeue",
+	KindFrameDrop:         "frame-drop",
+	KindLossDrop:          "loss-drop",
+	KindLinkDown:          "link-down",
+	KindLinkUp:            "link-up",
+	KindRepairDetect:      "repair-detect",
+	KindRepairInstall:     "repair-install",
+	KindRepairComplete:    "repair-complete",
+	KindUnicastFallback:   "unicast-fallback",
+	KindAbandon:           "abandon",
+	KindControllerInstall: "controller-install",
+	KindChaosEvent:        "chaos-event",
+	KindAbort:             "abort",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one structured trace record. Operands A, B, V are
+// kind-specific (see the Kind constants); Seq is the recorder-assigned
+// global sequence number, so a dump shows how many events were discarded
+// between retained ones.
+type Event struct {
+	At   sim.Time
+	Seq  uint64
+	Kind Kind
+	A    int64
+	B    int64
+	V    int64
+}
+
+// String renders the event for dumps.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d t=%v %s a=%d b=%d v=%d", e.Seq, e.At.Duration(), e.Kind, e.A, e.B, e.V)
+}
+
+// Recorder is the bounded flight recorder: a ring buffer of the last N
+// events. Recording overwrites the oldest entry in place — no
+// allocation after construction — and takes a mutex, so concurrent
+// simulation workers can share one recorder under -race.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever recorded; buf holds the last min(total, cap)
+	// frameEvents is atomic (not under mu) so hot paths can check the
+	// gate lock-free before building frame-event arguments.
+	frameEvents atomic.Bool
+}
+
+// NewRecorder returns a recorder keeping the last capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Recorder{buf: make([]Event, 0, capacity)}
+}
+
+// SetFrameEvents enables per-frame enqueue/dequeue tracing. Off by
+// default: frame events outnumber every other kind by orders of
+// magnitude and would evict the sparse link/repair events the dump is
+// for.
+func (r *Recorder) SetFrameEvents(on bool) {
+	if r == nil {
+		return
+	}
+	r.frameEvents.Store(on)
+}
+
+// FrameEvents reports whether per-frame tracing is on. Hook points check
+// it before building frame-event arguments.
+func (r *Recorder) FrameEvents() bool {
+	return r != nil && r.frameEvents.Load()
+}
+
+// Record appends one event, evicting the oldest once the ring is full.
+func (r *Recorder) Record(at sim.Time, k Kind, a, b, v int64) {
+	if r == nil {
+		return
+	}
+	if (k == KindFrameEnqueue || k == KindFrameDequeue) && !r.frameEvents.Load() {
+		return
+	}
+	r.mu.Lock()
+	e := Event{At: at, Seq: r.total, Kind: k, A: a, B: b, V: v}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = e
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (retained or evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Len returns how many events the ring currently retains.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dump returns the retained events oldest-first.
+func (r *Recorder) Dump() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		copy(out, r.buf)
+		return out
+	}
+	head := int(r.total % uint64(cap(r.buf)))
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}
+
+// WriteTo renders the dump, oldest-first, one event per line, with a
+// header stating how much of the history the ring retained.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	events := r.Dump()
+	var written int64
+	n, err := fmt.Fprintf(w, "flight recorder: %d of %d events retained\n", len(events), r.Total())
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	for _, e := range events {
+		n, err := fmt.Fprintf(w, "%s\n", e)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenSink builds a fully deterministic sink exercising every report
+// section: counters, gauges, both histogram layouts, link aggregates, and
+// a flight-recorder ring small enough to have evicted history.
+func goldenSink() *Sink {
+	s := NewSink(4)
+	s.Counter("netsim.frames_allocated").Add(1024)
+	s.Counter("netsim.frames_consumed").Add(1024)
+	s.Counter("collective.repairs").Inc()
+	g := s.Gauge("netsim.max_queue_bytes")
+	g.Set(512)
+	g.SetMax(4096)
+	h := s.Histogram("collective.cct_ps", Log2Layout())
+	for _, v := range []int64{1_000_000, 2_000_000, 3_000_000} {
+		h.Observe(v)
+	}
+	fan := s.Histogram("steiner.fanout", LinearLayout(0, 1, 65))
+	for _, v := range []int64{2, 4, 4, 16} {
+		fan.Observe(v)
+	}
+	s.ObserveLink("tor0>agg0", LinkStat{Bytes: 32 << 20, Frames: 128, Drops: 2,
+		Downs: 1, DownPs: 1_000_000, ElapsedPs: 1_000_000_000_000, CapBps: 100e9})
+	s.ObserveLink("h0>tor0", LinkStat{Bytes: 8 << 20, Frames: 32,
+		ElapsedPs: 1_000_000_000_000, Runs: 0, CapBps: 100e9})
+	for i := 0; i < 6; i++ {
+		s.Recorder().Record(0, KindChaosEvent, int64(i), 0, 0)
+	}
+	return s
+}
+
+// TestRunReportGolden pins the JSON run-report byte-for-byte: field order,
+// indentation, sorted names, non-empty-bucket elision, and the schema
+// stamp. After an intentional schema change, bump SchemaVersion and
+// regenerate with
+//
+//	PEEL_UPDATE_GOLDEN=1 go test -run TestRunReportGolden ./internal/telemetry
+func TestRunReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSink().Report("golden").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	goldenPath := filepath.Join("testdata", "runreport_golden.json")
+	if os.Getenv("PEEL_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden run-report updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with PEEL_UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("run-report drifted from golden.\nIf intentional, bump SchemaVersion if the schema changed and regenerate with PEEL_UPDATE_GOLDEN=1.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The golden must carry the current schema stamp — catching a version
+	// bump without regeneration, or a regeneration without a bump.
+	var decoded struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(want, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Schema != SchemaVersion {
+		t.Fatalf("golden schema = %d, package SchemaVersion = %d", decoded.Schema, SchemaVersion)
+	}
+}
+
+// TestRunReportDeterministic rebuilds the same sink state with reversed
+// registration order and asserts byte-identical JSON — the property that
+// makes the report diffable across worker counts.
+func TestRunReportDeterministic(t *testing.T) {
+	forward := goldenSink()
+	reversed := NewSink(4)
+	for i := 5; i >= 0; i-- {
+		reversed.Recorder().Record(0, KindChaosEvent, int64(5-i), 0, 0)
+	}
+	reversed.ObserveLink("h0>tor0", LinkStat{Bytes: 8 << 20, Frames: 32,
+		ElapsedPs: 1_000_000_000_000, CapBps: 100e9})
+	reversed.ObserveLink("tor0>agg0", LinkStat{Bytes: 32 << 20, Frames: 128, Drops: 2,
+		Downs: 1, DownPs: 1_000_000, ElapsedPs: 1_000_000_000_000, CapBps: 100e9})
+	fan := reversed.Histogram("steiner.fanout", LinearLayout(0, 1, 65))
+	for _, v := range []int64{16, 4, 4, 2} {
+		fan.Observe(v)
+	}
+	h := reversed.Histogram("collective.cct_ps", Log2Layout())
+	for _, v := range []int64{3_000_000, 2_000_000, 1_000_000} {
+		h.Observe(v)
+	}
+	g := reversed.Gauge("netsim.max_queue_bytes")
+	g.SetMax(4096)
+	g.Set(512)
+	reversed.Counter("collective.repairs").Inc()
+	reversed.Counter("netsim.frames_consumed").Add(1024)
+	reversed.Counter("netsim.frames_allocated").Add(1024)
+
+	var a, b bytes.Buffer
+	if err := forward.Report("golden").WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reversed.Report("golden").WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("report depends on registration order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunReportAborted(t *testing.T) {
+	s := NewSink(0)
+	s.NoteAbort("watchdog gave up")
+	r := s.Report("x")
+	if r.Aborted != "watchdog gave up" || r.Label != "x" {
+		t.Fatalf("report = %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"aborted": "watchdog gave up"`) {
+		t.Fatalf("aborted reason missing from JSON:\n%s", buf.String())
+	}
+	if got := r.SummaryTable(); !strings.Contains(got, "ABORTED: watchdog gave up") {
+		t.Fatalf("aborted reason missing from summary:\n%s", got)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	out := goldenSink().Report("golden").SummaryTable()
+	for _, want := range []string{
+		"== telemetry summary (schema 1) ==",
+		"netsim.frames_allocated",
+		"netsim.max_queue_bytes",
+		"collective.cct_ps",
+		"links: 2 observed, hottest tor0>agg0",
+		"trace: 6 events recorded, last 4 retained",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ABORTED") {
+		t.Errorf("non-aborted summary claims abort:\n%s", out)
+	}
+}
+
+func TestWriteCSVSortsRows(t *testing.T) {
+	s := NewSink(0)
+	// Recorded deliberately out of (run, time, link) order.
+	s.RecordSample(Sample{Run: 2, At: 100, Link: "b>c", Bytes: 5, Frames: 1})
+	s.RecordSample(Sample{Run: 1, At: 200, Link: "a>b", Bytes: 4, Frames: 1, QBytes: 7})
+	s.RecordSample(Sample{Run: 1, At: 100, Link: "b>a", Bytes: 3, Frames: 1, Drops: 1})
+	s.RecordSample(Sample{Run: 1, At: 100, Link: "a>b", Bytes: 2, Frames: 1})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "run,t_ps,link,bytes,frames,drops,queue_bytes\n" +
+		"1,100,a>b,2,1,0,0\n" +
+		"1,100,b>a,3,1,1,0\n" +
+		"1,200,a>b,4,1,0,7\n" +
+		"2,100,b>c,5,1,0,0\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("csv:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestNextRunID(t *testing.T) {
+	s := NewSink(0)
+	if a, b := s.NextRunID(), s.NextRunID(); a != 1 || b != 2 {
+		t.Fatalf("run IDs = %d,%d, want 1,2", a, b)
+	}
+}

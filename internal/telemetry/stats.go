@@ -1,0 +1,144 @@
+package telemetry
+
+// The statistics the paper reports — CCT samples with mean and tail
+// percentiles, and figure series/tables — folded in from
+// internal/metrics so the repository has one metrics API. The metrics
+// package re-exports these names for compatibility.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"peel/internal/sim"
+)
+
+// Samples accumulates CCT observations.
+type Samples struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add records one observation (seconds).
+func (s *Samples) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// AddTime records one simulated duration.
+func (s *Samples) AddTime(t sim.Time) { s.Add(t.Seconds()) }
+
+// N returns the sample count.
+func (s *Samples) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Samples) Mean() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) using the
+// nearest-rank method, or NaN when empty.
+func (s *Samples) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.vals[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.vals) {
+		rank = len(s.vals)
+	}
+	return s.vals[rank-1]
+}
+
+// P99 is the tail metric the paper reports alongside the mean.
+func (s *Samples) P99() float64 { return s.Percentile(99) }
+
+// Max returns the largest observation.
+func (s *Samples) Max() float64 { return s.Percentile(100) }
+
+// Min returns the smallest observation.
+func (s *Samples) Min() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	return s.vals[0]
+}
+
+// StdDev returns the population standard deviation.
+func (s *Samples) StdDev() float64 {
+	if len(s.vals) == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.vals)))
+}
+
+// Summary is a reporting-ready digest of a sample set.
+type Summary struct {
+	N         int
+	Mean, P50 float64
+	P99, Max  float64
+}
+
+// Summarize digests the samples.
+func (s *Samples) Summarize() Summary {
+	return Summary{N: s.N(), Mean: s.Mean(), P50: s.Percentile(50), P99: s.P99(), Max: s.Max()}
+}
+
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6fs p50=%.6fs p99=%.6fs max=%.6fs", sm.N, sm.Mean, sm.P50, sm.P99, sm.Max)
+}
+
+// Series is one curve of a figure: X values with per-scheme Y values.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Table renders aligned rows for a set of series sharing X (a figure's
+// data, printable by cmd/peelsim).
+func Table(xLabel string, xs []float64, series []Series) string {
+	out := fmt.Sprintf("%-14s", xLabel)
+	for _, s := range series {
+		out += fmt.Sprintf("%16s", s.Label)
+	}
+	out += "\n"
+	for i, x := range xs {
+		out += fmt.Sprintf("%-14.4g", x)
+		for _, s := range series {
+			if i < len(s.Y) {
+				out += fmt.Sprintf("%16.6g", s.Y[i])
+			} else {
+				out += fmt.Sprintf("%16s", "-")
+			}
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,463 @@
+// Package telemetry is the deep-observability layer: sampled counters,
+// gauges, fixed-layout histograms, per-link traffic aggregates, a bounded
+// flight recorder of structured trace events, and exporters (JSON
+// run-report, CSV time series, summary table).
+//
+// The design follows internal/invariant's always-on pattern: a single
+// globally enabled Sink reached via Active(), so a hook point in a hot
+// path costs exactly one atomic load when telemetry is disabled — the
+// disabled path allocates nothing and is benchmarked at 0 allocs/op.
+// Armed, every primitive updates lock-free atomics; only registration
+// (first use of a name) and the flight recorder take a mutex.
+//
+// The package sits below the simulation stack (it imports only
+// internal/sim, internal/invariant, and the standard library), so netsim,
+// steiner, collective, controller, and chaos all report into it without
+// import cycles.
+// internal/metrics' summary helpers (Samples, Summary, Series, Table)
+// were folded into this package; metrics re-exports them for
+// compatibility.
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. All methods are safe on a
+// nil *Counter (they no-op), so hook code can cache the result of
+// Sink.Counter unconditionally.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds d (d must be non-negative; counters never decrease).
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge tracks a last-written value and its high-water mark.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set records v and raises the high-water mark if needed.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.raise(v)
+}
+
+// SetMax raises only the high-water mark (for merging per-run maxima).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	g.raise(v)
+}
+
+func (g *Gauge) raise(v int64) {
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last value written.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// LayoutKind selects a histogram bucket layout family.
+type LayoutKind uint8
+
+const (
+	// LayoutLog2 buckets by bit length: bucket 0 holds values ≤ 0,
+	// bucket i (1 ≤ i ≤ 64) holds values in [2^(i-1), 2^i − 1]. Suits
+	// durations in picoseconds and byte counts spanning many decades.
+	LayoutLog2 LayoutKind = iota
+	// LayoutLinear buckets the range [Min, Min+Width·N) into N equal
+	// bins, clamping values outside. Suits bounded small integers
+	// (fan-out degrees, tree depths).
+	LayoutLinear
+)
+
+// Layout is a histogram's fixed bucket layout. Histograms with the same
+// name must be requested with identical layouts; a mismatch panics (it is
+// a wiring bug, not a runtime condition).
+type Layout struct {
+	Kind    LayoutKind
+	Min     int64 // linear only: lower bound of bucket 0
+	Width   int64 // linear only: bucket width
+	Buckets int   // linear only: bucket count
+}
+
+// Log2Layout returns the 65-bucket power-of-two layout.
+func Log2Layout() Layout { return Layout{Kind: LayoutLog2} }
+
+// LinearLayout returns an n-bucket fixed-width layout starting at min.
+func LinearLayout(min, width int64, n int) Layout {
+	if width <= 0 || n <= 0 {
+		panic(fmt.Sprintf("telemetry: invalid linear layout width=%d n=%d", width, n))
+	}
+	return Layout{Kind: LayoutLinear, Min: min, Width: width, Buckets: n}
+}
+
+func (l Layout) buckets() int {
+	if l.Kind == LayoutLog2 {
+		return 65
+	}
+	return l.Buckets
+}
+
+// UpperBound returns the inclusive upper bound of bucket i (the last
+// bucket of a linear layout absorbs everything above the range).
+func (l Layout) UpperBound(i int) int64 {
+	if l.Kind == LayoutLog2 {
+		if i <= 0 {
+			return 0
+		}
+		if i >= 64 {
+			return int64(^uint64(0) >> 1) // MaxInt64
+		}
+		return int64(1)<<uint(i) - 1
+	}
+	if i >= l.Buckets-1 {
+		return int64(^uint64(0) >> 1)
+	}
+	return l.Min + l.Width*int64(i+1) - 1
+}
+
+// bucketOf maps a value to its bucket index.
+func (l Layout) bucketOf(v int64) int {
+	if l.Kind == LayoutLog2 {
+		if v <= 0 {
+			return 0
+		}
+		return bits.Len64(uint64(v))
+	}
+	if v < l.Min {
+		return 0
+	}
+	i := int((v - l.Min) / l.Width)
+	if i >= l.Buckets {
+		i = l.Buckets - 1
+	}
+	return i
+}
+
+// Histogram accumulates observations into a fixed bucket layout, plus
+// exact count and sum. Observation is lock-free.
+type Histogram struct {
+	layout  Layout
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets []atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[h.layout.bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the exact sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Layout returns the bucket layout.
+func (h *Histogram) Layout() Layout {
+	if h == nil {
+		return Layout{}
+	}
+	return h.layout
+}
+
+// Bucket returns bucket i's count.
+func (h *Histogram) Bucket(i int) uint64 {
+	if h == nil || i < 0 || i >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// Quantile returns the inclusive upper bound of the bucket holding the
+// q-quantile observation (0 < q ≤ 1), an upper estimate of the true
+// quantile within one bucket's resolution. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += int64(h.buckets[i].Load())
+		if cum >= rank {
+			return h.layout.UpperBound(i)
+		}
+	}
+	return h.layout.UpperBound(len(h.buckets) - 1)
+}
+
+// LinkStat is one publication of a directed channel's cumulative traffic
+// state: netsim publishes one per channel at the end of each run, and the
+// sink aggregates them by link label across runs (all-integer, so totals
+// are deterministic for any worker count or accumulation order).
+type LinkStat struct {
+	Bytes     int64   // payload bytes serialized
+	Frames    int64   // frames serialized
+	Drops     int64   // frames lost to link failure on this channel
+	Downs     int64   // down transitions
+	DownPs    int64   // accumulated outage (picoseconds)
+	ElapsedPs int64   // simulated run length (picoseconds)
+	Runs      int64   // publications folded into this stat
+	CapBps    float64 // link rate, for utilization at export time
+}
+
+// Utilization returns bytes ÷ (rate × elapsed) — the mean utilization
+// across the aggregated runs.
+func (l LinkStat) Utilization() float64 {
+	if l.CapBps <= 0 || l.ElapsedPs <= 0 {
+		return 0
+	}
+	return float64(l.Bytes*8) / (l.CapBps * (float64(l.ElapsedPs) / 1e12))
+}
+
+// Sink is one telemetry session: a registry of named primitives, per-link
+// aggregates, an optional time-series buffer, and the flight recorder.
+// Registration (first use of a name) takes the mutex; hook points cache
+// the returned pointer and update lock-free afterwards.
+type Sink struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	links    map[string]*LinkStat
+
+	rec    *Recorder
+	series series
+
+	runID   atomic.Int64
+	aborted atomic.Pointer[string]
+}
+
+// NewSink returns a sink whose flight recorder keeps the last
+// traceEvents events (≤ 0 picks the 4096-event default).
+func NewSink(traceEvents int) *Sink {
+	if traceEvents <= 0 {
+		traceEvents = 4096
+	}
+	return &Sink{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		links:    map[string]*LinkStat{},
+		rec:      NewRecorder(traceEvents),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil sink, and every Counter method is nil-safe, so callers can
+// resolve and cache unconditionally.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters[name]
+	if c == nil {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// layout on first use. Re-requesting a name with a different layout is a
+// wiring bug and panics.
+func (s *Sink) Histogram(name string, layout Layout) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hists[name]
+	if h == nil {
+		h = &Histogram{layout: layout, buckets: make([]atomic.Uint64, layout.buckets())}
+		s.hists[name] = h
+	} else if h.layout != layout {
+		panic(fmt.Sprintf("telemetry: histogram %q requested with conflicting layouts %+v vs %+v",
+			name, h.layout, layout))
+	}
+	return h
+}
+
+// ObserveLink folds one channel publication into the label's aggregate.
+func (s *Sink) ObserveLink(label string, st LinkStat) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	agg := s.links[label]
+	if agg == nil {
+		agg = &LinkStat{}
+		s.links[label] = agg
+	}
+	agg.Bytes += st.Bytes
+	agg.Frames += st.Frames
+	agg.Drops += st.Drops
+	agg.Downs += st.Downs
+	agg.DownPs += st.DownPs
+	agg.ElapsedPs += st.ElapsedPs
+	agg.Runs++
+	if st.CapBps > agg.CapBps {
+		agg.CapBps = st.CapBps
+	}
+}
+
+// Recorder returns the sink's flight recorder (nil for a nil sink; every
+// Recorder method is nil-safe).
+func (s *Sink) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// NextRunID hands out run identifiers for time-series labeling.
+func (s *Sink) NextRunID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.runID.Add(1)
+}
+
+// NoteAbort marks the session aborted (watchdog abandonment, budget
+// exhaustion) with the first reason recorded, and drops an abort event
+// into the flight recorder. Harnesses check Aborted() to decide whether
+// to dump the trace.
+func (s *Sink) NoteAbort(reason string) {
+	if s == nil {
+		return
+	}
+	s.aborted.CompareAndSwap(nil, &reason)
+	s.rec.Record(0, KindAbort, 0, 0, 0)
+}
+
+// Aborted reports whether NoteAbort was called, with the first reason.
+func (s *Sink) Aborted() (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	if p := s.aborted.Load(); p != nil {
+		return *p, true
+	}
+	return "", false
+}
+
+// sortedNames returns the keys of m in sorted order.
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// active is the globally enabled sink; nil means telemetry is off and a
+// hook point costs one atomic load.
+var active atomic.Pointer[Sink]
+
+// Enable installs s as the global sink (nil disables telemetry) and
+// returns a restore function reinstating the previous one. As with
+// invariant.Enable, callers must not swap sinks concurrently with
+// simulation work on other goroutines.
+func Enable(s *Sink) (restore func()) {
+	prev := active.Swap(s)
+	return func() { active.Store(prev) }
+}
+
+// Active returns the globally enabled sink, or nil when telemetry is off.
+func Active() *Sink {
+	return active.Load()
+}

@@ -1,0 +1,506 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"peel/internal/invariant"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter value = %d, want 42", got)
+	}
+	var nilC *Counter
+	nilC.Inc()
+	nilC.Add(7)
+	if got := nilC.Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Set(3)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge value = %d, want 3 (last write)", got)
+	}
+	if got := g.Max(); got != 10 {
+		t.Fatalf("gauge max = %d, want 10 (high-water mark)", got)
+	}
+	g.SetMax(99)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("SetMax changed value to %d, want 3", got)
+	}
+	if got := g.Max(); got != 99 {
+		t.Fatalf("gauge max after SetMax = %d, want 99", got)
+	}
+	g.SetMax(50) // lower than the mark: must not regress
+	if got := g.Max(); got != 99 {
+		t.Fatalf("gauge max regressed to %d, want 99", got)
+	}
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.SetMax(1)
+	if nilG.Value() != 0 || nilG.Max() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+}
+
+func TestLog2LayoutBuckets(t *testing.T) {
+	l := Log2Layout()
+	if got := l.buckets(); got != 65 {
+		t.Fatalf("log2 bucket count = %d, want 65", got)
+	}
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{math.MinInt64, 0},
+		{-5, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1 << 62, 63},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := l.bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		// Every value must be ≤ its bucket's inclusive upper bound and
+		// > the previous bucket's bound (for positive values).
+		b := l.bucketOf(c.v)
+		if c.v > l.UpperBound(b) {
+			t.Errorf("value %d above UpperBound(%d) = %d", c.v, b, l.UpperBound(b))
+		}
+		if b > 0 && c.v <= l.UpperBound(b-1) {
+			t.Errorf("value %d should be above UpperBound(%d) = %d", c.v, b-1, l.UpperBound(b-1))
+		}
+	}
+	bounds := []struct {
+		i    int
+		want int64
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 3}, {3, 7}, {10, 1023},
+		{63, math.MaxInt64}, {64, math.MaxInt64}, {100, math.MaxInt64},
+	}
+	for _, b := range bounds {
+		if got := l.UpperBound(b.i); got != b.want {
+			t.Errorf("log2 UpperBound(%d) = %d, want %d", b.i, got, b.want)
+		}
+	}
+}
+
+func TestLinearLayoutBuckets(t *testing.T) {
+	depth := LinearLayout(0, 1, 33) // the steiner.tree_depth layout
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {31, 31}, {32, 32}, {33, 32}, {1000, 32},
+	}
+	for _, c := range cases {
+		if got := depth.bucketOf(c.v); got != c.bucket {
+			t.Errorf("depth bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	if got := depth.UpperBound(0); got != 0 {
+		t.Errorf("depth UpperBound(0) = %d, want 0", got)
+	}
+	if got := depth.UpperBound(31); got != 31 {
+		t.Errorf("depth UpperBound(31) = %d, want 31", got)
+	}
+	if got := depth.UpperBound(32); got != math.MaxInt64 {
+		t.Errorf("depth UpperBound(32) = %d, want MaxInt64 (open last bucket)", got)
+	}
+
+	wide := LinearLayout(10, 5, 4)
+	wideCases := []struct {
+		v      int64
+		bucket int
+	}{
+		{3, 0}, {10, 0}, {14, 0}, {15, 1}, {19, 1}, {24, 2}, {25, 3}, {29, 3}, {1000, 3},
+	}
+	for _, c := range wideCases {
+		if got := wide.bucketOf(c.v); got != c.bucket {
+			t.Errorf("wide bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	for i, want := range []int64{14, 19, 24, math.MaxInt64} {
+		if got := wide.UpperBound(i); got != want {
+			t.Errorf("wide UpperBound(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestLinearLayoutRejectsDegenerate(t *testing.T) {
+	for _, c := range []struct{ width, n int64 }{{0, 4}, {-1, 4}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LinearLayout(0, %d, %d) did not panic", c.width, c.n)
+				}
+			}()
+			LinearLayout(0, c.width, int(c.n))
+		}()
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	s := NewSink(0)
+	h := s.Histogram("h", Log2Layout())
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	for _, v := range []int64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 10 {
+		t.Fatalf("sum = %d, want 10", got)
+	}
+	// Buckets: 1 → b1, {2,3} → b2, 4 → b3.
+	for i, want := range map[int]uint64{1: 1, 2: 2, 3: 1} {
+		if got := h.Bucket(i); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if got := h.Bucket(-1); got != 0 {
+		t.Errorf("out-of-range bucket = %d, want 0", got)
+	}
+	// Quantiles return the holding bucket's inclusive upper bound.
+	if got := h.Quantile(0.50); got != 3 {
+		t.Errorf("p50 = %d, want 3", got)
+	}
+	if got := h.Quantile(0.99); got != 3 {
+		t.Errorf("p99 = %d, want 3", got)
+	}
+	if got := h.Quantile(1.0); got != 7 {
+		t.Errorf("p100 = %d, want 7 (bucket [4,7] bound)", got)
+	}
+	if got := h.Quantile(0.0001); got != 1 {
+		t.Errorf("tiny quantile = %d, want 1 (rank clamps to first observation)", got)
+	}
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+}
+
+func TestHistogramLayoutMismatchPanics(t *testing.T) {
+	s := NewSink(0)
+	h1 := s.Histogram("dup", Log2Layout())
+	if h2 := s.Histogram("dup", Log2Layout()); h2 != h1 {
+		t.Fatal("same name + same layout must return the same histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting layout for the same name did not panic")
+		}
+	}()
+	s.Histogram("dup", LinearLayout(0, 1, 8))
+}
+
+func TestNilSinkIsInert(t *testing.T) {
+	var s *Sink
+	if s.Counter("c") != nil || s.Gauge("g") != nil || s.Histogram("h", Log2Layout()) != nil {
+		t.Fatal("nil sink must hand out nil primitives")
+	}
+	if s.Recorder() != nil {
+		t.Fatal("nil sink recorder must be nil")
+	}
+	s.ObserveLink("x", LinkStat{Bytes: 1})
+	s.RecordSample(Sample{})
+	s.NoteAbort("ignored")
+	if _, ok := s.Aborted(); ok {
+		t.Fatal("nil sink cannot be aborted")
+	}
+	if s.NextRunID() != 0 || s.Samples() != nil {
+		t.Fatal("nil sink must read empty")
+	}
+	r := s.Report("label")
+	if r.Schema != SchemaVersion || len(r.Counters) != 0 {
+		t.Fatal("nil sink report must be empty but schema-stamped")
+	}
+}
+
+func TestRecorderWraparound(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(0, KindLinkDown, int64(i), 0, 0)
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4 (ring capacity)", got)
+	}
+	events := r.Dump()
+	if len(events) != 4 {
+		t.Fatalf("dump returned %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		wantSeq := uint64(6 + i) // the last 4 of 10, oldest first
+		if e.Seq != wantSeq || e.A != int64(wantSeq) {
+			t.Errorf("dump[%d] = seq %d a=%d, want seq %d", i, e.Seq, e.A, wantSeq)
+		}
+	}
+}
+
+func TestRecorderPartialDump(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(5, KindLinkDown, 1, 2, 3)
+	r.Record(9, KindLinkUp, 1, 2, 0)
+	events := r.Dump()
+	if len(events) != 2 || r.Total() != 2 {
+		t.Fatalf("dump len=%d total=%d, want 2/2", len(events), r.Total())
+	}
+	if events[0].Kind != KindLinkDown || events[1].Kind != KindLinkUp {
+		t.Fatalf("dump order wrong: %v then %v", events[0].Kind, events[1].Kind)
+	}
+	if events[0].Seq != 0 || events[1].Seq != 1 {
+		t.Fatalf("seqs = %d,%d, want 0,1", events[0].Seq, events[1].Seq)
+	}
+}
+
+func TestRecorderFrameEventGate(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(0, KindFrameEnqueue, 0, 1, 512)
+	r.Record(0, KindFrameDequeue, 0, 1, 512)
+	if got := r.Total(); got != 0 {
+		t.Fatalf("gated frame events recorded anyway: total = %d", got)
+	}
+	if r.FrameEvents() {
+		t.Fatal("frame events must default off")
+	}
+	r.SetFrameEvents(true)
+	if !r.FrameEvents() {
+		t.Fatal("SetFrameEvents(true) did not take")
+	}
+	r.Record(0, KindFrameEnqueue, 0, 1, 512)
+	r.Record(0, KindFrameDrop, 0, 1, 1) // never gated
+	if got := r.Total(); got != 2 {
+		t.Fatalf("total = %d, want 2 after enabling frame events", got)
+	}
+	var nilR *Recorder
+	nilR.Record(0, KindLinkDown, 0, 0, 0)
+	nilR.SetFrameEvents(true)
+	if nilR.FrameEvents() || nilR.Total() != 0 || nilR.Len() != 0 || nilR.Dump() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestRecorderWriteTo(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(0, KindChaosEvent, int64(i), 0, 0)
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "flight recorder: 2 of 5 events retained\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "#3 ") || !strings.Contains(out, "#4 ") {
+		t.Fatalf("dump missing retained events:\n%s", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindFrameEnqueue; k <= KindAbort; k++ {
+		if s := k.String(); strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("unknown kind renders %q", got)
+	}
+}
+
+func TestEnableRestore(t *testing.T) {
+	prev := Active()
+	s1 := NewSink(0)
+	restore1 := Enable(s1)
+	if Active() != s1 {
+		t.Fatal("Enable did not install the sink")
+	}
+	s2 := NewSink(0)
+	restore2 := Enable(s2)
+	if Active() != s2 {
+		t.Fatal("nested Enable did not install")
+	}
+	restore2()
+	if Active() != s1 {
+		t.Fatal("restore did not reinstate the previous sink")
+	}
+	restore1()
+	if Active() != prev {
+		t.Fatal("restore did not reinstate the original state")
+	}
+}
+
+func TestNoteAbortFirstReasonWins(t *testing.T) {
+	s := NewSink(0)
+	if _, ok := s.Aborted(); ok {
+		t.Fatal("fresh sink reads aborted")
+	}
+	s.NoteAbort("first")
+	s.NoteAbort("second")
+	reason, ok := s.Aborted()
+	if !ok || reason != "first" {
+		t.Fatalf("aborted = %q/%v, want first/true", reason, ok)
+	}
+	events := s.Recorder().Dump()
+	if len(events) != 2 || events[0].Kind != KindAbort {
+		t.Fatalf("abort events not recorded: %v", events)
+	}
+}
+
+func TestObserveLinkAggregation(t *testing.T) {
+	s := NewSink(0)
+	s.ObserveLink("a>b", LinkStat{Bytes: 1000, Frames: 2, Drops: 1, Downs: 1,
+		DownPs: 50, ElapsedPs: 500_000_000_000, CapBps: 100e9})
+	s.ObserveLink("a>b", LinkStat{Bytes: 11_500_000_000, Frames: 3, Drops: 0, Downs: 2,
+		DownPs: 70, ElapsedPs: 500_000_000_000, CapBps: 400e9})
+	r := s.Report("")
+	if len(r.Links) != 1 {
+		t.Fatalf("links = %d, want 1 aggregate", len(r.Links))
+	}
+	l := r.Links[0]
+	if l.Link != "a>b" || l.Runs != 2 || l.Bytes != 11_500_001_000 ||
+		l.Frames != 5 || l.Drops != 1 || l.Downs != 3 || l.DownPs != 120 {
+		t.Fatalf("aggregate wrong: %+v", l)
+	}
+	// Utilization uses the max capacity seen and the summed elapsed time:
+	// 11.5e9 B × 8 bits ÷ (400e9 bps × 1 s) = 0.23.
+	if got := l.Utilization; math.Abs(got-0.230000002) > 1e-6 {
+		t.Fatalf("utilization = %v, want ≈0.23", got)
+	}
+	if (LinkStat{Bytes: 100}).Utilization() != 0 {
+		t.Fatal("utilization without capacity or elapsed time must be 0")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	const workers, each = 8, 1000
+	s := NewSink(64)
+	c := s.Counter("c")
+	g := s.Gauge("g")
+	h := s.Histogram("h", Log2Layout())
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.SetMax(int64(w*each + i))
+				h.Observe(int64(i + 1))
+				s.Recorder().Record(0, KindChaosEvent, int64(w), int64(i), 0)
+				// Concurrent registration of the same names must converge
+				// on one primitive.
+				s.Counter("c").Add(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if got := g.Max(); got != workers*each-1 {
+		t.Fatalf("gauge max = %d, want %d", got, workers*each-1)
+	}
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("histogram count = %d, want %d", got, workers*each)
+	}
+	if got := s.Recorder().Total(); got != workers*each {
+		t.Fatalf("recorder total = %d, want %d", got, workers*each)
+	}
+	if got := s.Recorder().Len(); got != 64 {
+		t.Fatalf("recorder len = %d, want ring capacity 64", got)
+	}
+}
+
+// TestInvariantTraceDumperRegistered pins the init-time wiring that lets
+// invtest.Main and peelsim -check dump the flight recorder on invariant
+// violations without importing this package.
+func TestInvariantTraceDumperRegistered(t *testing.T) {
+	s := NewSink(8)
+	restore := Enable(s)
+	defer restore()
+	s.Recorder().Record(0, KindLinkDown, 1, 2, 3)
+	var b strings.Builder
+	invariant.DumpTrace(&b)
+	if !strings.Contains(b.String(), "link-down") {
+		t.Fatalf("registered dumper did not write the recorder:\n%q", b.String())
+	}
+	off := Enable(nil)
+	var quiet strings.Builder
+	invariant.DumpTrace(&quiet)
+	off()
+	if quiet.Len() != 0 {
+		t.Fatalf("dumper wrote without an armed sink: %q", quiet.String())
+	}
+}
+
+// TestDisabledHookAllocs pins the tentpole's core promise: a hook point in
+// a hot path allocates nothing when telemetry is off.
+func TestDisabledHookAllocs(t *testing.T) {
+	restore := Enable(nil)
+	defer restore()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ts := Active(); ts != nil {
+			ts.Counter("never").Inc()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hook allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestArmedHotPathAllocs pins the armed fast path: cached primitives and
+// the (preallocated) flight recorder never allocate per update.
+func TestArmedHotPathAllocs(t *testing.T) {
+	s := NewSink(64)
+	restore := Enable(s)
+	defer restore()
+	c := s.Counter("hot")
+	h := s.Histogram("hist", Log2Layout())
+	g := s.Gauge("gauge")
+	rec := s.Recorder()
+	var v int64
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter inc", func() { c.Inc() }},
+		{"histogram observe", func() { v++; h.Observe(v) }},
+		{"gauge setmax", func() { v++; g.SetMax(v) }},
+		{"recorder record", func() { rec.Record(0, KindChaosEvent, 1, 2, 3) }},
+		{"recorder gated frame event", func() { rec.Record(0, KindFrameEnqueue, 1, 2, 3) }},
+		{"registered name lookup", func() { s.Counter("hot").Inc() }},
+	}
+	for _, ck := range checks {
+		if allocs := testing.AllocsPerRun(1000, ck.fn); allocs != 0 {
+			t.Errorf("%s allocates %v allocs/op, want 0", ck.name, allocs)
+		}
+	}
+}
