@@ -1,0 +1,97 @@
+// Command peeld runs the multicast control-plane service as a long-lived
+// daemon: it owns a fat-tree fabric, serves the group-lifecycle HTTP/JSON
+// API (create/join/leave/tree/delete plus chaos, stats, and run-report
+// endpoints), and drains gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	peeld [flags]
+//
+// Flags:
+//
+//	-addr A          listen address (default 127.0.0.1:7117; use :0 for ephemeral)
+//	-k K             fat-tree arity of the owned fabric (default 8)
+//	-shards N        tree-cache shard count, rounded to a power of two (default 16)
+//	-max-inflight N  concurrent tree computations before 429 (default 2×GOMAXPROCS)
+//	-cache-cap N     cached trees per shard, LRU-evicted (default 4096; -1 = unbounded)
+//	-seed S          controller install-latency model seed (default 1)
+//	-telemetry       arm the telemetry sink (GET /v1/report serves the JSON run-report)
+//	-check           arm the invariant checker suite; violations print at exit
+//	                 and force a non-zero status
+//
+// The same wiring is reachable as `peelsim serve` for experiment
+// workflows; both build through service.DaemonConfig.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"peel/internal/invariant"
+	"peel/internal/service"
+	"peel/internal/telemetry"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with the process boundary factored out so tests can
+// drive the flag-parse → serve → drain path in-process. Exit codes:
+// 0 clean drain, 1 serve failure or invariant violation, 2 usage error.
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("peeld", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "listen address (default 127.0.0.1:7117)")
+	k := fs.Int("k", 0, "fat-tree arity (default 8)")
+	shards := fs.Int("shards", 0, "tree-cache shard count (default 16)")
+	maxInflight := fs.Int("max-inflight", 0, "concurrent tree computations (default 2×GOMAXPROCS)")
+	cacheCap := fs.Int("cache-cap", 0, "cached trees per shard (default 4096; -1 = unbounded)")
+	seed := fs.Int64("seed", 0, "install-latency model seed (default 1)")
+	useTelemetry := fs.Bool("telemetry", false, "arm the telemetry sink for GET /v1/report")
+	check := fs.Bool("check", false, "arm the invariant checker suite")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "peeld: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+
+	if *useTelemetry {
+		defer telemetry.Enable(telemetry.NewSink(0))()
+	}
+	var suite *invariant.Suite
+	if *check {
+		suite = invariant.NewSuite()
+		defer invariant.Enable(suite)()
+	}
+
+	code := service.Serve(ctx, service.DaemonConfig{
+		Addr:        *addr,
+		K:           *k,
+		Shards:      *shards,
+		MaxInflight: *maxInflight,
+		CacheCap:    *cacheCap,
+		Seed:        *seed,
+	}, stdout, stderr)
+
+	if suite != nil {
+		fmt.Fprint(stdout, suite.Report())
+		if suite.TotalViolations() > 0 {
+			fmt.Fprintf(stderr, "peeld: %d invariant violation(s)\n", suite.TotalViolations())
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	return code
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRealMainUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := realMain(context.Background(), []string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := realMain(context.Background(), []string{"extra"}, &out, &errOut); code != 2 {
+		t.Fatalf("stray argument: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unexpected argument") {
+		t.Fatalf("stray-argument error missing: %q", errOut.String())
+	}
+}
+
+// TestRealMainServesAndDrains runs the full daemon path with an
+// already-cancelled context: the listener binds, the drain executes
+// immediately, and the exit is clean.
+func TestRealMainServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut strings.Builder
+	code := realMain(ctx, []string{"-addr", "127.0.0.1:0", "-k", "4", "-check", "-telemetry"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("lifecycle output missing: %q", out.String())
+	}
+	// -check prints the invariant report on the way out.
+	if !strings.Contains(out.String(), "service.served-tree-fresh") {
+		t.Fatalf("invariant report missing: %q", out.String())
+	}
+}

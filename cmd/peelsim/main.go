@@ -5,6 +5,10 @@
 //
 //	peelsim [flags] <experiment> [<experiment>...]
 //	peelsim all
+//	peelsim serve [-addr A] [-k K] [-shards N] [-max-inflight N] ...
+//
+// The serve subcommand runs the multicast control-plane daemon through
+// the same service wiring as cmd/peeld (see that command's docs).
 //
 // Experiments: fig1 fig3 fig4 fig5 fig6 fig7 state guard approx bandwidth
 //
@@ -93,6 +97,11 @@ func main() {
 // drive the full flag-parse → run → exit-code path in-process. Exit codes:
 // 0 success, 1 experiment failure or invariant violation, 2 usage error.
 func realMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "serve" {
+		ctx, stop := signalContext()
+		defer stop()
+		return serveMain(ctx, args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("peelsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	samples := fs.Int("samples", 0, "collectives per configuration point")
@@ -421,6 +430,6 @@ func dumpTrace(sink *telemetry.Sink, suite *invariant.Suite, path string, stderr
 }
 
 func usage(fs *flag.FlagSet, stderr io.Writer) {
-	fmt.Fprintf(stderr, "usage: peelsim [flags] <experiment>...\nexperiments: %s all\n", strings.Join(order, " "))
+	fmt.Fprintf(stderr, "usage: peelsim [flags] <experiment>...\n       peelsim serve [flags]\nexperiments: %s all\n", strings.Join(order, " "))
 	fs.PrintDefaults()
 }

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"testing"
+
+	"peel/internal/invariant"
+	"peel/internal/telemetry"
+	"peel/internal/topology"
+)
+
+// benchService builds a warmed service with one cached group tree.
+func benchService(b *testing.B) *Service {
+	b.Helper()
+	g := topology.FatTree(8)
+	s := New(g, Options{})
+	b.Cleanup(s.Close)
+	hosts := g.Hosts()
+	if _, err := s.CreateGroup("bench", hosts[:16]); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.GetTree("bench"); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkGetTreeHit is the CI-pinned hot path: a cache-hit GetTree must
+// stay allocation-free. Invariant checking is disarmed (invtest.Main arms
+// it package-wide) because serve-time revalidation is deliberately not
+// free; telemetry stays off here to measure the bare path.
+func BenchmarkGetTreeHit(b *testing.B) {
+	defer invariant.Enable(nil)()
+	s := benchService(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.GetTree("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetTreeHitTelemetry proves the telemetry fast path keeps the
+// hit allocation-free too: cached hooks, atomic counter increments, and
+// lock-free histogram observes.
+func BenchmarkGetTreeHitTelemetry(b *testing.B) {
+	defer invariant.Enable(nil)()
+	defer telemetry.Enable(telemetry.NewSink(0))()
+	s := benchService(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.GetTree("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetTreeHitParallel exercises shard and atomic contention: many
+// goroutines hammering one hot cached key.
+func BenchmarkGetTreeHitParallel(b *testing.B) {
+	defer invariant.Enable(nil)()
+	s := benchService(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := s.GetTree("bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+// The sharded tree cache.
+//
+// Entries are keyed by the canonical (source, member-set) key and spread
+// over power-of-two shards by FNV-1a hash; each shard is an RWMutex-guarded
+// map, so a cache hit costs one read-locked map lookup plus atomic loads —
+// the hit path is benchmarked at 0 allocs/op. Entry values are immutable
+// treeVal snapshots swapped in atomically; invalidation never blocks
+// readers, it marks the published snapshot stale and the next access
+// recomputes (lazy re-peel).
+//
+// A link index (link ID → entries whose tree crosses it) drives
+// failure-driven invalidation: the service's topology failure observer
+// looks up the failed link and marks exactly the affected entries stale,
+// bumping their shards' generation counters. Publication happens under the
+// service's topology read-lock, so an entry is always indexed before a
+// concurrent failure could need to invalidate it.
+
+// treeVal is one immutable published tree computation. The stale flag is
+// its only mutable field: set once by the invalidator, read lock-free by
+// the hit path.
+type treeVal struct {
+	tree      *steiner.Tree
+	cost      int
+	gen       uint64 // service topology generation at compute time
+	installPs int64  // controller install latency charged for this compute
+	stale     atomic.Bool
+}
+
+// flight is one in-progress tree computation; concurrent requests for the
+// same key coalesce onto it (singleflight) and read val/err after done
+// closes.
+type flight struct {
+	done chan struct{}
+	val  *treeVal
+	err  error
+}
+
+// entry is one cache slot. val holds the latest published computation
+// (nil until the first completes); inflight, guarded by mu, coalesces
+// concurrent computes; links, guarded by the cache's idxMu, lists the
+// tree links indexed for invalidation.
+type entry struct {
+	key      string
+	shard    int
+	val      atomic.Pointer[treeVal]
+	lastUsed atomic.Int64 // logical clock stamp for eviction
+
+	mu       sync.Mutex
+	inflight *flight
+
+	links []topology.LinkID // guarded by treeCache.idxMu
+}
+
+// cacheShard is one partition of the key space.
+type cacheShard struct {
+	mu  sync.RWMutex
+	m   map[string]*entry
+	gen atomic.Uint64 // bumped when a failure invalidates an entry here
+}
+
+// treeCache is the sharded tree cache plus the link→entry invalidation
+// index.
+type treeCache struct {
+	shards []cacheShard
+	mask   uint64
+	cap    int          // per-shard entry cap; 0 = unbounded
+	clock  atomic.Int64 // logical access clock for LRU eviction
+
+	idxMu  sync.Mutex
+	byLink map[topology.LinkID]map[*entry]struct{}
+}
+
+// newTreeCache sizes the cache: shards is rounded up to a power of two.
+func newTreeCache(shards, perShardCap int) *treeCache {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &treeCache{
+		shards: make([]cacheShard, n),
+		mask:   uint64(n - 1),
+		cap:    perShardCap,
+		byLink: map[topology.LinkID]map[*entry]struct{}{},
+	}
+	for i := range c.shards {
+		c.shards[i].m = map[string]*entry{}
+	}
+	return c
+}
+
+// shardOf hashes a key to its shard (FNV-1a, inlined to keep the hit path
+// allocation-free).
+func (c *treeCache) shardOf(key string) *cacheShard {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return &c.shards[h&c.mask]
+}
+
+func (c *treeCache) shardIndex(s *cacheShard) int {
+	for i := range c.shards {
+		if &c.shards[i] == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// lookup returns the entry for key, or nil. Read-locked: the hit path.
+func (c *treeCache) lookup(key string) *entry {
+	s := c.shardOf(key)
+	s.mu.RLock()
+	e := s.m[key]
+	s.mu.RUnlock()
+	return e
+}
+
+// touch stamps an access for eviction ordering.
+func (c *treeCache) touch(e *entry) {
+	e.lastUsed.Store(c.clock.Add(1))
+}
+
+// ensure returns the entry for key, creating it (and evicting the
+// least-recently-used idle entry when the shard is at cap) on first use.
+// The returned bool reports whether an eviction happened.
+func (c *treeCache) ensure(key string) (*entry, bool) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	e := s.m[key]
+	if e != nil {
+		s.mu.Unlock()
+		return e, false
+	}
+	evicted := false
+	if c.cap > 0 && len(s.m) >= c.cap {
+		evicted = c.evictLocked(s)
+	}
+	e = &entry{key: key, shard: c.shardIndex(s)}
+	c.touch(e)
+	s.m[key] = e
+	s.mu.Unlock()
+	return e, evicted
+}
+
+// evictLocked removes the least-recently-used entry with no compute in
+// flight from s (whose mu is held). Returns false when every entry is
+// busy — the shard then grows past cap rather than stalling admission.
+func (c *treeCache) evictLocked(s *cacheShard) bool {
+	var victim *entry
+	var oldest int64
+	for _, e := range s.m {
+		e.mu.Lock()
+		busy := e.inflight != nil
+		e.mu.Unlock()
+		if busy {
+			continue
+		}
+		if at := e.lastUsed.Load(); victim == nil || at < oldest {
+			victim, oldest = e, at
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(s.m, victim.key)
+	c.unindex(victim)
+	return true
+}
+
+// index records the links of e's freshly published tree, replacing any
+// previous indexing. Called with the service topology read-lock held, so
+// no failure transition can interleave between publication and indexing.
+func (c *treeCache) index(e *entry, links []topology.LinkID) {
+	c.idxMu.Lock()
+	for _, id := range e.links {
+		if set := c.byLink[id]; set != nil {
+			delete(set, e)
+			if len(set) == 0 {
+				delete(c.byLink, id)
+			}
+		}
+	}
+	e.links = links
+	for _, id := range links {
+		set := c.byLink[id]
+		if set == nil {
+			set = map[*entry]struct{}{}
+			c.byLink[id] = set
+		}
+		set[e] = struct{}{}
+	}
+	c.idxMu.Unlock()
+}
+
+// unindex drops e from the link index (eviction path). idxMu is taken
+// here; callers hold only the shard lock.
+func (c *treeCache) unindex(e *entry) {
+	c.idxMu.Lock()
+	for _, id := range e.links {
+		if set := c.byLink[id]; set != nil {
+			delete(set, e)
+			if len(set) == 0 {
+				delete(c.byLink, id)
+			}
+		}
+	}
+	e.links = nil
+	c.idxMu.Unlock()
+}
+
+// invalidateLink marks every entry whose tree crosses the failed link
+// stale and bumps the affected shards' generations. Returns how many
+// live entries were invalidated. Runs inside the topology failure
+// observer, synchronously with the transition.
+func (c *treeCache) invalidateLink(id topology.LinkID) int {
+	n := 0
+	c.idxMu.Lock()
+	for e := range c.byLink[id] {
+		if v := e.val.Load(); v != nil && !v.stale.Swap(true) {
+			n++
+			c.shards[e.shard].gen.Add(1)
+		}
+	}
+	c.idxMu.Unlock()
+	return n
+}
+
+// entryCount returns the total and per-shard entry counts.
+func (c *treeCache) entryCount() (total int, perShard []int) {
+	perShard = make([]int, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		perShard[i] = len(s.m)
+		s.mu.RUnlock()
+		total += perShard[i]
+	}
+	return total, perShard
+}

@@ -1,0 +1,388 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"peel/internal/steiner"
+	"peel/internal/telemetry"
+	"peel/internal/topology"
+)
+
+// The daemon: the HTTP/JSON face of the service, shared verbatim between
+// cmd/peeld and `peelsim serve` so experiments and the long-running
+// deployment exercise one construction path.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/groups                {"id","members":[...]}  → 201 GroupInfo
+//	GET    /v1/groups/{id}                                   → GroupInfo
+//	POST   /v1/groups/{id}/join      {"host":N}              → GroupInfo
+//	POST   /v1/groups/{id}/leave     {"host":N}              → GroupInfo
+//	GET    /v1/groups/{id}/tree                              → TreeResponse
+//	DELETE /v1/groups/{id}                                   → 204
+//	POST   /v1/chaos/links/{link}    {"failed":bool}         → {"changed":bool}
+//	GET    /v1/stats                                         → Stats
+//	GET    /v1/report                                        → telemetry run-report (404 if no sink armed)
+//	GET    /healthz                                          → 200 "ok" (503 while draining)
+//
+// Error mapping: ErrNoSuchGroup→404, ErrGroupExists→409, ErrOverloaded→429,
+// ErrDraining→503, membership/validation errors→400, unreachable
+// destinations→409 (the fabric cannot currently serve the group).
+
+// DaemonConfig configures one daemon instance.
+type DaemonConfig struct {
+	// Addr is the listen address (default "127.0.0.1:7117"; use port 0 for
+	// an ephemeral port in tests).
+	Addr string
+	// K is the fat-tree arity of the owned fabric (default 8). Ignored
+	// when Graph is set.
+	K int
+	// Graph, when non-nil, is used instead of building a fat-tree.
+	Graph *topology.Graph
+	// Service options.
+	Shards      int
+	MaxInflight int
+	CacheCap    int
+	Seed        int64
+	// DrainTimeout bounds graceful shutdown (default 5s).
+	DrainTimeout time.Duration
+	// OnReady, when set, is called with the bound address once the
+	// listener is accepting (tests and peelsim use it to find the port).
+	OnReady func(addr string)
+}
+
+func (c DaemonConfig) withDefaults() DaemonConfig {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7117"
+	}
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Daemon binds a Service to an HTTP server.
+type Daemon struct {
+	cfg      DaemonConfig
+	svc      *Service
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// NewDaemon builds the fabric (unless provided), the service, and the
+// routing table. The daemon serves nothing until Run.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	g := cfg.Graph
+	if g == nil {
+		if cfg.K < 2 || cfg.K%2 != 0 {
+			return nil, fmt.Errorf("service: fat-tree arity %d must be even and >= 2", cfg.K)
+		}
+		g = topology.FatTree(cfg.K)
+	}
+	d := &Daemon{
+		cfg: cfg,
+		svc: New(g, Options{
+			Shards:      cfg.Shards,
+			MaxInflight: cfg.MaxInflight,
+			CacheCap:    cfg.CacheCap,
+			Seed:        cfg.Seed,
+		}),
+	}
+	d.mux = d.routes()
+	return d, nil
+}
+
+// Service returns the daemon's underlying service (in-process callers,
+// tests).
+func (d *Daemon) Service() *Service { return d.svc }
+
+// Handler returns the daemon's HTTP handler (httptest servers mount it
+// directly).
+func (d *Daemon) Handler() http.Handler { return d.mux }
+
+// Run serves until ctx is cancelled, then drains gracefully: the listener
+// stops accepting, in-flight requests get DrainTimeout to finish, and the
+// service closes (unsubscribing its topology observer). Returns nil on a
+// clean drain.
+func (d *Daemon) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", d.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: d.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	if d.cfg.OnReady != nil {
+		d.cfg.OnReady(ln.Addr().String())
+	}
+	select {
+	case err := <-errCh:
+		d.svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	d.draining.Store(true)
+	sctx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
+	defer cancel()
+	err = srv.Shutdown(sctx)
+	d.svc.Close()
+	if serr := <-errCh; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}
+
+func (d *Daemon) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/groups", d.handleCreate)
+	mux.HandleFunc("GET /v1/groups/{id}", d.handleDescribe)
+	mux.HandleFunc("POST /v1/groups/{id}/join", d.handleJoin)
+	mux.HandleFunc("POST /v1/groups/{id}/leave", d.handleLeave)
+	mux.HandleFunc("GET /v1/groups/{id}/tree", d.handleTree)
+	mux.HandleFunc("DELETE /v1/groups/{id}", d.handleDelete)
+	mux.HandleFunc("POST /v1/chaos/links/{link}", d.handleChaosLink)
+	mux.HandleFunc("GET /v1/stats", d.handleStats)
+	mux.HandleFunc("GET /v1/report", d.handleReport)
+	mux.HandleFunc("GET /healthz", d.handleHealth)
+	return mux
+}
+
+// groupJSON is the wire form of GroupInfo.
+type groupJSON struct {
+	ID      string  `json:"id"`
+	Source  int32   `json:"source"`
+	Members []int32 `json:"members"`
+	Version uint64  `json:"version"`
+}
+
+func toGroupJSON(gi GroupInfo) groupJSON {
+	out := groupJSON{ID: gi.ID, Source: int32(gi.Source), Version: gi.Version}
+	out.Members = make([]int32, len(gi.Members))
+	for i, m := range gi.Members {
+		out.Members[i] = int32(m)
+	}
+	return out
+}
+
+// TreeResponse is the wire form of TreeInfo: the tree as (parent, child)
+// edge pairs in member order.
+type TreeResponse struct {
+	Source     int32      `json:"source"`
+	Cost       int        `json:"cost"`
+	Gen        uint64     `json:"gen"`
+	CurrentGen uint64     `json:"current_gen"`
+	InstallPs  int64      `json:"install_ps"`
+	Cached     bool       `json:"cached"`
+	Edges      [][2]int32 `json:"edges"`
+}
+
+func toTreeResponse(ti TreeInfo) TreeResponse {
+	out := TreeResponse{
+		Source:     int32(ti.Source),
+		Cost:       ti.Cost,
+		Gen:        ti.Gen,
+		CurrentGen: ti.CurrentGen,
+		InstallPs:  ti.InstallPs,
+		Cached:     ti.Cached,
+		Edges:      make([][2]int32, 0, ti.Cost),
+	}
+	t := ti.Tree
+	for _, m := range t.Members {
+		if p := t.Parent[m]; p != topology.None {
+			out.Edges = append(out.Edges, [2]int32{int32(p), int32(m)})
+		}
+	}
+	return out
+}
+
+// httpError maps a service error to its status code.
+func httpError(err error) int {
+	switch {
+	case errors.Is(err, ErrNoSuchGroup):
+		return http.StatusNotFound
+	case errors.Is(err, ErrGroupExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, steiner.ErrUnreachable):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, httpError(err), map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	defer io.Copy(io.Discard, r.Body)
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID      string  `json:"id"`
+		Members []int32 `json:"members"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	members := make([]topology.NodeID, len(req.Members))
+	for i, m := range req.Members {
+		members[i] = topology.NodeID(m)
+	}
+	gi, err := d.svc.CreateGroup(req.ID, members)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toGroupJSON(gi))
+}
+
+func (d *Daemon) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	gi, err := d.svc.Describe(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toGroupJSON(gi))
+}
+
+func (d *Daemon) memberOp(w http.ResponseWriter, r *http.Request,
+	op func(string, topology.NodeID) (GroupInfo, error)) {
+	var req struct {
+		Host int32 `json:"host"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	gi, err := op(r.PathValue("id"), topology.NodeID(req.Host))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toGroupJSON(gi))
+}
+
+func (d *Daemon) handleJoin(w http.ResponseWriter, r *http.Request) {
+	d.memberOp(w, r, d.svc.Join)
+}
+
+func (d *Daemon) handleLeave(w http.ResponseWriter, r *http.Request) {
+	d.memberOp(w, r, d.svc.Leave)
+}
+
+func (d *Daemon) handleTree(w http.ResponseWriter, r *http.Request) {
+	ti, err := d.svc.GetTree(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toTreeResponse(ti))
+}
+
+func (d *Daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := d.svc.DeleteGroup(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (d *Daemon) handleChaosLink(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("link"))
+	if err != nil || id < 0 || id >= d.svc.NumLinks() {
+		writeErr(w, fmt.Errorf("service: bad link id %q", r.PathValue("link")))
+		return
+	}
+	var req struct {
+		Failed bool `json:"failed"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	var changed bool
+	if req.Failed {
+		changed = d.svc.FailLink(topology.LinkID(id))
+	} else {
+		changed = d.svc.RestoreLink(topology.LinkID(id))
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"changed": changed})
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.svc.Stats())
+}
+
+func (d *Daemon) handleReport(w http.ResponseWriter, r *http.Request) {
+	ts := telemetry.Active()
+	if ts == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "telemetry not armed (run with -telemetry)"})
+		return
+	}
+	d.svc.RefreshGauges()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	ts.Report("peeld").WriteJSON(w)
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if d.draining.Load() || d.svc.closing.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// Serve is the shared daemon entry point behind both cmd/peeld and
+// `peelsim serve`: build, announce, run until the context is cancelled
+// (SIGINT/SIGTERM in the commands), drain, and report the exit code.
+func Serve(ctx context.Context, cfg DaemonConfig, stdout, stderr io.Writer) int {
+	d, err := NewDaemon(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "peeld: %v\n", err)
+		return 1
+	}
+	ready := cfg.OnReady
+	d.cfg.OnReady = func(addr string) {
+		fmt.Fprintf(stdout, "peeld: listening on %s (k=%d fabric, %d hosts, %d shards, max-inflight %d)\n",
+			addr, d.svc.g.K, len(d.svc.g.Hosts()), len(d.svc.cache.shards), d.svc.opts.MaxInflight)
+		if ready != nil {
+			ready(addr)
+		}
+	}
+	if err := d.Run(ctx); err != nil {
+		fmt.Fprintf(stderr, "peeld: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "peeld: drained cleanly\n")
+	return 0
+}

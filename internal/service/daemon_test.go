@@ -1,0 +1,213 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"peel/internal/topology"
+)
+
+func newTestDaemon(t *testing.T) (*Daemon, *httptest.Server) {
+	t.Helper()
+	d, err := NewDaemon(DaemonConfig{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Service().Close)
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func doJSON(t *testing.T, method, url string, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestDaemonGroupLifecycleHTTP(t *testing.T) {
+	d, srv := newTestDaemon(t)
+	hosts := d.Service().Graph().Hosts()
+
+	var gi groupJSON
+	code := doJSON(t, "POST", srv.URL+"/v1/groups",
+		fmt.Sprintf(`{"id":"g1","members":[%d,%d,%d]}`, hosts[0], hosts[4], hosts[9]), &gi)
+	if code != http.StatusCreated || gi.ID != "g1" || len(gi.Members) != 3 {
+		t.Fatalf("create: code %d info %+v", code, gi)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/groups",
+		fmt.Sprintf(`{"id":"g1","members":[%d,%d]}`, hosts[0], hosts[1]), nil); code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/groups/g1", "", &gi); code != http.StatusOK {
+		t.Fatalf("describe: %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/groups/nope", "", nil); code != http.StatusNotFound {
+		t.Fatalf("describe missing: %d", code)
+	}
+
+	var tr TreeResponse
+	if code := doJSON(t, "GET", srv.URL+"/v1/groups/g1/tree", "", &tr); code != http.StatusOK {
+		t.Fatalf("tree: %d", code)
+	}
+	if tr.Cached || tr.Cost <= 0 || len(tr.Edges) != tr.Cost {
+		t.Fatalf("cold tree response: %+v", tr)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/groups/g1/tree", "", &tr); code != http.StatusOK || !tr.Cached {
+		t.Fatalf("warm tree not cached: code %d %+v", code, tr)
+	}
+
+	if code := doJSON(t, "POST", srv.URL+"/v1/groups/g1/join",
+		fmt.Sprintf(`{"host":%d}`, hosts[13]), &gi); code != http.StatusOK || len(gi.Members) != 4 {
+		t.Fatalf("join: code %d %+v", code, gi)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/groups/g1/leave",
+		fmt.Sprintf(`{"host":%d}`, hosts[13]), &gi); code != http.StatusOK || len(gi.Members) != 3 {
+		t.Fatalf("leave: code %d %+v", code, gi)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/groups/g1/leave", `{"host":1234}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("leave non-member: %d", code)
+	}
+
+	var st Stats
+	if code := doJSON(t, "GET", srv.URL+"/v1/stats", "", &st); code != http.StatusOK || st.Groups != 1 {
+		t.Fatalf("stats: code %d %+v", code, st)
+	}
+
+	if code := doJSON(t, "DELETE", srv.URL+"/v1/groups/g1", "", nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/groups/g1/tree", "", nil); code != http.StatusNotFound {
+		t.Fatalf("tree after delete: %d", code)
+	}
+}
+
+func TestDaemonChaosEndpointInvalidates(t *testing.T) {
+	d, srv := newTestDaemon(t)
+	s := d.Service()
+	hosts := s.Graph().Hosts()
+	if _, err := s.CreateGroup("c", []topology.NodeID{hosts[0], hosts[4]}); err != nil {
+		t.Fatal(err)
+	}
+	ti, err := s.GetTree("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := switchLink(t, s.Graph(), ti.Tree)
+
+	var res map[string]bool
+	if code := doJSON(t, "POST", fmt.Sprintf("%s/v1/chaos/links/%d", srv.URL, link),
+		`{"failed":true}`, &res); code != http.StatusOK || !res["changed"] {
+		t.Fatalf("fail link: code %d %v", code, res)
+	}
+	var tr TreeResponse
+	if code := doJSON(t, "GET", srv.URL+"/v1/groups/c/tree", "", &tr); code != http.StatusOK {
+		t.Fatalf("tree after failure: %d", code)
+	}
+	if tr.Cached || tr.CurrentGen != 1 {
+		t.Fatalf("failure did not force recompute: %+v", tr)
+	}
+	// Idempotent fail reports no transition; bad link IDs are 400s.
+	if code := doJSON(t, "POST", fmt.Sprintf("%s/v1/chaos/links/%d", srv.URL, link),
+		`{"failed":true}`, &res); code != http.StatusOK || res["changed"] {
+		t.Fatalf("refail: code %d %v", code, res)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/chaos/links/999999", `{"failed":true}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad link id: %d", code)
+	}
+	if code := doJSON(t, "POST", fmt.Sprintf("%s/v1/chaos/links/%d", srv.URL, link),
+		`{"failed":false}`, &res); code != http.StatusOK || !res["changed"] {
+		t.Fatalf("heal: code %d %v", code, res)
+	}
+}
+
+func TestDaemonHealthAndReportEndpoints(t *testing.T) {
+	_, srv := newTestDaemon(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	// No telemetry sink armed: the report endpoint says so.
+	if code := doJSON(t, "GET", srv.URL+"/v1/report", "", nil); code != http.StatusNotFound {
+		t.Fatalf("report without sink: %d", code)
+	}
+}
+
+func TestDaemonRunDrainsGracefully(t *testing.T) {
+	ready := make(chan string, 1)
+	d, err := NewDaemon(DaemonConfig{
+		Addr:    "127.0.0.1:0",
+		K:       4,
+		OnReady: func(addr string) { ready <- addr },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while serving: %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	// The service is closed and its observer unsubscribed.
+	if _, err := d.Service().GetTree("x"); err == nil {
+		t.Fatal("service still serving after drain")
+	}
+	if n := d.Service().Graph().NumObservers(); n != 0 {
+		t.Fatalf("%d observers leaked after drain", n)
+	}
+}
+
+func TestDaemonRejectsBadArity(t *testing.T) {
+	if _, err := NewDaemon(DaemonConfig{K: 3}); err == nil {
+		t.Fatal("odd arity accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package service
+
+import (
+	"slices"
+	"strconv"
+
+	"peel/internal/topology"
+)
+
+// Cache keys. A tree is determined by (source, member set, topology
+// state); the cache key canonicalizes the first two — duplicate members
+// collapse and member order is irrelevant — so any two groups broadcasting
+// from the same source to the same host set share one cache entry. The
+// third dimension, topology state, is handled by generation-based
+// invalidation (see cache.go), not by the key: keys stay stable across
+// failures so a heal naturally re-converges onto the same entry.
+
+// canonicalMembers returns the deduplicated, ascending member set
+// including the source. The input is not mutated.
+func canonicalMembers(source topology.NodeID, members []topology.NodeID) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(members)+1)
+	out = append(out, source)
+	out = append(out, members...)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// treeKey renders the canonical cache key for (source, canonical member
+// set): the source ID, then the sorted member IDs, base-36 packed.
+// Canonical input is assumed (callers hold the output of
+// canonicalMembers), so permuted or duplicated member lists of the same
+// set always render the same key.
+func treeKey(source topology.NodeID, canonical []topology.NodeID) string {
+	buf := make([]byte, 0, 4*len(canonical)+8)
+	buf = strconv.AppendInt(buf, int64(source), 36)
+	buf = append(buf, '|')
+	for i, m := range canonical {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(m), 36)
+	}
+	return string(buf)
+}
+
+// receiversOf returns the canonical member set minus the source — the
+// destination list handed to tree construction and validation.
+func receiversOf(source topology.NodeID, canonical []topology.NodeID) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(canonical)-1)
+	for _, m := range canonical {
+		if m != source {
+			out = append(out, m)
+		}
+	}
+	return out
+}

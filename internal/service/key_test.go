@@ -1,0 +1,139 @@
+package service
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"peel/internal/core"
+	"peel/internal/topology"
+)
+
+func TestCanonicalMembersSortsAndDedups(t *testing.T) {
+	in := []topology.NodeID{9, 3, 9, 1, 3}
+	got := canonicalMembers(5, in)
+	want := []topology.NodeID{1, 3, 5, 9}
+	if !slices.Equal(got, want) {
+		t.Fatalf("canonicalMembers = %v, want %v", got, want)
+	}
+	if !slices.Equal(in, []topology.NodeID{9, 3, 9, 1, 3}) {
+		t.Fatalf("input mutated: %v", in)
+	}
+	// The source is always in the canonical set, even when absent from
+	// the member list.
+	if got := canonicalMembers(7, []topology.NodeID{2}); !slices.Equal(got, []topology.NodeID{2, 7}) {
+		t.Fatalf("source not folded in: %v", got)
+	}
+}
+
+func TestTreeKeyPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := []topology.NodeID{4, 8, 15, 16, 23, 42}
+	want := treeKey(4, canonicalMembers(4, base))
+	for trial := 0; trial < 100; trial++ {
+		perm := append([]topology.NodeID(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		// Duplicate a random prefix too: duplicates must collapse.
+		perm = append(perm, perm[:rng.Intn(len(perm))]...)
+		if got := treeKey(4, canonicalMembers(4, perm)); got != want {
+			t.Fatalf("trial %d: key %q != %q for %v", trial, got, want, perm)
+		}
+	}
+	// Distinct sets must get distinct keys.
+	other := treeKey(4, canonicalMembers(4, []topology.NodeID{8, 15, 16, 23, 43}))
+	if other == want {
+		t.Fatalf("distinct member sets collided on key %q", want)
+	}
+	// Same set, different source: different tree, different key.
+	if k := treeKey(8, canonicalMembers(8, base)); k == want {
+		t.Fatalf("distinct sources collided on key %q", want)
+	}
+}
+
+// TestPermutedGroupsShareCacheEntry is the canonicalization contract
+// end-to-end: two groups whose member lists are permutations (with
+// duplicates) of each other share one cache entry, so the second GetTree
+// is a hit.
+func TestPermutedGroupsShareCacheEntry(t *testing.T) {
+	g := topology.FatTree(4)
+	s := New(g, Options{})
+	defer s.Close()
+	hosts := g.Hosts()
+	a := []topology.NodeID{hosts[0], hosts[1], hosts[2], hosts[3]}
+	b := []topology.NodeID{hosts[0], hosts[3], hosts[1], hosts[2], hosts[2], hosts[1]}
+	if _, err := s.CreateGroup("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateGroup("b", b); err != nil {
+		t.Fatal(err)
+	}
+	ta, err := s.GetTree("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Cached {
+		t.Fatalf("first GetTree unexpectedly cached")
+	}
+	tb, err := s.GetTree("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Cached {
+		t.Fatalf("permuted group did not hit the shared cache entry")
+	}
+	if tb.Tree != ta.Tree {
+		t.Fatalf("groups with one canonical member set got distinct trees")
+	}
+	if st := s.Stats(); st.CacheEntries != 1 {
+		t.Fatalf("CacheEntries = %d, want 1", st.CacheEntries)
+	}
+}
+
+// TestCachedTreeMatchesFreshProperty: for random member sets, the cached
+// tree must be indistinguishable from a freshly planned one — same cost,
+// valid on the current graph. (Tree checks themselves run via the armed
+// package suite inside the compute path.)
+func TestCachedTreeMatchesFreshProperty(t *testing.T) {
+	g := topology.FatTree(4)
+	s := New(g, Options{})
+	defer s.Close()
+	hosts := g.Hosts()
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(len(hosts)-2)
+		members := make([]topology.NodeID, 0, n)
+		for _, i := range rng.Perm(len(hosts))[:n] {
+			members = append(members, hosts[i])
+		}
+		id := string(rune('A' + trial%26))
+		s.DeleteGroup(id)
+		if _, err := s.CreateGroup(id, members); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.GetTree(id); err != nil {
+			t.Fatal(err)
+		}
+		cached, err := s.GetTree(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cached.Cached {
+			t.Fatalf("trial %d: second GetTree missed", trial)
+		}
+		fresh, err := core.BuildTree(g, members[0], membersMinusSource(members))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.Cost != fresh.Cost() {
+			t.Fatalf("trial %d: cached cost %d != fresh cost %d", trial, cached.Cost, fresh.Cost())
+		}
+		if err := cached.Tree.Validate(g, receiversOf(members[0], canonicalMembers(members[0], members[1:]))); err != nil {
+			t.Fatalf("trial %d: cached tree invalid: %v", trial, err)
+		}
+	}
+}
+
+func membersMinusSource(members []topology.NodeID) []topology.NodeID {
+	canon := canonicalMembers(members[0], members[1:])
+	return receiversOf(members[0], canon)
+}

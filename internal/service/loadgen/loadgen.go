@@ -1,0 +1,316 @@
+// Package loadgen drives a service.Client with a synthetic multicast
+// control-plane workload: Zipf-popular GetTree traffic mixed with
+// membership churn (Join/Leave) and group churn (delete + re-place), with
+// optional scripted link flaps injected through a FaultInjector.
+//
+// The generator is deterministic for a fixed (Config, worker count):
+// every worker owns a seeded RNG and the flap schedule is keyed to worker
+// 0's operation count, not wall time — a single-worker run replays
+// identically, which the golden run-report test relies on. Throughput
+// numbers (Stats.OpsPerSec) are the only wall-clock-derived outputs and
+// never feed telemetry.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peel/internal/service"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+	"peel/internal/workload"
+)
+
+// FaultInjector is the chaos hook: the loadgen flaps links through it so
+// failure transitions stay serialized with the service's invalidation
+// protocol. *service.Service implements it.
+type FaultInjector interface {
+	FailLink(id topology.LinkID) bool
+	RestoreLink(id topology.LinkID) bool
+	NumLinks() int
+}
+
+var _ FaultInjector = (*service.Service)(nil)
+
+// Mix weights the operation types. Zero values fall back to the default
+// 92/3/3/2 get/join/leave/churn split, which keeps the steady-state cache
+// hit rate above 90% on a Zipf-popular group set.
+type Mix struct {
+	Get   int // GetTree on a Zipf-sampled group
+	Join  int // Join a uniform random host
+	Leave int // Leave a random non-source member (falls back to Join when too small)
+	Churn int // Delete the group and re-create it with a fresh placement
+}
+
+func (m Mix) orDefault() Mix {
+	if m.Get+m.Join+m.Leave+m.Churn == 0 {
+		return Mix{Get: 92, Join: 3, Leave: 3, Churn: 2}
+	}
+	return m
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// Groups is the number of pre-created groups (default 256).
+	Groups int
+	// GroupSize is the host count per group (default 8).
+	GroupSize int
+	// Workers is the closed-loop worker count (default GOMAXPROCS). Use 1
+	// for a fully deterministic run.
+	Workers int
+	// Ops is the total operation budget across workers (default 100000).
+	Ops int
+	// Mix weights the operation types (see Mix).
+	Mix Mix
+	// ZipfS is the Zipf skew for GetTree group popularity (must be >1;
+	// default 1.3).
+	ZipfS float64
+	// Seed seeds placement and every worker RNG (default 1).
+	Seed int64
+	// Fragmentation is the placement fragmentation knob passed to
+	// workload.Place.
+	Fragmentation float64
+	// FlapEvery, when >0 with a FaultInjector armed, fails a random link
+	// every FlapEvery worker-0 operations.
+	FlapEvery int
+	// FlapHeal restores the flapped link after FlapHeal further worker-0
+	// operations (default FlapEvery/2).
+	FlapHeal int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Groups <= 0 {
+		c.Groups = 256
+	}
+	if c.GroupSize < 2 {
+		c.GroupSize = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Ops <= 0 {
+		c.Ops = 100000
+	}
+	c.Mix = c.Mix.orDefault()
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FlapHeal <= 0 {
+		c.FlapHeal = c.FlapEvery / 2
+	}
+	return c
+}
+
+// Stats summarizes one run. Hits/Misses count only GetTree operations;
+// Benign counts expected lifecycle races (group deleted mid-churn, group
+// too small to leave, receiver unreachable during a flap window) that are
+// part of the workload, not failures.
+type Stats struct {
+	Ops        int64         `json:"ops"`
+	Gets       int64         `json:"gets"`
+	Hits       int64         `json:"hits"`
+	Misses     int64         `json:"misses"`
+	Overloaded int64         `json:"overloaded"`
+	Benign     int64         `json:"benign_races"`
+	Errors     int64         `json:"errors"`
+	Flaps      int64         `json:"flaps"`
+	Wall       time.Duration `json:"wall_ns"`
+	OpsPerSec  float64       `json:"ops_per_sec"`
+	HitRate    float64       `json:"hit_rate"`
+}
+
+// Generator owns a prepared group population and drives the client.
+type Generator struct {
+	client  service.Client
+	faults  FaultInjector
+	cluster *workload.Cluster
+	cfg     Config
+	ids     []string
+	spec    workload.Spec
+}
+
+// New pre-creates cfg.Groups groups on the client using bin-packed
+// placements from the cluster, and returns a generator ready to Run.
+// faults may be nil when no chaos is scripted.
+func New(client service.Client, faults FaultInjector, cluster *workload.Cluster, cfg Config) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	g := &Generator{
+		client:  client,
+		faults:  faults,
+		cluster: cluster,
+		cfg:     cfg,
+		ids:     make([]string, cfg.Groups),
+		spec: workload.Spec{
+			GPUs:          cfg.GroupSize * cluster.GPUsPerHost,
+			Fragmentation: cfg.Fragmentation,
+		},
+	}
+	if cfg.FlapEvery > 0 && faults == nil {
+		return nil, fmt.Errorf("loadgen: FlapEvery set but no FaultInjector")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range g.ids {
+		g.ids[i] = fmt.Sprintf("g%04d", i)
+		members, err := cluster.Place(g.spec, rng)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: placing group %d: %w", i, err)
+		}
+		if _, err := client.CreateGroup(g.ids[i], members); err != nil {
+			return nil, fmt.Errorf("loadgen: creating group %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// IDs returns the generator's group IDs (tests sample them directly).
+func (g *Generator) IDs() []string { return g.ids }
+
+// benign reports whether err is an expected lifecycle race under churn
+// and chaos rather than a generator or service defect.
+func benign(err error) bool {
+	return errors.Is(err, service.ErrNoSuchGroup) ||
+		errors.Is(err, service.ErrGroupExists) ||
+		errors.Is(err, service.ErrNotMember) ||
+		errors.Is(err, service.ErrGroupTooSmall) ||
+		errors.Is(err, steiner.ErrUnreachable)
+}
+
+// Run executes the configured operation budget across Workers closed-loop
+// workers and returns aggregate stats. Cancelling ctx stops workers at
+// their next operation boundary; the stats cover work done so far.
+func (g *Generator) Run(ctx context.Context) Stats {
+	var st Stats
+	var wg sync.WaitGroup
+	var ops, gets, hits, misses, overloaded, races, errs, flaps atomic.Int64
+	per := g.cfg.Ops / g.cfg.Workers
+	start := time.Now()
+	for w := 0; w < g.cfg.Workers; w++ {
+		budget := per
+		if w == 0 {
+			budget += g.cfg.Ops % g.cfg.Workers
+		}
+		wg.Add(1)
+		go func(worker, budget int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(g.cfg.Seed + int64(worker)*7919))
+			zipf := rand.NewZipf(rng, g.cfg.ZipfS, 1, uint64(len(g.ids)-1))
+			hosts := g.cluster.Hosts()
+			total := g.cfg.Mix.Get + g.cfg.Mix.Join + g.cfg.Mix.Leave + g.cfg.Mix.Churn
+			flapped := topology.LinkID(-1)
+			flapStart := 0
+			for op := 0; op < budget; op++ {
+				if ctx.Err() != nil {
+					return
+				}
+				// Worker 0 owns the flap schedule: one link down at a
+				// time, failed and healed at fixed operation counts so a
+				// single-worker run replays exactly.
+				if worker == 0 && g.cfg.FlapEvery > 0 {
+					if flapped >= 0 && op-flapStart >= g.cfg.FlapHeal {
+						g.faults.RestoreLink(flapped)
+						flapped = -1
+					}
+					if flapped < 0 && op%g.cfg.FlapEvery == g.cfg.FlapEvery-1 {
+						flapped = topology.LinkID(rng.Intn(g.faults.NumLinks()))
+						flapStart = op
+						g.faults.FailLink(flapped)
+						flaps.Add(1)
+					}
+				}
+				id := g.ids[zipf.Uint64()]
+				r := rng.Intn(total)
+				var err error
+				switch {
+				case r < g.cfg.Mix.Get:
+					gets.Add(1)
+					var ti service.TreeInfo
+					ti, err = g.client.GetTree(id)
+					if err == nil {
+						if ti.Cached {
+							hits.Add(1)
+						} else {
+							misses.Add(1)
+						}
+					}
+				case r < g.cfg.Mix.Get+g.cfg.Mix.Join:
+					_, err = g.client.Join(id, hosts[rng.Intn(len(hosts))])
+				case r < g.cfg.Mix.Get+g.cfg.Mix.Join+g.cfg.Mix.Leave:
+					err = g.leaveOne(id, rng)
+				default:
+					err = g.churnOne(id, rng)
+				}
+				ops.Add(1)
+				switch {
+				case err == nil:
+				case errors.Is(err, service.ErrOverloaded):
+					overloaded.Add(1)
+				case benign(err):
+					races.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(w, budget)
+	}
+	wg.Wait()
+	st.Wall = time.Since(start)
+	st.Ops = ops.Load()
+	st.Gets = gets.Load()
+	st.Hits = hits.Load()
+	st.Misses = misses.Load()
+	st.Overloaded = overloaded.Load()
+	st.Benign = races.Load()
+	st.Errors = errs.Load()
+	st.Flaps = flaps.Load()
+	if st.Wall > 0 {
+		st.OpsPerSec = float64(st.Ops) / st.Wall.Seconds()
+	}
+	if st.Gets > 0 {
+		st.HitRate = float64(st.Hits) / float64(st.Gets)
+	}
+	return st
+}
+
+// leaveOne removes a random non-source member; groups already at the
+// two-member floor get a Join instead so membership keeps circulating.
+func (g *Generator) leaveOne(id string, rng *rand.Rand) error {
+	gi, err := g.client.Describe(id)
+	if err != nil {
+		return err
+	}
+	if len(gi.Members) <= 2 {
+		hosts := g.cluster.Hosts()
+		_, err = g.client.Join(id, hosts[rng.Intn(len(hosts))])
+		return err
+	}
+	i := rng.Intn(len(gi.Members))
+	if gi.Members[i] == gi.Source {
+		i = (i + 1) % len(gi.Members)
+	}
+	_, err = g.client.Leave(id, gi.Members[i])
+	return err
+}
+
+// churnOne tears a group down and re-creates it under the same ID with a
+// fresh placement — the control-plane analogue of a job finishing and its
+// slots being reallocated.
+func (g *Generator) churnOne(id string, rng *rand.Rand) error {
+	if err := g.client.DeleteGroup(id); err != nil {
+		return err
+	}
+	members, err := g.cluster.Place(g.spec, rng)
+	if err != nil {
+		return err
+	}
+	_, err = g.client.CreateGroup(id, members)
+	return err
+}

@@ -1,0 +1,9 @@
+package loadgen
+
+import (
+	"testing"
+
+	"peel/internal/invariant/invtest"
+)
+
+func TestMain(m *testing.M) { invtest.Main(m) }

@@ -1,0 +1,7 @@
+//go:build race
+
+package loadgen
+
+// raceEnabled reports whether the race detector is compiled in; the
+// throughput-floor test skips under it (instrumentation costs ~10×).
+const raceEnabled = true

@@ -1,0 +1,738 @@
+// Package service is peeld: a concurrent, long-running multicast
+// control plane over one Clos fabric. Batch experiments build a topology,
+// compute trees, run one collective, and exit; a deployment (the paper's
+// §3–§4 story, and systems like Elmo) instead fields group lifecycle
+// requests from many tenants for days and must keep served trees
+// consistent as links fail. The service owns:
+//
+//   - Group lifecycle: CreateGroup / Join / Leave / GetTree / DeleteGroup,
+//     exposed in-process through the Client interface and over HTTP/JSON
+//     by cmd/peeld (daemon.go holds the shared wiring).
+//   - A sharded tree cache keyed by the canonical (source, member-set)
+//     tuple with singleflight coalescing: concurrent identical requests
+//     compute one tree, and groups with identical membership share it.
+//   - Generation-based invalidation wired to topology's failure-event
+//     observers: a link (or switch) failure bumps the topology generation
+//     and marks exactly the cached trees crossing the dead link stale;
+//     the next access lazily re-peels on the degraded graph — the same
+//     recompute path internal/collective uses for mid-flight repair — and
+//     charges the §3.1 controller install latency for the new rules.
+//   - Admission control: at most MaxInflight tree computations run at
+//     once; beyond that, misses fail fast with ErrOverloaded (cache hits
+//     always succeed), so overload degrades to stale-tolerant reads
+//     instead of collapse.
+//
+// Correctness is invariant-checked: with a suite armed, every served tree
+// is re-validated against the *current* graph under the topology lock
+// (the "service.served-tree-fresh" checker), so a chaos run proves no
+// request ever observes a tree crossing a failed link.
+//
+// Concurrency contract: the topology.Graph is not itself thread-safe, so
+// all failure-state mutations must go through the service's FailLink /
+// RestoreLink / FailNode / RestoreNode wrappers (the HTTP chaos endpoints
+// do), which serialize against in-flight tree computations via an RWMutex.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"peel/internal/controller"
+	"peel/internal/core"
+	"peel/internal/invariant"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+// Invariant checkers owned by this layer. Registered at init, so any
+// suite built after the package is linked (invtest.Main, peelsim -check)
+// sees them.
+const (
+	// ServedTreeFresh: every tree served from the cache validates against
+	// the graph's current failure state at serve time.
+	ServedTreeFresh = "service.served-tree-fresh"
+	// CacheKeyCanonical: permutations and duplications of a member set
+	// canonicalize to the same cache key.
+	CacheKeyCanonical = "service.cache-key-canonical"
+)
+
+func init() {
+	invariant.Register(invariant.Checker{
+		Name:   ServedTreeFresh,
+		Anchor: "§3.1 (control-plane consistency)",
+		Desc:   "every tree served by the control plane validates against the current (possibly degraded) graph",
+	})
+	invariant.Register(invariant.Checker{
+		Name:   CacheKeyCanonical,
+		Anchor: "cache coherence",
+		Desc:   "cache keys are invariant under member-set permutation and duplication",
+	})
+}
+
+// Typed request errors. The HTTP layer maps them to status codes;
+// in-process callers dispatch with errors.Is.
+var (
+	ErrOverloaded    = errors.New("service: overloaded: tree-computation capacity exhausted")
+	ErrNoSuchGroup   = errors.New("service: no such group")
+	ErrGroupExists   = errors.New("service: group already exists")
+	ErrNotMember     = errors.New("service: host is not a group member")
+	ErrBadMember     = errors.New("service: member is not a host of this fabric")
+	ErrGroupTooSmall = errors.New("service: group needs at least two distinct member hosts")
+	ErrDraining      = errors.New("service: draining")
+)
+
+// Options configures a Service.
+type Options struct {
+	// Shards is the tree-cache shard count, rounded up to a power of two
+	// (default 16).
+	Shards int
+	// MaxInflight bounds concurrent tree computations; further misses
+	// return ErrOverloaded (default 2×GOMAXPROCS).
+	MaxInflight int
+	// CacheCap caps entries per shard, evicting least-recently-used idle
+	// entries (default 4096; <0 = unbounded).
+	CacheCap int
+	// Seed seeds the controller install-latency model (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.CacheCap == 0 {
+		o.CacheCap = 4096
+	} else if o.CacheCap < 0 {
+		o.CacheCap = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// GroupInfo describes one group's current membership.
+type GroupInfo struct {
+	ID      string
+	Source  topology.NodeID
+	Members []topology.NodeID // canonical: sorted, deduplicated, includes Source
+	Version uint64            // membership version, bumped by Join/Leave
+}
+
+// TreeInfo is one GetTree response. Tree is shared with the cache and
+// must be treated as read-only.
+type TreeInfo struct {
+	Tree       *steiner.Tree
+	Source     topology.NodeID
+	Cost       int
+	Gen        uint64 // topology generation the tree was computed at
+	CurrentGen uint64 // topology generation now
+	InstallPs  int64  // controller install latency charged for this tree's rules
+	Cached     bool   // true when served without a fresh computation
+}
+
+// Client is the group-lifecycle API, implemented in-process by *Service;
+// the loadgen drives it, and cmd/peeld re-exposes it over HTTP/JSON.
+type Client interface {
+	CreateGroup(id string, members []topology.NodeID) (GroupInfo, error)
+	Describe(id string) (GroupInfo, error)
+	Join(id string, host topology.NodeID) (GroupInfo, error)
+	Leave(id string, host topology.NodeID) (GroupInfo, error)
+	GetTree(id string) (TreeInfo, error)
+	DeleteGroup(id string) error
+}
+
+// membership is one immutable membership snapshot; Join/Leave swap in a
+// fresh one so GetTree reads it lock-free.
+type membership struct {
+	key       string
+	source    topology.NodeID
+	members   []topology.NodeID // canonical
+	receivers []topology.NodeID // members minus source
+	version   uint64
+}
+
+// group is one registered multicast group.
+type group struct {
+	id string
+	mu sync.Mutex // serializes membership edits
+	m  atomic.Pointer[membership]
+}
+
+// Service is the control plane. See the package comment for the design.
+type Service struct {
+	g    *topology.Graph
+	opts Options
+
+	// topoMu serializes failure-state mutations (write) against tree
+	// computations and armed serve-time validation (read).
+	topoMu sync.RWMutex
+	gen    atomic.Uint64 // bumped per failure-state transition
+	obs    topology.ObserverHandle
+
+	cache *treeCache
+
+	groupsMu sync.RWMutex
+	groups   map[string]*group
+
+	ctrlMu sync.Mutex
+	ctrl   *controller.Model
+
+	inflight chan struct{} // admission tokens for tree computations
+	closing  atomic.Bool
+	computes sync.WaitGroup
+
+	hooks atomic.Pointer[telHooks]
+}
+
+var _ Client = (*Service)(nil)
+
+// New builds a service owning g. The graph must not be mutated behind the
+// service's back once requests are flowing; route failure injection
+// through FailLink/RestoreLink (or keep external mutation single-threaded
+// with request traffic, as simulator harnesses do).
+func New(g *topology.Graph, opts Options) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		g:        g,
+		opts:     opts,
+		cache:    newTreeCache(opts.Shards, opts.CacheCap),
+		groups:   map[string]*group{},
+		ctrl:     controller.New(rand.New(rand.NewSource(opts.Seed))),
+		inflight: make(chan struct{}, opts.MaxInflight),
+	}
+	s.obs = g.OnFailureChange(s.onFailureChange)
+	return s
+}
+
+// Close drains the service: new requests fail with ErrDraining, in-flight
+// tree computations finish, and the failure observer is unsubscribed so
+// the graph does not pin the service (the leak Unsubscribe exists for).
+// Close is idempotent.
+func (s *Service) Close() {
+	if s.closing.Swap(true) {
+		return
+	}
+	s.computes.Wait()
+	s.topoMu.Lock()
+	s.g.Unsubscribe(s.obs)
+	s.topoMu.Unlock()
+}
+
+// Gen returns the current topology generation: the count of failure-state
+// transitions observed since construction.
+func (s *Service) Gen() uint64 { return s.gen.Load() }
+
+// onFailureChange is the generation-based invalidator, registered with
+// the graph at construction. It runs synchronously inside the transition
+// (under topoMu when the mutation came through the service wrappers), so
+// once FailLink returns, no later GetTree can serve a tree crossing the
+// dead link without recomputing.
+func (s *Service) onFailureChange(id topology.LinkID, failed bool) {
+	s.gen.Add(1)
+	h := s.tel()
+	if h != nil {
+		h.topoGen.Set(int64(s.gen.Load()))
+	}
+	if !failed {
+		// Heals never invalidate: a cached tree stays valid when a link it
+		// does not use returns, and one it does use coming back cannot
+		// un-fail a tree that was already marked stale. Entries recompute
+		// lazily and re-converge onto better trees on their next miss.
+		if h != nil {
+			h.heals.Inc()
+		}
+		return
+	}
+	n := s.cache.invalidateLink(id)
+	if h != nil {
+		h.failures.Inc()
+		h.invalidated.Add(int64(n))
+		for i := range s.cache.shards {
+			h.shardGens[i].Set(int64(s.cache.shards[i].gen.Load()))
+		}
+	}
+}
+
+// FailLink fails a link through the service, serialized against tree
+// computations; reports whether the link state actually transitioned.
+func (s *Service) FailLink(id topology.LinkID) bool {
+	return s.mutate(func() bool {
+		before := s.g.NumFailedLinks()
+		s.g.FailLink(id)
+		return s.g.NumFailedLinks() != before
+	})
+}
+
+// RestoreLink heals a link through the service.
+func (s *Service) RestoreLink(id topology.LinkID) bool {
+	return s.mutate(func() bool {
+		before := s.g.NumFailedLinks()
+		s.g.RestoreLink(id)
+		return s.g.NumFailedLinks() != before
+	})
+}
+
+// FailNode fails every link of a switch through the service.
+func (s *Service) FailNode(n topology.NodeID) bool {
+	return s.mutate(func() bool {
+		before := s.g.NumFailedLinks()
+		s.g.FailNode(n)
+		return s.g.NumFailedLinks() != before
+	})
+}
+
+// RestoreNode heals every link of a switch through the service.
+func (s *Service) RestoreNode(n topology.NodeID) bool {
+	return s.mutate(func() bool {
+		before := s.g.NumFailedLinks()
+		s.g.RestoreNode(n)
+		return s.g.NumFailedLinks() != before
+	})
+}
+
+func (s *Service) mutate(fn func() bool) bool {
+	s.topoMu.Lock()
+	defer s.topoMu.Unlock()
+	return fn()
+}
+
+// NumLinks exposes the fabric's link count (chaos drivers pick targets
+// from it without touching the graph).
+func (s *Service) NumLinks() int { return s.g.NumLinks() }
+
+// Graph returns the owned graph for read-only inspection; see the
+// concurrency contract in the package comment before mutating it.
+func (s *Service) Graph() *topology.Graph { return s.g }
+
+// lookupGroup resolves a group by ID.
+func (s *Service) lookupGroup(id string) *group {
+	s.groupsMu.RLock()
+	grp := s.groups[id]
+	s.groupsMu.RUnlock()
+	return grp
+}
+
+// canonicalize validates and canonicalizes a membership: source is
+// members[0] (the workload convention), members are host nodes, the
+// distinct set has at least two hosts.
+func (s *Service) canonicalize(members []topology.NodeID) (*membership, error) {
+	if len(members) == 0 {
+		return nil, ErrGroupTooSmall
+	}
+	for _, m := range members {
+		if m < 0 || int(m) >= s.g.NumNodes() || s.g.Node(m).Kind != topology.Host {
+			return nil, fmt.Errorf("%w: node %d", ErrBadMember, m)
+		}
+	}
+	source := members[0]
+	canon := canonicalMembers(source, members[1:])
+	if len(canon) < 2 {
+		return nil, ErrGroupTooSmall
+	}
+	m := &membership{
+		key:       treeKey(source, canon),
+		source:    source,
+		members:   canon,
+		receivers: receiversOf(source, canon),
+	}
+	if iv := invariant.Active(); iv != nil {
+		reportCanonicalKey(iv, m, members)
+	}
+	return m, nil
+}
+
+// reportCanonicalKey spot-checks key canonicalization on live traffic: a
+// reversed, duplicated rendering of the same request must produce the
+// same key.
+func reportCanonicalKey(iv *invariant.Suite, m *membership, raw []topology.NodeID) {
+	shuffled := make([]topology.NodeID, 0, 2*len(raw))
+	for i := len(raw) - 1; i >= 0; i-- {
+		shuffled = append(shuffled, raw[i], raw[i])
+	}
+	again := treeKey(m.source, canonicalMembers(m.source, shuffled))
+	iv.Checkf(CacheKeyCanonical, again == m.key,
+		"key %q != %q for permuted+duplicated member set", again, m.key)
+}
+
+func (g *group) info() GroupInfo {
+	m := g.m.Load()
+	return GroupInfo{
+		ID:      g.id,
+		Source:  m.source,
+		Members: append([]topology.NodeID(nil), m.members...),
+		Version: m.version,
+	}
+}
+
+// CreateGroup registers a group. members[0] is the source; the member set
+// is canonicalized (sorted, deduplicated). Fails with ErrGroupExists if
+// the ID is taken.
+func (s *Service) CreateGroup(id string, members []topology.NodeID) (GroupInfo, error) {
+	if s.closing.Load() {
+		return GroupInfo{}, ErrDraining
+	}
+	if id == "" {
+		return GroupInfo{}, fmt.Errorf("service: empty group ID")
+	}
+	m, err := s.canonicalize(members)
+	if err != nil {
+		return GroupInfo{}, err
+	}
+	grp := &group{id: id}
+	grp.m.Store(m)
+	s.groupsMu.Lock()
+	if _, dup := s.groups[id]; dup {
+		s.groupsMu.Unlock()
+		return GroupInfo{}, fmt.Errorf("%w: %s", ErrGroupExists, id)
+	}
+	s.groups[id] = grp
+	n := len(s.groups)
+	s.groupsMu.Unlock()
+	if h := s.tel(); h != nil {
+		h.opsCreate.Inc()
+		h.groups.Set(int64(n))
+	}
+	return grp.info(), nil
+}
+
+// Describe returns a group's current membership.
+func (s *Service) Describe(id string) (GroupInfo, error) {
+	grp := s.lookupGroup(id)
+	if grp == nil {
+		return GroupInfo{}, fmt.Errorf("%w: %s", ErrNoSuchGroup, id)
+	}
+	return grp.info(), nil
+}
+
+// Join adds a host to a group. Joining a current member is a no-op
+// returning the unchanged membership.
+func (s *Service) Join(id string, host topology.NodeID) (GroupInfo, error) {
+	if s.closing.Load() {
+		return GroupInfo{}, ErrDraining
+	}
+	grp := s.lookupGroup(id)
+	if grp == nil {
+		return GroupInfo{}, fmt.Errorf("%w: %s", ErrNoSuchGroup, id)
+	}
+	if host < 0 || int(host) >= s.g.NumNodes() || s.g.Node(host).Kind != topology.Host {
+		return GroupInfo{}, fmt.Errorf("%w: node %d", ErrBadMember, host)
+	}
+	grp.mu.Lock()
+	defer grp.mu.Unlock()
+	cur := grp.m.Load()
+	i := sort.Search(len(cur.members), func(i int) bool { return cur.members[i] >= host })
+	if i < len(cur.members) && cur.members[i] == host {
+		return grp.info(), nil
+	}
+	members := make([]topology.NodeID, 0, len(cur.members)+1)
+	members = append(members, cur.members[:i]...)
+	members = append(members, host)
+	members = append(members, cur.members[i:]...)
+	next := &membership{
+		key:       treeKey(cur.source, members),
+		source:    cur.source,
+		members:   members,
+		receivers: receiversOf(cur.source, members),
+		version:   cur.version + 1,
+	}
+	grp.m.Store(next)
+	if h := s.tel(); h != nil {
+		h.opsJoin.Inc()
+	}
+	return grp.info(), nil
+}
+
+// Leave removes a host from a group. When the source leaves, the lowest
+// remaining member becomes the new source. Shrinking below two members
+// fails with ErrGroupTooSmall (delete the group instead).
+func (s *Service) Leave(id string, host topology.NodeID) (GroupInfo, error) {
+	if s.closing.Load() {
+		return GroupInfo{}, ErrDraining
+	}
+	grp := s.lookupGroup(id)
+	if grp == nil {
+		return GroupInfo{}, fmt.Errorf("%w: %s", ErrNoSuchGroup, id)
+	}
+	grp.mu.Lock()
+	defer grp.mu.Unlock()
+	cur := grp.m.Load()
+	i := sort.Search(len(cur.members), func(i int) bool { return cur.members[i] >= host })
+	if i >= len(cur.members) || cur.members[i] != host {
+		return GroupInfo{}, fmt.Errorf("%w: node %d not in %s", ErrNotMember, host, id)
+	}
+	if len(cur.members) <= 2 {
+		return GroupInfo{}, ErrGroupTooSmall
+	}
+	members := make([]topology.NodeID, 0, len(cur.members)-1)
+	members = append(members, cur.members[:i]...)
+	members = append(members, cur.members[i+1:]...)
+	source := cur.source
+	if host == source {
+		source = members[0]
+	}
+	next := &membership{
+		key:       treeKey(source, members),
+		source:    source,
+		members:   members,
+		receivers: receiversOf(source, members),
+		version:   cur.version + 1,
+	}
+	grp.m.Store(next)
+	if h := s.tel(); h != nil {
+		h.opsLeave.Inc()
+	}
+	return grp.info(), nil
+}
+
+// DeleteGroup unregisters a group. Cached trees for its membership stay
+// until evicted or invalidated — they may serve other groups with the
+// same canonical member set.
+func (s *Service) DeleteGroup(id string) error {
+	if s.closing.Load() {
+		return ErrDraining
+	}
+	s.groupsMu.Lock()
+	_, ok := s.groups[id]
+	delete(s.groups, id)
+	n := len(s.groups)
+	s.groupsMu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchGroup, id)
+	}
+	if h := s.tel(); h != nil {
+		h.opsDelete.Inc()
+		h.groups.Set(int64(n))
+	}
+	return nil
+}
+
+// GetTree returns the multicast distribution tree for a group's current
+// membership: a cache hit when a fresh tree is published (0 allocs), a
+// coalesced wait when another request is already computing it, or a fresh
+// computation — which pays admission control and, for failure-driven
+// recomputes, the charged controller install latency.
+func (s *Service) GetTree(id string) (TreeInfo, error) {
+	if s.closing.Load() {
+		return TreeInfo{}, ErrDraining
+	}
+	grp := s.lookupGroup(id)
+	if grp == nil {
+		return TreeInfo{}, fmt.Errorf("%w: %s", ErrNoSuchGroup, id)
+	}
+	m := grp.m.Load()
+	h := s.tel()
+	if h != nil {
+		h.opsGet.Inc()
+	}
+	if e := s.cache.lookup(m.key); e != nil {
+		if v := e.val.Load(); v != nil && !v.stale.Load() && s.checkServe(v, m) {
+			s.cache.touch(e)
+			if h != nil {
+				h.hits.Inc()
+				h.treeCost.Observe(int64(v.cost))
+			}
+			return s.treeInfo(v, true), nil
+		}
+	}
+	return s.computeTree(m, h)
+}
+
+// checkServe re-validates a hit against the current graph when an
+// invariant suite is armed. Under the topology read-lock the stale flag
+// is settled with respect to every completed failure transition, so a
+// false return (the value went stale while we raced a failure) routes the
+// request to the recompute path instead of tripping the checker.
+func (s *Service) checkServe(v *treeVal, m *membership) bool {
+	iv := invariant.Active()
+	if iv == nil {
+		return true
+	}
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	if v.stale.Load() {
+		return false
+	}
+	err := v.tree.Validate(s.g, m.receivers)
+	iv.Checkf(ServedTreeFresh, err == nil,
+		"cached tree for key %q invalid on current graph: %v", m.key, err)
+	return true
+}
+
+// treeInfo assembles a response from a published value.
+func (s *Service) treeInfo(v *treeVal, cached bool) TreeInfo {
+	return TreeInfo{
+		Tree:       v.tree,
+		Source:     v.tree.Source,
+		Cost:       v.cost,
+		Gen:        v.gen,
+		CurrentGen: s.gen.Load(),
+		InstallPs:  v.installPs,
+		Cached:     cached,
+	}
+}
+
+// computeTree is the miss path: singleflight-coalesce onto an in-flight
+// computation, or run one under admission control.
+func (s *Service) computeTree(m *membership, h *telHooks) (TreeInfo, error) {
+	e, evicted := s.cache.ensure(m.key)
+	if h != nil {
+		if evicted {
+			h.evictions.Inc()
+		}
+		s.noteShard(h, e.shard)
+	}
+	e.mu.Lock()
+	// Re-check under the entry lock: another request may have published a
+	// fresh value between our lookup and here.
+	if v := e.val.Load(); v != nil && !v.stale.Load() {
+		e.mu.Unlock()
+		s.cache.touch(e)
+		if h != nil {
+			h.hits.Inc()
+			h.treeCost.Observe(int64(v.cost))
+		}
+		return s.treeInfo(v, true), nil
+	}
+	if f := e.inflight; f != nil {
+		e.mu.Unlock()
+		if h != nil {
+			h.coalesced.Inc()
+		}
+		<-f.done
+		if f.err != nil {
+			return TreeInfo{}, f.err
+		}
+		return s.treeInfo(f.val, true), nil
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight = f
+	e.mu.Unlock()
+
+	finish := func(v *treeVal, err error) {
+		e.mu.Lock()
+		e.inflight = nil
+		e.mu.Unlock()
+		f.val, f.err = v, err
+		close(f.done)
+	}
+
+	// Admission control: fail fast when the computation budget is spent.
+	// Coalesced waiters of this flight share the rejection — backpressure
+	// applies to the computation, not to each caller individually.
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		if h != nil {
+			h.overloaded.Inc()
+		}
+		finish(nil, ErrOverloaded)
+		return TreeInfo{}, ErrOverloaded
+	}
+	s.computes.Add(1)
+	v, err := s.runCompute(e, m, h)
+	s.computes.Done()
+	<-s.inflight
+	finish(v, err)
+	if err != nil {
+		return TreeInfo{}, err
+	}
+	if h != nil {
+		h.misses.Inc()
+		h.treeCost.Observe(int64(v.cost))
+	}
+	s.cache.touch(e)
+	return s.treeInfo(v, false), nil
+}
+
+// runCompute builds and publishes one tree under the topology read-lock,
+// so no failure transition interleaves between construction, link
+// indexing, and publication.
+func (s *Service) runCompute(e *entry, m *membership, h *telHooks) (*treeVal, error) {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	gen := s.gen.Load()
+	prior := e.val.Load()
+	failureDriven := prior != nil && prior.stale.Load()
+	tree, err := core.BuildTree(s.g, m.source, m.receivers)
+	if err != nil {
+		return nil, fmt.Errorf("service: tree for %q: %w", m.key, err)
+	}
+	if iv := invariant.Active(); iv != nil {
+		// A lazily re-peeled tree must satisfy the same validity and
+		// Theorem 2.5 budget checks as the collective repair path's.
+		steiner.ReportTreeChecks(iv, s.g, tree, m.receivers)
+	}
+	var installPs int64
+	// Charge the §3.1 controller round trip for pushing this tree's rules.
+	// The model's RNG is shared across computations; serialize draws.
+	s.ctrlMu.Lock()
+	installPs = int64(s.ctrl.SetupDelay())
+	s.ctrlMu.Unlock()
+	if h != nil {
+		h.installPs.Observe(installPs)
+		if failureDriven {
+			h.recomputes.Inc()
+		}
+	}
+	v := &treeVal{tree: tree, cost: tree.Cost(), gen: gen, installPs: installPs}
+	s.cache.index(e, tree.Links(s.g))
+	e.val.Store(v)
+	return v, nil
+}
+
+// Stats is a point-in-time service census.
+type Stats struct {
+	Groups       int    `json:"groups"`
+	CacheEntries int    `json:"cache_entries"`
+	Shards       int    `json:"shards"`
+	Gen          uint64 `json:"topology_generation"`
+	FailedLinks  int    `json:"failed_links"`
+	MaxInflight  int    `json:"max_inflight"`
+}
+
+// Stats snapshots the service.
+func (s *Service) Stats() Stats {
+	s.groupsMu.RLock()
+	groups := len(s.groups)
+	s.groupsMu.RUnlock()
+	total, _ := s.cache.entryCount()
+	s.topoMu.RLock()
+	failed := s.g.NumFailedLinks()
+	s.topoMu.RUnlock()
+	return Stats{
+		Groups:       groups,
+		CacheEntries: total,
+		Shards:       len(s.cache.shards),
+		Gen:          s.gen.Load(),
+		FailedLinks:  failed,
+		MaxInflight:  s.opts.MaxInflight,
+	}
+}
+
+// RefreshGauges pushes the current entry/generation census into the
+// armed telemetry sink's gauges (exporters call it before snapshotting).
+func (s *Service) RefreshGauges() {
+	h := s.tel()
+	if h == nil {
+		return
+	}
+	total, per := s.cache.entryCount()
+	h.entries.Set(int64(total))
+	h.topoGen.Set(int64(s.gen.Load()))
+	for i, n := range per {
+		h.shardEntries[i].Set(int64(n))
+		h.shardGens[i].Set(int64(s.cache.shards[i].gen.Load()))
+	}
+	s.groupsMu.RLock()
+	h.groups.Set(int64(len(s.groups)))
+	s.groupsMu.RUnlock()
+}

@@ -1,0 +1,376 @@
+package service
+
+import (
+	"errors"
+	"slices"
+	"sync"
+	"testing"
+
+	"peel/internal/invariant"
+	"peel/internal/invariant/invtest"
+	"peel/internal/steiner"
+	"peel/internal/telemetry"
+	"peel/internal/topology"
+)
+
+func newTestService(t *testing.T, k int, opts Options) (*Service, *topology.Graph) {
+	t.Helper()
+	g := topology.FatTree(k)
+	s := New(g, opts)
+	t.Cleanup(s.Close)
+	return s, g
+}
+
+func TestGroupLifecycle(t *testing.T) {
+	s, g := newTestService(t, 4, Options{})
+	hosts := g.Hosts()
+
+	gi, err := s.CreateGroup("j1", []topology.NodeID{hosts[2], hosts[0], hosts[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Source != hosts[2] {
+		t.Fatalf("source = %d, want members[0] = %d", gi.Source, hosts[2])
+	}
+	if !slices.IsSorted(gi.Members) || len(gi.Members) != 3 {
+		t.Fatalf("members not canonical: %v", gi.Members)
+	}
+	if _, err := s.CreateGroup("j1", gi.Members); !errors.Is(err, ErrGroupExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := s.CreateGroup("bad", []topology.NodeID{hosts[0], 99999}); !errors.Is(err, ErrBadMember) {
+		t.Fatalf("bad member: %v", err)
+	}
+	// A switch is not a valid member either.
+	sw := g.EdgeSwitchOf(hosts[0])
+	if _, err := s.CreateGroup("bad", []topology.NodeID{hosts[0], sw}); !errors.Is(err, ErrBadMember) {
+		t.Fatalf("switch member: %v", err)
+	}
+	if _, err := s.CreateGroup("tiny", []topology.NodeID{hosts[0], hosts[0]}); !errors.Is(err, ErrGroupTooSmall) {
+		t.Fatalf("tiny group: %v", err)
+	}
+
+	gi, err = s.Join("j1", hosts[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Version != 1 || len(gi.Members) != 4 {
+		t.Fatalf("after join: version %d members %v", gi.Version, gi.Members)
+	}
+	// Joining a current member is a no-op.
+	gi2, err := s.Join("j1", hosts[5])
+	if err != nil || gi2.Version != 1 {
+		t.Fatalf("idempotent join: %v version %d", err, gi2.Version)
+	}
+
+	if _, err := s.Leave("j1", hosts[9]); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("leave non-member: %v", err)
+	}
+	// The source leaving promotes the lowest remaining member.
+	gi, err = s.Leave("j1", hosts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Source != gi.Members[0] || slices.Contains(gi.Members, hosts[2]) {
+		t.Fatalf("source promotion: %+v", gi)
+	}
+	for len(gi.Members) > 2 {
+		if gi, err = s.Leave("j1", gi.Members[len(gi.Members)-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Leave("j1", gi.Members[1]); !errors.Is(err, ErrGroupTooSmall) {
+		t.Fatalf("leave below floor: %v", err)
+	}
+
+	if err := s.DeleteGroup("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteGroup("j1"); !errors.Is(err, ErrNoSuchGroup) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := s.GetTree("j1"); !errors.Is(err, ErrNoSuchGroup) {
+		t.Fatalf("get deleted: %v", err)
+	}
+}
+
+// switchLink returns a tree link with switches at both ends — one the
+// planner can route around, unlike a host's single access link.
+func switchLink(t *testing.T, g *topology.Graph, tree *steiner.Tree) topology.LinkID {
+	t.Helper()
+	for _, id := range tree.Links(g) {
+		l := g.Link(id)
+		if g.Node(l.A).Kind != topology.Host && g.Node(l.B).Kind != topology.Host {
+			return id
+		}
+	}
+	t.Fatalf("tree has no switch-to-switch link")
+	return topology.LinkID(-1)
+}
+
+func TestGetTreeCachesAndFailureInvalidates(t *testing.T) {
+	s, g := newTestService(t, 4, Options{})
+	hosts := g.Hosts()
+	if _, err := s.CreateGroup("b", []topology.NodeID{hosts[0], hosts[4], hosts[9], hosts[13]}); err != nil {
+		t.Fatal(err)
+	}
+	ti, err := s.GetTree("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.Cached || ti.Gen != 0 {
+		t.Fatalf("cold get: cached=%v gen=%d", ti.Cached, ti.Gen)
+	}
+	hit, err := s.GetTree("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Tree != ti.Tree {
+		t.Fatalf("warm get not a hit: cached=%v", hit.Cached)
+	}
+
+	// Fail a switch-level link the tree crosses: the next get recomputes
+	// on the degraded graph.
+	failed := switchLink(t, g, ti.Tree)
+	if !s.FailLink(failed) {
+		t.Fatalf("FailLink reported no transition")
+	}
+	if s.Gen() != 1 {
+		t.Fatalf("generation = %d after one failure", s.Gen())
+	}
+	re, err := s.GetTree("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Cached {
+		t.Fatalf("served stale tree across a failure it crosses")
+	}
+	if re.Gen != 1 || slices.Contains(re.Tree.Links(g), failed) {
+		t.Fatalf("recompute did not avoid the failed link (gen %d)", re.Gen)
+	}
+	if re.InstallPs <= 0 {
+		t.Fatalf("failure-driven recompute charged no install latency")
+	}
+
+	// Heals do not invalidate: the degraded tree stays valid and cached.
+	if !s.RestoreLink(failed) {
+		t.Fatalf("RestoreLink reported no transition")
+	}
+	after, err := s.GetTree("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Cached {
+		t.Fatalf("heal invalidated a still-valid tree")
+	}
+	if after.CurrentGen != 2 {
+		t.Fatalf("CurrentGen = %d, want 2", after.CurrentGen)
+	}
+}
+
+func TestFailureInvalidatesOnlyCrossingTrees(t *testing.T) {
+	s, g := newTestService(t, 4, Options{})
+	hosts := g.Hosts()
+	// Group a lives in pod 0, group b in pod 3: their rack-local trees
+	// share no links.
+	if _, err := s.CreateGroup("a", []topology.NodeID{hosts[0], hosts[2]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateGroup("b", []topology.NodeID{hosts[14], hosts[15]}); err != nil {
+		t.Fatal(err)
+	}
+	ta, err := s.GetTree("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetTree("b"); err != nil {
+		t.Fatal(err)
+	}
+	s.FailLink(switchLink(t, g, ta.Tree))
+	rb, err := s.GetTree("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rb.Cached {
+		t.Fatalf("failure in a's tree invalidated b's unrelated tree")
+	}
+	ra, err := s.GetTree("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cached {
+		t.Fatalf("failure in a's tree did not invalidate it")
+	}
+}
+
+func TestOverloadFailsFastAndRecovers(t *testing.T) {
+	s, g := newTestService(t, 4, Options{MaxInflight: 1})
+	hosts := g.Hosts()
+	if _, err := s.CreateGroup("o", []topology.NodeID{hosts[0], hosts[7]}); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust the admission budget from the outside: every miss must now
+	// fail fast with ErrOverloaded rather than queue.
+	s.inflight <- struct{}{}
+	if _, err := s.GetTree("o"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	<-s.inflight
+	ti, err := s.GetTree("o")
+	if err != nil || ti.Cached {
+		t.Fatalf("recovery get: %v cached=%v", err, ti.Cached)
+	}
+	// Hits never pay admission: with the budget exhausted again, the
+	// cached tree still serves.
+	s.inflight <- struct{}{}
+	defer func() { <-s.inflight }()
+	hit, err := s.GetTree("o")
+	if err != nil || !hit.Cached {
+		t.Fatalf("hit under overload: %v cached=%v", err, hit.Cached)
+	}
+}
+
+func TestConcurrentColdGetsCoalesce(t *testing.T) {
+	s, g := newTestService(t, 4, Options{})
+	hosts := g.Hosts()
+	if _, err := s.CreateGroup("c", []topology.NodeID{hosts[0], hosts[5], hosts[10]}); err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewSink(0)
+	defer telemetry.Enable(sink)()
+	const callers = 32
+	var wg sync.WaitGroup
+	trees := make([]*steiner.Tree, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ti, err := s.GetTree("c")
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			trees[i] = ti.Tree
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if trees[i] != trees[0] {
+			t.Fatalf("caller %d got a different tree instance", i)
+		}
+	}
+	hits := sink.Counter("service.cache.hits").Value()
+	misses := sink.Counter("service.cache.misses").Value()
+	coalesced := sink.Counter("service.cache.coalesced").Value()
+	if hits+misses+coalesced != callers {
+		t.Fatalf("hits %d + misses %d + coalesced %d != %d callers", hits, misses, coalesced, callers)
+	}
+	if misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 computation for one cold key", misses)
+	}
+}
+
+func TestEvictionAtCap(t *testing.T) {
+	s, g := newTestService(t, 4, Options{Shards: 1, CacheCap: 1})
+	hosts := g.Hosts()
+	if _, err := s.CreateGroup("e1", []topology.NodeID{hosts[0], hosts[1]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateGroup("e2", []topology.NodeID{hosts[2], hosts[3]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetTree("e1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetTree("e2"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CacheEntries != 1 {
+		t.Fatalf("CacheEntries = %d, want 1 at cap", st.CacheEntries)
+	}
+	// The evicted key recomputes (and evicts the other in turn).
+	ti, err := s.GetTree("e1")
+	if err != nil || ti.Cached {
+		t.Fatalf("evicted key: %v cached=%v", err, ti.Cached)
+	}
+}
+
+func TestUnreachableReceiverReportsTypedError(t *testing.T) {
+	s, g := newTestService(t, 4, Options{})
+	hosts := g.Hosts()
+	if _, err := s.CreateGroup("u", []topology.NodeID{hosts[0], hosts[1]}); err != nil {
+		t.Fatal(err)
+	}
+	// A host has exactly one access link; failing it disconnects the
+	// receiver.
+	s.FailLink(g.LinkBetween(hosts[1], g.EdgeSwitchOf(hosts[1])))
+	if _, err := s.GetTree("u"); !errors.Is(err, steiner.ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestCloseDrainsAndUnsubscribes(t *testing.T) {
+	g := topology.FatTree(4)
+	base := g.NumObservers()
+	s := New(g, Options{})
+	if g.NumObservers() != base+1 {
+		t.Fatalf("observer not registered")
+	}
+	hosts := g.Hosts()
+	if _, err := s.CreateGroup("d", []topology.NodeID{hosts[0], hosts[1]}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if g.NumObservers() != base {
+		t.Fatalf("observer leaked across Close: %d != %d", g.NumObservers(), base)
+	}
+	if _, err := s.GetTree("d"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("GetTree after Close: %v", err)
+	}
+	if _, err := s.CreateGroup("x", []topology.NodeID{hosts[0], hosts[1]}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("CreateGroup after Close: %v", err)
+	}
+}
+
+// TestServedTreeFreshCheckerFires is the mutation self-test: force the
+// one state the protocol forbids — a stale tree whose stale flag was
+// cleared — and prove the serve-time checker catches it.
+func TestServedTreeFreshCheckerFires(t *testing.T) {
+	s, g := newTestService(t, 4, Options{})
+	hosts := g.Hosts()
+	if _, err := s.CreateGroup("m", []topology.NodeID{hosts[0], hosts[4]}); err != nil {
+		t.Fatal(err)
+	}
+	ti, err := s.GetTree("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FailLink(ti.Tree.Links(g)[0])
+	// Sabotage: un-mark the invalidated entry, as a buggy invalidator
+	// would.
+	m := s.lookupGroup("m").m.Load()
+	s.cache.lookup(m.key).val.Load().stale.Store(false)
+	suite := invtest.Capture(t, func() {
+		if _, err := s.GetTree("m"); err != nil {
+			t.Errorf("sabotaged get: %v", err)
+		}
+	})
+	if suite.Violations(ServedTreeFresh) == 0 {
+		t.Fatalf("%s did not fire on a sabotaged stale tree", ServedTreeFresh)
+	}
+}
+
+// TestCheckersRegistered pins the checker registry entries this package
+// contributes.
+func TestCheckersRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, c := range invariant.Checkers() {
+		names[c.Name] = true
+	}
+	for _, want := range []string{ServedTreeFresh, CacheKeyCanonical} {
+		if !names[want] {
+			t.Fatalf("checker %q not registered", want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+
+	"peel/internal/telemetry"
+)
+
+// telHooks caches the active sink's pre-resolved primitives for the
+// request fast paths, following netsim's telHooks pattern — names resolve
+// once per sink change, then every update is a lock-free atomic. Unlike
+// netsim (single-threaded under the event loop), the service is
+// concurrent, so the cache hangs off an atomic pointer; rebuilding it
+// twice on a sink swap race is benign because primitives are shared by
+// name inside the sink.
+type telHooks struct {
+	sink *telemetry.Sink
+
+	hits        *telemetry.Counter // served from cache, fresh
+	misses      *telemetry.Counter // computed on demand (cold or invalidated)
+	coalesced   *telemetry.Counter // waited on another request's compute
+	overloaded  *telemetry.Counter // rejected by admission control
+	evictions   *telemetry.Counter // cache entries evicted at cap
+	invalidated *telemetry.Counter // trees marked stale by link failures
+	failures    *telemetry.Counter // failure transitions observed
+	heals       *telemetry.Counter // heal transitions observed
+	recomputes  *telemetry.Counter // failure-driven recomputes (lazy re-peels)
+
+	opsGet    *telemetry.Counter
+	opsJoin   *telemetry.Counter
+	opsLeave  *telemetry.Counter
+	opsCreate *telemetry.Counter
+	opsDelete *telemetry.Counter
+
+	installPs *telemetry.Histogram // charged controller install latency
+	treeCost  *telemetry.Histogram // cost of served trees
+
+	groups  *telemetry.Gauge // live group count
+	entries *telemetry.Gauge // total cache entries
+	topoGen *telemetry.Gauge // service topology generation
+
+	shardEntries []*telemetry.Gauge // per-shard entry counts
+	shardGens    []*telemetry.Gauge // per-shard invalidation generations
+}
+
+// tel returns the hook cache for the active sink, or nil when telemetry
+// is disabled — the disabled cost is one atomic load.
+func (s *Service) tel() *telHooks {
+	ts := telemetry.Active()
+	if ts == nil {
+		return nil
+	}
+	h := s.hooks.Load()
+	if h == nil || h.sink != ts {
+		h = newTelHooks(ts, len(s.cache.shards))
+		s.hooks.Store(h)
+	}
+	return h
+}
+
+func newTelHooks(ts *telemetry.Sink, shards int) *telHooks {
+	h := &telHooks{
+		sink:        ts,
+		hits:        ts.Counter("service.cache.hits"),
+		misses:      ts.Counter("service.cache.misses"),
+		coalesced:   ts.Counter("service.cache.coalesced"),
+		overloaded:  ts.Counter("service.overloaded"),
+		evictions:   ts.Counter("service.cache.evictions"),
+		invalidated: ts.Counter("service.cache.invalidated"),
+		failures:    ts.Counter("service.topo.failures"),
+		heals:       ts.Counter("service.topo.heals"),
+		recomputes:  ts.Counter("service.recompute.failure_driven"),
+		opsGet:      ts.Counter("service.ops.get_tree"),
+		opsJoin:     ts.Counter("service.ops.join"),
+		opsLeave:    ts.Counter("service.ops.leave"),
+		opsCreate:   ts.Counter("service.ops.create"),
+		opsDelete:   ts.Counter("service.ops.delete"),
+		installPs:   ts.Histogram("service.install_ps", telemetry.Log2Layout()),
+		treeCost:    ts.Histogram("service.tree_cost", telemetry.Log2Layout()),
+		groups:      ts.Gauge("service.groups"),
+		entries:     ts.Gauge("service.cache.entries"),
+		topoGen:     ts.Gauge("service.topo.generation"),
+	}
+	h.shardEntries = make([]*telemetry.Gauge, shards)
+	h.shardGens = make([]*telemetry.Gauge, shards)
+	for i := 0; i < shards; i++ {
+		h.shardEntries[i] = ts.Gauge(fmt.Sprintf("service.shard%02d.entries", i))
+		h.shardGens[i] = ts.Gauge(fmt.Sprintf("service.shard%02d.generation", i))
+	}
+	return h
+}
+
+// noteShard refreshes one shard's gauges after an insert, eviction, or
+// invalidation touched it.
+func (s *Service) noteShard(h *telHooks, shard int) {
+	if h == nil || shard < 0 || shard >= len(h.shardEntries) {
+		return
+	}
+	cs := &s.cache.shards[shard]
+	cs.mu.RLock()
+	n := len(cs.m)
+	cs.mu.RUnlock()
+	h.shardEntries[shard].Set(int64(n))
+	h.shardGens[shard].Set(int64(cs.gen.Load()))
+}

@@ -166,3 +166,62 @@ func TestFailRandomFractionEdgeCases(t *testing.T) {
 		t.Fatalf("fraction >1 failed %d links, want all %d", len(ids), g3.NumLinks())
 	}
 }
+
+func TestUnsubscribeStopsNotifications(t *testing.T) {
+	g := LeafSpine(2, 2, 1)
+	a, b := 0, 0
+	ha := g.OnFailureChange(func(LinkID, bool) { a++ })
+	hb := g.OnFailureChange(func(LinkID, bool) { b++ })
+
+	g.FailLink(0)
+	if a != 1 || b != 1 {
+		t.Fatalf("before unsubscribe: a=%d b=%d, want 1 1", a, b)
+	}
+	if !g.Unsubscribe(ha) {
+		t.Fatal("Unsubscribe(ha) reported not registered")
+	}
+	g.RestoreLink(0)
+	if a != 1 || b != 2 {
+		t.Fatalf("after unsubscribe: a=%d b=%d, want 1 2", a, b)
+	}
+	// Double unsubscribe and zero handles are no-ops.
+	if g.Unsubscribe(ha) {
+		t.Fatal("double Unsubscribe reported success")
+	}
+	if g.Unsubscribe(0) {
+		t.Fatal("Unsubscribe(0) reported success")
+	}
+	if !g.Unsubscribe(hb) {
+		t.Fatal("Unsubscribe(hb) reported not registered")
+	}
+	if g.NumObservers() != 0 {
+		t.Fatalf("NumObservers=%d after full teardown, want 0", g.NumObservers())
+	}
+}
+
+func TestObserverLeakRegression(t *testing.T) {
+	// A long-running control plane registers an observer per attached
+	// runtime and must be able to detach it: repeated subscribe/unsubscribe
+	// cycles may not accumulate registrations (the leak this test pins).
+	g := FatTree(4)
+	base := g.NumObservers()
+	for i := 0; i < 1000; i++ {
+		h := g.OnFailureChange(func(LinkID, bool) {})
+		g.FailLink(0)
+		g.RestoreLink(0)
+		if !g.Unsubscribe(h) {
+			t.Fatalf("cycle %d: handle not registered", i)
+		}
+	}
+	if got := g.NumObservers(); got != base {
+		t.Fatalf("observer leak: %d registered after teardown, want %d", got, base)
+	}
+	// Handles stay unique across the churn: a fresh registration still
+	// receives notifications.
+	n := 0
+	g.OnFailureChange(func(LinkID, bool) { n++ })
+	g.FailLink(1)
+	if n != 1 {
+		t.Fatalf("fresh observer after churn got %d notifications, want 1", n)
+	}
+}

@@ -114,7 +114,8 @@ type Graph struct {
 	HostsPerEdge int
 
 	failedLinks int
-	observers   []FailureObserver
+	observers   []observerReg
+	nextHandle  ObserverHandle
 }
 
 // FailureObserver is notified on every link failure-state transition:
@@ -125,17 +126,50 @@ type Graph struct {
 // in exact order. Observers must not mutate the graph's failure state.
 type FailureObserver func(id LinkID, failed bool)
 
-// OnFailureChange registers an observer. Registration order is notification
-// order. Clone does not carry observers over: a cloned graph is a fresh
-// scenario with no attached runtime.
-func (g *Graph) OnFailureChange(fn FailureObserver) {
-	g.observers = append(g.observers, fn)
+// ObserverHandle identifies one registered failure observer for
+// Unsubscribe. The zero value is never issued, so it can mark "no
+// registration" in caller state.
+type ObserverHandle int
+
+// observerReg pairs an observer with its handle.
+type observerReg struct {
+	h  ObserverHandle
+	fn FailureObserver
 }
+
+// OnFailureChange registers an observer and returns a handle for
+// Unsubscribe. Registration order is notification order. Clone does not
+// carry observers over: a cloned graph is a fresh scenario with no
+// attached runtime. Long-running consumers (the control-plane service's
+// cache invalidator above all) must Unsubscribe on teardown, or the graph
+// pins them for its lifetime.
+func (g *Graph) OnFailureChange(fn FailureObserver) ObserverHandle {
+	g.nextHandle++
+	g.observers = append(g.observers, observerReg{h: g.nextHandle, fn: fn})
+	return g.nextHandle
+}
+
+// Unsubscribe removes the observer registered under h, reporting whether
+// it was still registered. Unsubscribing twice (or a zero handle) is a
+// no-op returning false. Must not be called from inside an observer.
+func (g *Graph) Unsubscribe(h ObserverHandle) bool {
+	for i, r := range g.observers {
+		if r.h == h {
+			g.observers = append(g.observers[:i], g.observers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// NumObservers returns how many failure observers are registered; leak
+// regression tests assert it returns to baseline after teardown.
+func (g *Graph) NumObservers() int { return len(g.observers) }
 
 // notifyFailure fans a transition out to the registered observers.
 func (g *Graph) notifyFailure(id LinkID, failed bool) {
-	for _, fn := range g.observers {
-		fn(id, failed)
+	for _, r := range g.observers {
+		r.fn(id, failed)
 	}
 }
 
