@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFederateMainUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"stray"},
+		{"-k", "3"},
+		{"-replicas", "0"},
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := federateMain(context.Background(), args, &out, &errOut); code != 2 {
+			t.Fatalf("%v: exit %d, want 2 (stderr: %s)", args, code, errOut.String())
+		}
+	}
+}
+
+// TestFederateMainChaosRunIsClean drives a short checked federated chaos
+// run end to end through the subcommand (via realMain dispatch) and
+// asserts zero failed ops, chaos actually fired, and a parseable report.
+func TestFederateMainChaosRunIsClean(t *testing.T) {
+	var out, errOut strings.Builder
+	code := realMain([]string{"federate",
+		"-k", "4", "-replicas", "2", "-groups", "8", "-group-size", "4",
+		"-ops", "1000", "-flap-every", "100", "-kill-every", "150", "-check"},
+		&out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	// The JSON report leads the output; the invariant report follows it.
+	dec := json.NewDecoder(strings.NewReader(out.String()))
+	var report struct {
+		Config struct {
+			K        int `json:"k"`
+			Replicas int `json:"replicas"`
+		} `json:"config"`
+		Stats struct {
+			Ops    int `json:"ops"`
+			Errors int `json:"errors"`
+			Kills  int `json:"replica_kills"`
+			Flaps  int `json:"flaps"`
+		} `json:"stats"`
+		Census struct {
+			Replicas []struct {
+				Name string `json:"name"`
+			} `json:"replicas"`
+		} `json:"census"`
+	}
+	if err := dec.Decode(&report); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if report.Config.K != 4 || report.Config.Replicas != 2 {
+		t.Fatalf("config echoed wrong: %+v", report.Config)
+	}
+	if report.Stats.Ops != 1000 || report.Stats.Errors != 0 {
+		t.Fatalf("stats: %+v", report.Stats)
+	}
+	if report.Stats.Kills == 0 || report.Stats.Flaps == 0 {
+		t.Fatalf("chaos never fired: %+v", report.Stats)
+	}
+	if len(report.Census.Replicas) != 2 {
+		t.Fatalf("census lists %d replicas, want 2", len(report.Census.Replicas))
+	}
+	if !strings.Contains(out.String(), "federation.answer-oracle-identical") {
+		t.Fatalf("invariant report missing federation check:\n%s", out.String())
+	}
+}

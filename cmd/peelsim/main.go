@@ -6,9 +6,15 @@
 //	peelsim [flags] <experiment> [<experiment>...]
 //	peelsim all
 //	peelsim serve [-addr A] [-k K] [-shards N] [-max-inflight N] ...
+//	peelsim federate [-replicas N] [-ops N] [-kill-every N] [-flap-every N] ...
 //
 // The serve subcommand runs the multicast control-plane daemon through
-// the same service wiring as cmd/peeld (see that command's docs).
+// the same service wiring as cmd/peeld (see that command's docs). The
+// federate subcommand runs an in-process federated chaos experiment: N
+// peeld replicas behind the federation router under a mixed workload
+// with scripted link flaps and replica kill/restart, reporting loadgen
+// stats plus the final fleet census as JSON (deterministic at
+// -workers 1; add -check to gate on the invariant suite).
 //
 // Experiments: fig1 fig3 fig4 fig5 fig6 fig7 state guard approx bandwidth
 //
@@ -101,6 +107,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		ctx, stop := signalContext()
 		defer stop()
 		return serveMain(ctx, args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "federate" {
+		ctx, stop := signalContext()
+		defer stop()
+		return federateMain(ctx, args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("peelsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -430,6 +441,6 @@ func dumpTrace(sink *telemetry.Sink, suite *invariant.Suite, path string, stderr
 }
 
 func usage(fs *flag.FlagSet, stderr io.Writer) {
-	fmt.Fprintf(stderr, "usage: peelsim [flags] <experiment>...\n       peelsim serve [flags]\nexperiments: %s all\n", strings.Join(order, " "))
+	fmt.Fprintf(stderr, "usage: peelsim [flags] <experiment>...\n       peelsim serve [flags]\n       peelsim federate [flags]\nexperiments: %s all\n", strings.Join(order, " "))
 	fs.PrintDefaults()
 }

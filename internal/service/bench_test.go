@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"testing"
 
 	"peel/internal/invariant"
@@ -15,10 +16,10 @@ func benchService(b *testing.B) *Service {
 	s := New(g, Options{})
 	b.Cleanup(s.Close)
 	hosts := g.Hosts()
-	if _, err := s.CreateGroup("bench", hosts[:16]); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "bench", hosts[:16]); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := s.GetTree("bench"); err != nil {
+	if _, err := s.GetTree(context.Background(), "bench"); err != nil {
 		b.Fatal(err)
 	}
 	return s
@@ -34,7 +35,7 @@ func BenchmarkGetTreeHit(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.GetTree("bench"); err != nil {
+		if _, err := s.GetTree(context.Background(), "bench"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -50,7 +51,7 @@ func BenchmarkGetTreeHitTelemetry(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.GetTree("bench"); err != nil {
+		if _, err := s.GetTree(context.Background(), "bench"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +66,7 @@ func BenchmarkGetTreeHitParallel(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := s.GetTree("bench"); err != nil {
+			if _, err := s.GetTree(context.Background(), "bench"); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -18,8 +18,11 @@ import (
 )
 
 // The daemon: the HTTP/JSON face of the service, shared verbatim between
-// cmd/peeld and `peelsim serve` so experiments and the long-running
-// deployment exercise one construction path.
+// cmd/peeld (single-node and federation-router modes) and `peelsim serve`
+// so experiments and the long-running deployment exercise one
+// construction path. The handlers are written against the API interface,
+// so one route table serves both a single *Service and the federation
+// router's failover client.
 //
 // Endpoints (all JSON):
 //
@@ -29,14 +32,24 @@ import (
 //	POST   /v1/groups/{id}/leave     {"host":N}              → GroupInfo
 //	GET    /v1/groups/{id}/tree                              → TreeResponse
 //	DELETE /v1/groups/{id}                                   → 204
+//	POST   /v1/trees                 {"members":[...]}       → TreeResponse (members[0] is the source)
 //	POST   /v1/chaos/links/{link}    {"failed":bool}         → {"changed":bool}
 //	GET    /v1/stats                                         → Stats
 //	GET    /v1/report                                        → telemetry run-report (404 if no sink armed)
-//	GET    /healthz                                          → 200 "ok" (503 while draining)
+//	GET    /healthz                                          → 200 "ok" (pure liveness: up while the process serves)
+//	GET    /readyz                                           → 200 "ready" (503 while draining or before the
+//	                                                           topology observer is subscribed)
+//
+// Federation-router instances additionally serve:
+//
+//	POST   /v1/federation/join       {"name","addr","k"}     → {"events":N} (replica admission + catch-up)
+//	GET    /v1/federation                                    → federation census
 //
 // Error mapping: ErrNoSuchGroup→404, ErrGroupExists→409, ErrOverloaded→429,
-// ErrDraining→503, membership/validation errors→400, unreachable
-// destinations→409 (the fabric cannot currently serve the group).
+// ErrDraining→503, context.DeadlineExceeded→504 (the per-request timeout
+// or the client's own deadline expired), membership/validation errors→400,
+// unreachable destinations→409 (the fabric cannot currently serve the
+// group).
 
 // DaemonConfig configures one daemon instance.
 type DaemonConfig struct {
@@ -53,6 +66,10 @@ type DaemonConfig struct {
 	MaxInflight int
 	CacheCap    int
 	Seed        int64
+	// RequestTimeout bounds each request's context: handlers pass it into
+	// the service, so a slow tree computation answers 504 instead of
+	// holding the connection forever (default 10s; <0 disables).
+	RequestTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown (default 5s).
 	DrainTimeout time.Duration
 	// OnReady, when set, is called with the bound address once the
@@ -67,16 +84,23 @@ func (c DaemonConfig) withDefaults() DaemonConfig {
 	if c.K == 0 {
 		c.K = 8
 	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	} else if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
 	return c
 }
 
-// Daemon binds a Service to an HTTP server.
+// Daemon binds an API implementation (a single-node Service or a
+// federation router client) to an HTTP server.
 type Daemon struct {
 	cfg      DaemonConfig
-	svc      *Service
+	api      API
+	svc      *Service // non-nil only in single-node mode
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
@@ -92,22 +116,33 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		}
 		g = topology.FatTree(cfg.K)
 	}
-	d := &Daemon{
-		cfg: cfg,
-		svc: New(g, Options{
-			Shards:      cfg.Shards,
-			MaxInflight: cfg.MaxInflight,
-			CacheCap:    cfg.CacheCap,
-			Seed:        cfg.Seed,
-		}),
-	}
+	svc := New(g, Options{
+		Shards:      cfg.Shards,
+		MaxInflight: cfg.MaxInflight,
+		CacheCap:    cfg.CacheCap,
+		Seed:        cfg.Seed,
+	})
+	d := &Daemon{cfg: cfg, api: svc, svc: svc}
 	d.mux = d.routes()
 	return d, nil
 }
 
-// Service returns the daemon's underlying service (in-process callers,
-// tests).
+// NewDaemonFor binds an externally constructed API — the federation
+// router's client above all — to the shared daemon wiring. Fabric and
+// service fields of cfg are ignored; the API owns its own state.
+func NewDaemonFor(api API, cfg DaemonConfig) *Daemon {
+	cfg = cfg.withDefaults()
+	d := &Daemon{cfg: cfg, api: api}
+	d.mux = d.routes()
+	return d
+}
+
+// Service returns the daemon's underlying single-node service, or nil
+// when the daemon fronts a federation (in-process callers, tests).
 func (d *Daemon) Service() *Service { return d.svc }
+
+// API returns whatever the daemon serves.
+func (d *Daemon) API() API { return d.api }
 
 // Handler returns the daemon's HTTP handler (httptest servers mount it
 // directly).
@@ -130,7 +165,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 	}
 	select {
 	case err := <-errCh:
-		d.svc.Close()
+		d.api.Close()
 		return err
 	case <-ctx.Done():
 	}
@@ -138,7 +173,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 	sctx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
 	defer cancel()
 	err = srv.Shutdown(sctx)
-	d.svc.Close()
+	d.api.Close()
 	if serr := <-errCh; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
 		err = serr
 	}
@@ -153,11 +188,43 @@ func (d *Daemon) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/groups/{id}/leave", d.handleLeave)
 	mux.HandleFunc("GET /v1/groups/{id}/tree", d.handleTree)
 	mux.HandleFunc("DELETE /v1/groups/{id}", d.handleDelete)
+	mux.HandleFunc("POST /v1/trees", d.handleTreeFor)
 	mux.HandleFunc("POST /v1/chaos/links/{link}", d.handleChaosLink)
 	mux.HandleFunc("GET /v1/stats", d.handleStats)
 	mux.HandleFunc("GET /v1/report", d.handleReport)
 	mux.HandleFunc("GET /healthz", d.handleHealth)
+	mux.HandleFunc("GET /readyz", d.handleReady)
+	if fed, ok := d.api.(FederationAdmin); ok {
+		mux.HandleFunc("POST /v1/federation/join", func(w http.ResponseWriter, r *http.Request) {
+			d.handleFederationJoin(fed, w, r)
+		})
+		mux.HandleFunc("GET /v1/federation", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, fed.FederationCensus())
+		})
+	}
 	return mux
+}
+
+// FederationAdmin is implemented by the federation router's client; when
+// the daemon's API also implements it, the /v1/federation routes are
+// mounted so replicas can self-register over HTTP.
+type FederationAdmin interface {
+	// FederationJoin admits (or re-admits) a replica reachable at addr and
+	// returns the number of failure events replayed during catch-up.
+	FederationJoin(name, addr string) (replayed int, err error)
+	// FederationCensus reports per-replica health/generation state in a
+	// JSON-encodable form.
+	FederationCensus() any
+}
+
+// reqCtx derives the handler context: the client's own context (cancelled
+// when the connection drops — an abandoned request must release its
+// admission token) bounded by the configured per-request timeout.
+func (d *Daemon) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if d.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d.cfg.RequestTimeout)
 }
 
 // groupJSON is the wire form of GroupInfo.
@@ -219,6 +286,8 @@ func httpError(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, steiner.ErrUnreachable):
 		return http.StatusConflict
 	default:
@@ -257,7 +326,9 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 	for i, m := range req.Members {
 		members[i] = topology.NodeID(m)
 	}
-	gi, err := d.svc.CreateGroup(req.ID, members)
+	ctx, cancel := d.reqCtx(r)
+	defer cancel()
+	gi, err := d.api.CreateGroup(ctx, req.ID, members)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -266,7 +337,9 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleDescribe(w http.ResponseWriter, r *http.Request) {
-	gi, err := d.svc.Describe(r.PathValue("id"))
+	ctx, cancel := d.reqCtx(r)
+	defer cancel()
+	gi, err := d.api.Describe(ctx, r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -275,7 +348,7 @@ func (d *Daemon) handleDescribe(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) memberOp(w http.ResponseWriter, r *http.Request,
-	op func(string, topology.NodeID) (GroupInfo, error)) {
+	op func(context.Context, string, topology.NodeID) (GroupInfo, error)) {
 	var req struct {
 		Host int32 `json:"host"`
 	}
@@ -283,7 +356,9 @@ func (d *Daemon) memberOp(w http.ResponseWriter, r *http.Request,
 		writeErr(w, fmt.Errorf("service: bad request body: %w", err))
 		return
 	}
-	gi, err := op(r.PathValue("id"), topology.NodeID(req.Host))
+	ctx, cancel := d.reqCtx(r)
+	defer cancel()
+	gi, err := op(ctx, r.PathValue("id"), topology.NodeID(req.Host))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -292,15 +367,43 @@ func (d *Daemon) memberOp(w http.ResponseWriter, r *http.Request,
 }
 
 func (d *Daemon) handleJoin(w http.ResponseWriter, r *http.Request) {
-	d.memberOp(w, r, d.svc.Join)
+	d.memberOp(w, r, d.api.Join)
 }
 
 func (d *Daemon) handleLeave(w http.ResponseWriter, r *http.Request) {
-	d.memberOp(w, r, d.svc.Leave)
+	d.memberOp(w, r, d.api.Leave)
 }
 
 func (d *Daemon) handleTree(w http.ResponseWriter, r *http.Request) {
-	ti, err := d.svc.GetTree(r.PathValue("id"))
+	ctx, cancel := d.reqCtx(r)
+	defer cancel()
+	ti, err := d.api.GetTree(ctx, r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toTreeResponse(ti))
+}
+
+// handleTreeFor serves explicit-membership tree computation: members[0]
+// is the source. This is the call federation routers fan out to replicas
+// — replicas hold no group registry, so the membership rides in the
+// request.
+func (d *Daemon) handleTreeFor(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Members []int32 `json:"members"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	members := make([]topology.NodeID, len(req.Members))
+	for i, m := range req.Members {
+		members[i] = topology.NodeID(m)
+	}
+	ctx, cancel := d.reqCtx(r)
+	defer cancel()
+	ti, err := d.api.TreeFor(ctx, members)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -309,7 +412,9 @@ func (d *Daemon) handleTree(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := d.svc.DeleteGroup(r.PathValue("id")); err != nil {
+	ctx, cancel := d.reqCtx(r)
+	defer cancel()
+	if err := d.api.DeleteGroup(ctx, r.PathValue("id")); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -318,7 +423,7 @@ func (d *Daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 func (d *Daemon) handleChaosLink(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("link"))
-	if err != nil || id < 0 || id >= d.svc.NumLinks() {
+	if err != nil || id < 0 || id >= d.api.NumLinks() {
 		writeErr(w, fmt.Errorf("service: bad link id %q", r.PathValue("link")))
 		return
 	}
@@ -331,15 +436,15 @@ func (d *Daemon) handleChaosLink(w http.ResponseWriter, r *http.Request) {
 	}
 	var changed bool
 	if req.Failed {
-		changed = d.svc.FailLink(topology.LinkID(id))
+		changed = d.api.FailLink(topology.LinkID(id))
 	} else {
-		changed = d.svc.RestoreLink(topology.LinkID(id))
+		changed = d.api.RestoreLink(topology.LinkID(id))
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"changed": changed})
 }
 
 func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, d.svc.Stats())
+	writeJSON(w, http.StatusOK, d.api.StatsJSON())
 }
 
 func (d *Daemon) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -348,18 +453,44 @@ func (d *Daemon) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "telemetry not armed (run with -telemetry)"})
 		return
 	}
-	d.svc.RefreshGauges()
+	d.api.RefreshGauges()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	ts.Report("peeld").WriteJSON(w)
 }
 
+// handleHealth is pure liveness: if the process can answer, it is alive.
+// Load balancers deciding whether to route traffic should use /readyz.
 func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if d.draining.Load() || d.svc.closing.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+	io.WriteString(w, "ok\n")
+}
+
+// handleReady is readiness: false while draining and before the service's
+// topology observer is subscribed (a not-ready instance may serve stale
+// trees because invalidation is not yet wired).
+func (d *Daemon) handleReady(w http.ResponseWriter, r *http.Request) {
+	if d.draining.Load() || !d.api.Ready() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
 		return
 	}
-	io.WriteString(w, "ok\n")
+	io.WriteString(w, "ready\n")
+}
+
+func (d *Daemon) handleFederationJoin(fed FederationAdmin, w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+		Addr string `json:"addr"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	replayed, err := fed.FederationJoin(req.Name, req.Addr)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"events": replayed})
 }
 
 // Serve is the shared daemon entry point behind both cmd/peeld and

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -110,10 +111,10 @@ func TestDaemonChaosEndpointInvalidates(t *testing.T) {
 	d, srv := newTestDaemon(t)
 	s := d.Service()
 	hosts := s.Graph().Hosts()
-	if _, err := s.CreateGroup("c", []topology.NodeID{hosts[0], hosts[4]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "c", []topology.NodeID{hosts[0], hosts[4]}); err != nil {
 		t.Fatal(err)
 	}
-	ti, err := s.GetTree("c")
+	ti, err := s.GetTree(context.Background(), "c")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestDaemonRunDrainsGracefully(t *testing.T) {
 		t.Fatal("daemon did not drain")
 	}
 	// The service is closed and its observer unsubscribed.
-	if _, err := d.Service().GetTree("x"); err == nil {
+	if _, err := d.Service().GetTree(context.Background(), "x"); err == nil {
 		t.Fatal("service still serving after drain")
 	}
 	if n := d.Service().Graph().NumObservers(); n != 0 {
@@ -209,5 +210,109 @@ func TestDaemonRunDrainsGracefully(t *testing.T) {
 func TestDaemonRejectsBadArity(t *testing.T) {
 	if _, err := NewDaemon(DaemonConfig{K: 3}); err == nil {
 		t.Fatal("odd arity accepted")
+	}
+}
+
+// TestDaemonSlowPeelAnswers504AndReleasesToken pins the deadline
+// contract end to end: a tree computation that outlives the per-request
+// timeout answers 504, holds its admission token only while computing
+// (proved by a concurrent 429), and returns the token when the abandoned
+// request finishes — capacity is never leaked to a hung client.
+func TestDaemonSlowPeelAnswers504AndReleasesToken(t *testing.T) {
+	var gate atomic.Bool
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	svc := New(topology.FatTree(4), Options{
+		MaxInflight: 1,
+		ComputeHook: func() {
+			if gate.CompareAndSwap(true, false) {
+				entered <- struct{}{}
+				<-release
+			}
+		},
+	})
+	t.Cleanup(svc.Close)
+	d := NewDaemonFor(svc, DaemonConfig{RequestTimeout: 100 * time.Millisecond})
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+
+	hosts := svc.Graph().Hosts()
+	for i, id := range []string{"slow", "other"} {
+		members := []topology.NodeID{hosts[4*i], hosts[4*i+1], hosts[4*i+2]}
+		if _, err := svc.CreateGroup(context.Background(), id, members); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get := func(id string) int {
+		resp, err := http.Get(srv.URL + "/v1/groups/" + id + "/tree")
+		if err != nil {
+			t.Errorf("GET %s: %v", id, err)
+			return -1
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	gate.Store(true)
+	slowCode := make(chan int, 1)
+	go func() { slowCode <- get("slow") }()
+	<-entered // the slow peel now holds the only admission token
+
+	if code := get("other"); code != http.StatusTooManyRequests {
+		t.Fatalf("concurrent miss with token held: %d, want 429", code)
+	}
+
+	// Let the slow request's deadline expire before the compute finishes:
+	// the handler must answer 504, not hang and not 200.
+	time.Sleep(150 * time.Millisecond)
+	close(release)
+	select {
+	case code := <-slowCode:
+		if code != http.StatusGatewayTimeout {
+			t.Fatalf("slow peel answered %d, want 504", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow request never completed")
+	}
+
+	// The abandoned request's token is back: the same miss now computes.
+	if code := get("other"); code != http.StatusOK {
+		t.Fatalf("miss after token release: %d, want 200", code)
+	}
+}
+
+// TestDaemonReadyzSplitsFromHealthz: /healthz is pure liveness and stays
+// 200 for the life of the process; /readyz flips to 503 the moment the
+// API stops being able to serve correctly (here: the service closed and
+// unsubscribed its topology observer).
+func TestDaemonReadyzSplitsFromHealthz(t *testing.T) {
+	svc := New(topology.FatTree(4), Options{})
+	d := NewDaemonFor(svc, DaemonConfig{})
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+
+	status := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := status("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz while serving: %d", code)
+	}
+	if code := status("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while serving: %d", code)
+	}
+	svc.Close()
+	if code := status("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after close: %d, want 503", code)
+	}
+	if code := status("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after close: %d, want 200 (liveness, not readiness)", code)
 	}
 }

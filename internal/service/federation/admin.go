@@ -1,0 +1,91 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+
+	"peel/internal/service"
+)
+
+// ReplicaStatus is one replica's row in the federation census.
+type ReplicaStatus struct {
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	Acked   uint64 `json:"acked"`
+	Served  uint64 `json:"served_gen"`
+	Breaker bool   `json:"breaker_open"`
+}
+
+// CensusInfo is the GET /v1/federation payload.
+type CensusInfo struct {
+	Events   uint64          `json:"events"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// Census snapshots the fleet.
+func (f *Federation) Census() CensusInfo {
+	reps := *f.reps.Load()
+	out := CensusInfo{Events: f.logLen.Load(), Replicas: make([]ReplicaStatus, 0, len(reps))}
+	for _, r := range reps {
+		out.Replicas = append(out.Replicas, ReplicaStatus{
+			Name:    r.name,
+			State:   stateName(r.state.Load()),
+			Acked:   r.acked.Load(),
+			Served:  r.servedGen.Load(),
+			Breaker: r.breakerOpenUntil.Load() != 0,
+		})
+	}
+	return out
+}
+
+// FederationCensus implements service.FederationAdmin.
+func (f *Federation) FederationCensus() any { return f.Census() }
+
+// FederationJoin admits (or re-admits) an HTTP replica reachable at addr:
+// a replica process self-registers after boot, the router probes its
+// generation, replays what it missed, and starts routing to it. Joining
+// an existing name rebinds its backend (the process restarted, possibly
+// on a new port); joining a new name grows the fleet. Returns the number
+// of events replayed during catch-up.
+func (f *Federation) FederationJoin(name, addr string) (int, error) {
+	if name == "" || addr == "" {
+		return 0, fmt.Errorf("federation: join needs a name and an addr")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	be := NewHTTPBackend(name, addr, f.oracle.Graph().NumNodes())
+	reps := *f.reps.Load()
+	var r *replica
+	for _, have := range reps {
+		if have.name == name {
+			r = have
+			break
+		}
+	}
+	if r == nil {
+		r = &replica{name: name, idx: len(reps), be: be}
+		r.state.Store(stateDown)
+		grown := make([]*replica, len(reps), len(reps)+1)
+		copy(grown, reps)
+		grown = append(grown, r)
+		f.reps.Store(&grown)
+	} else {
+		r.be = be
+		r.state.Store(stateDown)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.ProbeTimeout)
+	defer cancel()
+	return f.readmitLocked(ctx, r)
+}
+
+// fedStats is the router's GET /v1/stats payload: the oracle census plus
+// the federation census.
+type fedStats struct {
+	Oracle     service.Stats `json:"oracle"`
+	Federation CensusInfo    `json:"federation"`
+}
+
+// StatsJSON implements service.API.
+func (f *Federation) StatsJSON() any {
+	return fedStats{Oracle: f.oracle.Stats(), Federation: f.Census()}
+}

@@ -1,0 +1,728 @@
+// Package federation shards the multicast control plane across N peeld
+// replicas behind one router, surviving control-plane failures the way
+// the single-node service survives fabric failures.
+//
+// The design keeps replicas stateless: the router owns the authoritative
+// group registry (its local "oracle" service — also the direct re-peel
+// fallback of last resort), and replicas are tree-computation/cache
+// shards reached through the explicit-membership TreeFor path, so a
+// hard-killed replica loses only a warm cache, never group state, and
+// failover is always safe.
+//
+//   - Routing: GetTree consistent-hashes the group's canonical tree key
+//     onto the replica fleet with rendezvous (highest-random-weight)
+//     hashing, so two groups with one canonical membership land on one
+//     replica's one cache entry, and replica loss remaps only the keys
+//     the dead replica owned.
+//   - Event replication: every real topology transition (link down/up)
+//     applies to the oracle first, is appended to a replicated event log,
+//     and fans out synchronously to every up replica. A replica acks each
+//     event; the per-replica acked generation IS the generation vector.
+//     Because only real transitions are logged and replicas start from
+//     the same pristine fabric, a replica's own topology generation
+//     always equals its acked event count — which is what makes the
+//     oracle-identical rollback check (invariant.go) exact.
+//   - Failover: a replica that misses an event, fails a health probe, or
+//     is killed is marked down and stops receiving traffic and events.
+//     Requests fail over to the next replica on the ring (jittered
+//     exponential backoff retries on ErrOverloaded, a per-replica circuit
+//     breaker on repeated transport errors) and, when every replica is
+//     out, degrade to a direct re-peel on the oracle — so a client
+//     operation never fails because replicas died.
+//   - Re-admission: a recovered replica reports its topology generation;
+//     the router replays log[gen:] (everything for a fresh restart) and
+//     only then routes to it again. A replica ahead of the log is
+//     refused — it diverged, and serving it could violate the oracle.
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peel/internal/service"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+// ErrReplicaDown is the transport-level failure for a dead replica: the
+// in-process backend returns it after a kill (connection-refused
+// semantics), and the HTTP backend wraps dial errors in it.
+var ErrReplicaDown = errors.New("federation: replica down: connection refused")
+
+// Replica lifecycle states. Only stateUp replicas receive traffic and
+// replicated events; stateCatchingUp marks the replay window during
+// re-admission (a restarted replica with a stale generation vector must
+// refuse traffic until caught up).
+const (
+	stateUp int32 = iota
+	stateDown
+	stateCatchingUp
+)
+
+func stateName(s int32) string {
+	switch s {
+	case stateUp:
+		return "up"
+	case stateDown:
+		return "down"
+	case stateCatchingUp:
+		return "catching-up"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one replicated topology transition. Seq is 1-based and dense:
+// because only real transitions are logged, Seq equals the topology
+// generation of every node (oracle and caught-up replicas alike) after
+// applying it.
+type Event struct {
+	Seq  uint64          `json:"seq"`
+	Link topology.LinkID `json:"link"`
+	Down bool            `json:"down"`
+}
+
+// Config parameterizes a federation.
+type Config struct {
+	// NewGraph builds one pristine fabric instance. Every replica and the
+	// oracle get their own graph from it (graphs are mutable and not
+	// shared). Required.
+	NewGraph func() *topology.Graph
+	// Replicas is the number of in-process replicas to start with.
+	// HTTP replicas join later via FederationJoin.
+	Replicas int
+	// ServiceOpts configures the oracle and every in-process replica.
+	ServiceOpts service.Options
+	// HealthInterval is the health-probe period. 0 selects synchronous
+	// mode: no probe goroutine runs, and KillReplica/RestartReplica flip
+	// state (and catch up) synchronously — deterministic, for tests and
+	// golden runs.
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive probe failures that mark an up
+	// replica down (default 2).
+	FailThreshold int
+	// RetryMax is the attempt budget per replica per operation (default 3).
+	RetryMax int
+	// RetryBase is the first backoff step (default 200µs); RetryCap caps
+	// the exponential growth (default 5ms). Sleeps are jittered to
+	// [d/2, d).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// BreakerThreshold is the consecutive operation failures that open a
+	// replica's circuit breaker (default 4); BreakerCooldown is how long
+	// it stays open before one half-open probe is allowed (default 100ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Standbys is how many ring fallbacks to try after the primary before
+	// degrading to a direct re-peel (default 1).
+	Standbys int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 200 * time.Microsecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 5 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 4
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 100 * time.Millisecond
+	}
+	if c.Standbys <= 0 {
+		c.Standbys = 1
+	}
+	return c
+}
+
+// replica is the router-side view of one backend.
+type replica struct {
+	name string
+	idx  int
+	be   Backend
+
+	state atomic.Int32
+	// acked is the replica's generation vector entry: the highest event
+	// Seq it has acknowledged. Written under Federation.mu, read
+	// atomically on the routing fast path.
+	acked atomic.Uint64
+	// servedGen is the highest CurrentGen observed in this replica's
+	// responses (generation-monotonic invariant state).
+	servedGen atomic.Uint64
+
+	probeFails int // health-loop state, guarded by Federation.mu
+
+	// Circuit breaker: consecutive routed-operation failures, and the
+	// deadline (unix nanos) before which the breaker rejects traffic.
+	breakerFails     atomic.Int32
+	breakerOpenUntil atomic.Int64
+}
+
+// Federation is the router: it implements service.API (so cmd/peeld can
+// serve it through the stock daemon), service.FaultInjector (replicating
+// every transition), loadgen.ReplicaChaos (process-level fault
+// injection), and service.FederationAdmin (HTTP replica admission).
+type Federation struct {
+	cfg    Config
+	oracle *service.Service
+
+	// mu serializes the event log, replica state transitions, event
+	// broadcast, catch-up replay, and the invariant oracle's rollback
+	// window. The routing read path stays off it.
+	mu     sync.Mutex
+	log    []Event
+	logLen atomic.Uint64
+
+	reps atomic.Pointer[[]*replica]
+
+	jitter atomic.Uint64 // splitmix64 stream for backoff jitter
+	hooks  atomic.Pointer[fedHooks]
+	closed atomic.Bool
+
+	healthStop chan struct{}
+	healthDone chan struct{}
+}
+
+var _ service.API = (*Federation)(nil)
+
+// New builds a federation with cfg.Replicas in-process replicas, all up
+// and at generation 0 (matching the empty event log).
+func New(cfg Config) (*Federation, error) {
+	if cfg.NewGraph == nil {
+		return nil, fmt.Errorf("federation: Config.NewGraph is required")
+	}
+	cfg = cfg.withDefaults()
+	f := &Federation{
+		cfg:    cfg,
+		oracle: service.New(cfg.NewGraph(), cfg.ServiceOpts),
+	}
+	reps := make([]*replica, 0, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		name := fmt.Sprintf("r%d", i)
+		r := &replica{name: name, idx: i, be: newLocalBackend(name, cfg.NewGraph, cfg.ServiceOpts)}
+		r.state.Store(stateUp)
+		reps = append(reps, r)
+	}
+	f.reps.Store(&reps)
+	if cfg.HealthInterval > 0 {
+		f.healthStop = make(chan struct{})
+		f.healthDone = make(chan struct{})
+		go f.healthLoop()
+	}
+	return f, nil
+}
+
+// Oracle exposes the router's local authoritative service (tests, and
+// peelsim wiring that reads the graph).
+func (f *Federation) Oracle() *service.Service { return f.oracle }
+
+// Close stops the health loop, drains every live backend gracefully, and
+// closes the oracle. Idempotent.
+func (f *Federation) Close() {
+	if f.closed.Swap(true) {
+		return
+	}
+	if f.healthStop != nil {
+		close(f.healthStop)
+		<-f.healthDone
+	}
+	for _, r := range *f.reps.Load() {
+		r.be.Close()
+	}
+	f.oracle.Close()
+}
+
+// Ready implements service.API: the router serves while not closed (its
+// oracle subscribes its topology observer at construction).
+func (f *Federation) Ready() bool { return !f.closed.Load() && f.oracle.Ready() }
+
+// --- group lifecycle: the oracle owns the registry -------------------
+
+func (f *Federation) CreateGroup(ctx context.Context, id string, members []topology.NodeID) (service.GroupInfo, error) {
+	return f.oracle.CreateGroup(ctx, id, members)
+}
+
+func (f *Federation) Describe(ctx context.Context, id string) (service.GroupInfo, error) {
+	return f.oracle.Describe(ctx, id)
+}
+
+func (f *Federation) Join(ctx context.Context, id string, host topology.NodeID) (service.GroupInfo, error) {
+	return f.oracle.Join(ctx, id, host)
+}
+
+func (f *Federation) Leave(ctx context.Context, id string, host topology.NodeID) (service.GroupInfo, error) {
+	return f.oracle.Leave(ctx, id, host)
+}
+
+func (f *Federation) DeleteGroup(ctx context.Context, id string) error {
+	return f.oracle.DeleteGroup(ctx, id)
+}
+
+// --- routed reads ----------------------------------------------------
+
+// GetTree resolves the group against the oracle's registry (zero-copy
+// snapshot), then routes the tree computation onto the replica ring with
+// retries, failover, and — when every replica is out — a direct re-peel
+// on the oracle. With an invariant suite armed, every replica answer is
+// proven byte-identical to the oracle's tree on the same degraded graph.
+func (f *Federation) GetTree(ctx context.Context, id string) (service.TreeInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return service.TreeInfo{}, err
+	}
+	if f.closed.Load() {
+		return service.TreeInfo{}, service.ErrDraining
+	}
+	source, members, key, err := f.oracle.GroupSnapshot(id)
+	if err != nil {
+		return service.TreeInfo{}, err
+	}
+	return f.route(ctx, key, source, members)
+}
+
+// TreeFor implements the explicit-membership path on the router itself
+// (members[0] is the source): canonicalize once, then route like GetTree.
+func (f *Federation) TreeFor(ctx context.Context, members []topology.NodeID) (service.TreeInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return service.TreeInfo{}, err
+	}
+	if f.closed.Load() {
+		return service.TreeInfo{}, service.ErrDraining
+	}
+	key, source, canon, err := f.oracle.Canonicalize(members)
+	if err != nil {
+		return service.TreeInfo{}, err
+	}
+	return f.route(ctx, key, source, canon)
+}
+
+// route fans one canonical-membership tree request across the ring.
+func (f *Federation) route(ctx context.Context, key string, source topology.NodeID, members []topology.NodeID) (service.TreeInfo, error) {
+	h := f.tel()
+	reps := *f.reps.Load()
+	if len(reps) == 0 {
+		return f.direct(ctx, key, source, members, h)
+	}
+	order := hrwOrder(reps, key)
+	tries := 1 + f.cfg.Standbys
+	if tries > len(order) {
+		tries = len(order)
+	}
+	failedOver := false
+	for i := 0; i < tries; i++ {
+		r := order[i]
+		if !f.routable(r) {
+			failedOver = true
+			continue
+		}
+		ackedAtSend := r.acked.Load()
+		ti, attempts, err := f.callReplica(ctx, r, key, source, members)
+		if h != nil {
+			h.retryAttempts.Observe(int64(attempts))
+			if attempts > 1 {
+				h.retries.Add(int64(attempts - 1))
+			}
+		}
+		if err == nil {
+			r.breakerFails.Store(0)
+			if failedOver && h != nil {
+				h.failovers.Inc()
+			}
+			f.checkServed(r, ackedAtSend, ti, source, members)
+			return ti, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return service.TreeInfo{}, cerr
+		}
+		if !isFailoverErr(err) {
+			// Semantic errors (unreachable destinations, bad members) are
+			// properties of the request, not of the replica — every node
+			// would answer the same.
+			return service.TreeInfo{}, err
+		}
+		f.noteFailure(r, err)
+		failedOver = true
+	}
+	if failedOver && h != nil {
+		h.failovers.Inc()
+	}
+	return f.direct(ctx, key, source, members, h)
+}
+
+// direct is the degraded path of last resort: re-peel on the oracle.
+// It cannot miss events (the oracle applies them first), so a client
+// operation never fails because the replica fleet is out.
+func (f *Federation) direct(ctx context.Context, key string, source topology.NodeID, members []topology.NodeID, h *fedHooks) (service.TreeInfo, error) {
+	if h != nil {
+		h.directPeel.Inc()
+	}
+	ti, err := f.oracle.TreeForCanonical(ctx, key, source, members)
+	if err == nil {
+		f.passOracleChecks()
+	}
+	return ti, err
+}
+
+// routable reports whether a replica may receive traffic: up, caught up
+// with the event log, and not circuit-broken. A cooled-down breaker
+// admits exactly one half-open probe (the CAS loser stays rejected).
+func (f *Federation) routable(r *replica) bool {
+	if r.state.Load() != stateUp || r.acked.Load() != f.logLen.Load() {
+		return false
+	}
+	if until := r.breakerOpenUntil.Load(); until != 0 {
+		if time.Now().UnixNano() < until {
+			return false
+		}
+		if !r.breakerOpenUntil.CompareAndSwap(until, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// callReplica runs one replica call with jittered exponential backoff on
+// retryable failures, honoring ctx. Returns the attempts consumed.
+func (f *Federation) callReplica(ctx context.Context, r *replica, key string, source topology.NodeID, members []topology.NodeID) (service.TreeInfo, int, error) {
+	var err error
+	for attempt := 1; attempt <= f.cfg.RetryMax; attempt++ {
+		var ti service.TreeInfo
+		ti, err = r.be.TreeFor(ctx, key, source, members)
+		if err == nil {
+			return ti, attempt, nil
+		}
+		if !retryable(err) || ctx.Err() != nil {
+			return service.TreeInfo{}, attempt, err
+		}
+		if attempt < f.cfg.RetryMax {
+			f.backoff(ctx, attempt)
+		}
+	}
+	return service.TreeInfo{}, f.cfg.RetryMax, err
+}
+
+// retryable: overload is worth waiting out on the same replica; a dead
+// replica is not — fail over immediately. Unknown (transport) errors get
+// the retry budget too, covering transient HTTP failures.
+func retryable(err error) bool {
+	if errors.Is(err, service.ErrOverloaded) {
+		return true
+	}
+	if errors.Is(err, ErrReplicaDown) {
+		return false
+	}
+	return isFailoverErr(err)
+}
+
+// isFailoverErr reports whether the next replica could plausibly answer
+// where this one failed. Request-semantic errors and the caller's own
+// context expiry are not failover material.
+func isFailoverErr(err error) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return false
+	case errors.Is(err, steiner.ErrUnreachable),
+		errors.Is(err, service.ErrBadMember),
+		errors.Is(err, service.ErrGroupTooSmall),
+		errors.Is(err, service.ErrNoSuchGroup):
+		return false
+	}
+	return true
+}
+
+// noteFailure advances a replica's circuit breaker and, for definitive
+// transport death, marks it down so the health loop owns re-admission.
+func (f *Federation) noteFailure(r *replica, err error) {
+	if errors.Is(err, ErrReplicaDown) {
+		f.mu.Lock()
+		if r.state.Load() == stateUp {
+			f.markDownLocked(r)
+		}
+		f.mu.Unlock()
+		return
+	}
+	if n := r.breakerFails.Add(1); int(n) >= f.cfg.BreakerThreshold {
+		r.breakerFails.Store(0)
+		r.breakerOpenUntil.Store(time.Now().Add(f.cfg.BreakerCooldown).UnixNano())
+		if h := f.tel(); h != nil {
+			h.breakerOpens.Inc()
+		}
+	}
+}
+
+// backoff sleeps the jittered exponential step for attempt, bailing early
+// when ctx expires.
+func (f *Federation) backoff(ctx context.Context, attempt int) {
+	d := f.cfg.RetryBase << (attempt - 1)
+	if d > f.cfg.RetryCap {
+		d = f.cfg.RetryCap
+	}
+	half := d / 2
+	if half <= 0 {
+		half = 1
+	}
+	j := half + time.Duration(splitmix64(f.jitter.Add(1))%uint64(half))
+	t := time.NewTimer(j)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// splitmix64 is the jitter stream: cheap, seedable, and free of the
+// global math/rand lock on the request path.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// --- fault injection: the replication bus ----------------------------
+
+// FailLink fails a link federation-wide: oracle first, then the event
+// fans out to every up replica. Implements service.FaultInjector.
+func (f *Federation) FailLink(id topology.LinkID) bool {
+	return f.applyTransition(id, true)
+}
+
+// RestoreLink heals a link federation-wide.
+func (f *Federation) RestoreLink(id topology.LinkID) bool {
+	return f.applyTransition(id, false)
+}
+
+// NumLinks exposes the fabric's link count for chaos drivers.
+func (f *Federation) NumLinks() int { return f.oracle.NumLinks() }
+
+// applyTransition is the replication bus: apply to the oracle (the
+// source of truth for whether this is a real transition), log it, fan it
+// out. A replica that fails to ack is marked down on the spot — it stops
+// receiving both traffic and further events, and re-admission replays
+// what it missed. Runs under mu so events reach every replica in log
+// order and routing-side invariant checks see a frozen log.
+func (f *Federation) applyTransition(id topology.LinkID, down bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var changed bool
+	if down {
+		changed = f.oracle.FailLink(id)
+	} else {
+		changed = f.oracle.RestoreLink(id)
+	}
+	if !changed {
+		return false
+	}
+	ev := Event{Seq: uint64(len(f.log)) + 1, Link: id, Down: down}
+	f.log = append(f.log, ev)
+	f.logLen.Store(ev.Seq)
+	h := f.tel()
+	for _, r := range *f.reps.Load() {
+		if r.state.Load() != stateUp {
+			continue
+		}
+		if err := r.be.ApplyEvent(context.Background(), ev); err != nil {
+			f.markDownLocked(r)
+			continue
+		}
+		r.acked.Store(ev.Seq)
+		if h != nil {
+			h.eventsReplicated.Inc()
+		}
+	}
+	if h != nil {
+		f.refreshFleetGauges(h)
+	}
+	return true
+}
+
+// markDownLocked takes a replica out of rotation. Callers hold mu.
+func (f *Federation) markDownLocked(r *replica) {
+	r.state.Store(stateDown)
+	r.probeFails = 0
+	if h := f.tel(); h != nil {
+		h.replicaUp[r.idx].Set(0)
+		f.refreshFleetGauges(h)
+	}
+}
+
+// readmitLocked syncs a recovered replica's generation vector and brings
+// it back into rotation: probe its topology generation, refuse it if it
+// is ahead of the log (it diverged — serving it could contradict the
+// oracle), replay log[gen:], and only then mark it up. Returns the
+// number of events replayed. Callers hold mu.
+func (f *Federation) readmitLocked(ctx context.Context, r *replica) (int, error) {
+	gen, err := r.be.Gen(ctx)
+	if err != nil {
+		r.state.Store(stateDown)
+		return 0, fmt.Errorf("federation: replica %s generation probe: %w", r.name, err)
+	}
+	if gen > uint64(len(f.log)) {
+		r.state.Store(stateDown)
+		return 0, fmt.Errorf("federation: replica %s at generation %d, ahead of %d-event log: diverged, refusing re-admission", r.name, gen, len(f.log))
+	}
+	r.state.Store(stateCatchingUp)
+	r.acked.Store(gen)
+	h := f.tel()
+	replayed := 0
+	for _, ev := range f.log[gen:] {
+		if err := r.be.ApplyEvent(ctx, ev); err != nil {
+			r.state.Store(stateDown)
+			return replayed, fmt.Errorf("federation: replica %s catch-up at event %d: %w", r.name, ev.Seq, err)
+		}
+		r.acked.Store(ev.Seq)
+		replayed++
+	}
+	r.probeFails = 0
+	r.breakerFails.Store(0)
+	r.breakerOpenUntil.Store(0)
+	r.state.Store(stateUp)
+	if h != nil {
+		h.readmits.Inc()
+		h.catchupReplayed.Add(int64(replayed))
+		if r.idx < len(h.replicaUp) {
+			h.replicaUp[r.idx].Set(1)
+		}
+		f.refreshFleetGauges(h)
+	}
+	return replayed, nil
+}
+
+// Readmit manually re-admits replica i (tests, and operators who do not
+// want to wait for the health loop).
+func (f *Federation) Readmit(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reps := *f.reps.Load()
+	if i < 0 || i >= len(reps) {
+		return fmt.Errorf("federation: no replica %d", i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.ProbeTimeout)
+	defer cancel()
+	_, err := f.readmitLocked(ctx, reps[i])
+	return err
+}
+
+// --- process-level chaos (loadgen.ReplicaChaos) ----------------------
+
+// killRestarter is the process-control surface in-process backends
+// implement; HTTP replicas are killed from outside (the CI smoke uses
+// kill -9) and recovered by the health loop.
+type killRestarter interface {
+	Kill() bool
+	Restart() bool
+}
+
+// NumReplicas implements loadgen.ReplicaChaos.
+func (f *Federation) NumReplicas() int { return len(*f.reps.Load()) }
+
+// KillReplica hard-kills replica i: its backend starts refusing
+// connections and the router marks it down. In-flight calls to it lose
+// their answers, exactly like a kill -9 mid-request.
+func (f *Federation) KillReplica(i int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reps := *f.reps.Load()
+	if i < 0 || i >= len(reps) {
+		return false
+	}
+	r := reps[i]
+	kb, ok := r.be.(killRestarter)
+	if !ok || !kb.Kill() {
+		return false
+	}
+	f.markDownLocked(r)
+	if h := f.tel(); h != nil {
+		h.kills.Inc()
+	}
+	return true
+}
+
+// RestartReplica boots replica i back up from scratch: pristine fabric,
+// empty cache, generation 0. In synchronous mode (HealthInterval == 0)
+// the router re-admits it immediately with a full catch-up replay;
+// otherwise the health loop (or an explicit Readmit) picks it up — until
+// then its stale generation vector keeps it out of rotation.
+func (f *Federation) RestartReplica(i int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reps := *f.reps.Load()
+	if i < 0 || i >= len(reps) {
+		return false
+	}
+	r := reps[i]
+	kb, ok := r.be.(killRestarter)
+	if !ok || !kb.Restart() {
+		return false
+	}
+	if f.cfg.HealthInterval == 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), f.cfg.ProbeTimeout)
+		defer cancel()
+		f.readmitLocked(ctx, r) //nolint:errcheck // a failed sync readmit leaves the replica down; chaos reports changed state regardless
+	}
+	return true
+}
+
+// --- health loop -----------------------------------------------------
+
+func (f *Federation) healthLoop() {
+	defer close(f.healthDone)
+	t := time.NewTicker(f.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.healthStop:
+			return
+		case <-t.C:
+			f.probeAll()
+		}
+	}
+}
+
+// probeAll pings every replica once: up replicas accumulate consecutive
+// probe failures toward FailThreshold; down replicas that answer again
+// are re-admitted through the catch-up path.
+func (f *Federation) probeAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.tel()
+	for _, r := range *f.reps.Load() {
+		ctx, cancel := context.WithTimeout(context.Background(), f.cfg.ProbeTimeout)
+		err := r.be.Ping(ctx)
+		switch r.state.Load() {
+		case stateUp:
+			if err != nil {
+				r.probeFails++
+				if r.probeFails >= f.cfg.FailThreshold {
+					f.markDownLocked(r)
+				}
+			} else {
+				r.probeFails = 0
+			}
+		case stateDown:
+			if err == nil {
+				f.readmitLocked(ctx, r)
+			}
+		}
+		cancel()
+	}
+	if h != nil {
+		f.refreshFleetGauges(h)
+	}
+}

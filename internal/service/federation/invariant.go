@@ -1,0 +1,118 @@
+package federation
+
+import (
+	"slices"
+
+	"peel/internal/core"
+	"peel/internal/invariant"
+	"peel/internal/service"
+	"peel/internal/topology"
+)
+
+// Invariant checkers owned by the federation layer.
+const (
+	// OracleIdentical: every federated GetTree answer byte-equals (same
+	// source, same parent vector, same cost) the tree a single-node oracle
+	// builds on the same degraded graph — the graph as of the generation
+	// the replica computed the tree at.
+	OracleIdentical = "federation.answer-oracle-identical"
+	// GenerationMonotonic: no replica ever serves a tree stale relative to
+	// the events it has acked — its serve-time generation covers the acked
+	// generation-vector entry the router read when dispatching to it, and
+	// a tree never claims a compute generation ahead of its serve
+	// generation.
+	GenerationMonotonic = "federation.generation-monotonic"
+)
+
+func init() {
+	invariant.Register(invariant.Checker{
+		Name:   OracleIdentical,
+		Anchor: "control-plane replication correctness",
+		Desc:   "every federated tree answer is byte-identical to a single-node oracle on the same degraded graph",
+	})
+	invariant.Register(invariant.Checker{
+		Name:   GenerationMonotonic,
+		Anchor: "generation-vector coherence",
+		Desc:   "no replica serves a tree stale relative to the failure events it has acked",
+	})
+}
+
+// checkServed runs both federation invariants on one successful replica
+// answer. Free when no suite is armed (one atomic load).
+func (f *Federation) checkServed(r *replica, ackedAtSend uint64, ti service.TreeInfo, source topology.NodeID, members []topology.NodeID) {
+	iv := invariant.Active()
+	if iv == nil {
+		return
+	}
+
+	// Generation-monotonic: the replica's serve-time generation must cover
+	// everything it had acked when we routed to it (it cannot have lost
+	// events and kept serving), and the tree cannot come from the future.
+	// servedGen is advanced as a max-watermark for the census only —
+	// responses from one replica can legitimately be OBSERVED out of order
+	// here (two concurrent calls straddling an event), so the per-answer
+	// check must not compare against it.
+	for {
+		prev := r.servedGen.Load()
+		if ti.CurrentGen <= prev || r.servedGen.CompareAndSwap(prev, ti.CurrentGen) {
+			break
+		}
+	}
+	iv.Checkf(GenerationMonotonic,
+		ti.CurrentGen >= ackedAtSend && ti.Gen <= ti.CurrentGen,
+		"replica %s served gen %d (computed at %d) with acked=%d at send",
+		r.name, ti.CurrentGen, ti.Gen, ackedAtSend)
+
+	// Oracle-identical: rebuild the oracle's graph as it was at the tree's
+	// compute generation and prove the replica's answer is what a
+	// single-node service would have built there. Because the bus logs
+	// only real transitions, event Seq aligns exactly with topology
+	// generation on every node, so "generation G" is reconstructed by
+	// rolling the current oracle graph back through the inverse of events
+	// (G, latest]. Holding mu freezes both the log and the oracle's
+	// failure state for the comparison window.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := uint64(len(f.log))
+	if ti.Gen > cur {
+		iv.Violatef(OracleIdentical,
+			"replica %s served a tree computed at gen %d, ahead of the %d-event log",
+			r.name, ti.Gen, cur)
+		return
+	}
+	clone := f.oracle.Graph().Clone()
+	for i := cur; i > ti.Gen; i-- {
+		ev := f.log[i-1]
+		if ev.Down {
+			clone.RestoreLink(ev.Link)
+		} else {
+			clone.FailLink(ev.Link)
+		}
+	}
+	receivers := make([]topology.NodeID, 0, len(members)-1)
+	for _, m := range members {
+		if m != source {
+			receivers = append(receivers, m)
+		}
+	}
+	want, err := core.BuildTree(clone, source, receivers)
+	if err != nil {
+		iv.Violatef(OracleIdentical,
+			"oracle cannot build a tree at gen %d that replica %s served: %v", ti.Gen, r.name, err)
+		return
+	}
+	iv.Checkf(OracleIdentical,
+		want.Source == ti.Tree.Source && want.Cost() == ti.Cost && slices.Equal(want.Parent, ti.Tree.Parent),
+		"replica %s tree at gen %d diverges from oracle (cost %d vs %d)",
+		r.name, ti.Gen, ti.Cost, want.Cost())
+}
+
+// passOracleChecks credits the direct re-peel path: an answer computed on
+// the oracle itself is oracle-identical by construction, and counting it
+// keeps the checker's totals covering every served tree.
+func (f *Federation) passOracleChecks() {
+	if iv := invariant.Active(); iv != nil {
+		iv.Pass(OracleIdentical)
+		iv.Pass(GenerationMonotonic)
+	}
+}

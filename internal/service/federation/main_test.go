@@ -1,0 +1,13 @@
+package federation
+
+import (
+	"testing"
+
+	"peel/internal/invariant/invtest"
+)
+
+// Every test in this package runs with the invariant suite armed: the
+// oracle-identical and generation-monotonic checkers (plus the service
+// layer's served-tree-fresh) verify every federated answer, and any
+// violation fails the binary.
+func TestMain(m *testing.M) { invtest.Main(m) }

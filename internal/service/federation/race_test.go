@@ -1,0 +1,7 @@
+//go:build race
+
+package federation
+
+// raceEnabled reports whether the race detector is compiled in; the
+// throughput comparison skips under it (instrumentation costs ~10×).
+const raceEnabled = true

@@ -1,0 +1,51 @@
+package federation
+
+// Rendezvous (highest-random-weight) hashing: each replica scores every
+// key independently via FNV-1a over (replica name, key), and the
+// preference order is the descending score order. Unlike a mod-N ring,
+// losing a replica remaps only the keys it owned — every other key keeps
+// its primary, so a replica kill invalidates one shard's worth of warm
+// cache, not the fleet's.
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// hrwScore hashes (name, key) with a separator so ("ab","c") and
+// ("a","bc") cannot collide structurally.
+func hrwScore(name, key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime64
+	}
+	h ^= 0
+	h *= fnvPrime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hrwOrder returns replicas in descending score order for key (ties
+// break by name so the order is total and deterministic). One small
+// allocation per call; replica fleets are small, so insertion sort beats
+// sort.Slice's indirection.
+func hrwOrder(reps []*replica, key string) []*replica {
+	order := make([]*replica, len(reps))
+	scores := make([]uint64, len(reps))
+	for i, r := range reps {
+		s := hrwScore(r.name, key)
+		j := i
+		for j > 0 && (scores[j-1] < s || (scores[j-1] == s && order[j-1].name > r.name)) {
+			order[j] = order[j-1]
+			scores[j] = scores[j-1]
+			j--
+		}
+		order[j] = r
+		scores[j] = s
+	}
+	return order
+}

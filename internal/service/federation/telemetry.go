@@ -1,0 +1,115 @@
+package federation
+
+import (
+	"fmt"
+
+	"peel/internal/telemetry"
+)
+
+// fedHooks caches the active sink's resolved primitives, following the
+// service package's telHooks pattern: resolve names once per sink (or
+// fleet-size) change, then every hot-path update is a lock-free atomic.
+type fedHooks struct {
+	sink     *telemetry.Sink
+	replicas int
+
+	failovers        *telemetry.Counter // answered by a non-primary replica or the oracle
+	directPeel       *telemetry.Counter // degraded to a direct oracle re-peel
+	retries          *telemetry.Counter // extra attempts beyond the first, summed
+	eventsReplicated *telemetry.Counter // events acked on the live broadcast path
+	catchupReplayed  *telemetry.Counter // events replayed during re-admission
+	readmits         *telemetry.Counter // replicas brought back into rotation
+	kills            *telemetry.Counter // chaos replica kills
+	breakerOpens     *telemetry.Counter // circuit-breaker trips
+
+	retryAttempts *telemetry.Histogram // attempts consumed per routed call
+
+	replicasUp     *telemetry.Gauge   // live replica count
+	replicationLag *telemetry.Gauge   // max events outstanding to any replica
+	replicaUp      []*telemetry.Gauge // per-replica 0/1 health
+	replicaAcked   []*telemetry.Gauge // per-replica generation-vector entry
+}
+
+// tel returns the hook cache for the active sink, or nil when telemetry
+// is disabled; the disabled cost is one atomic load. The cache rebuilds
+// when the sink or the replica count changes (HTTP joins grow the fleet).
+func (f *Federation) tel() *fedHooks {
+	ts := telemetry.Active()
+	if ts == nil {
+		return nil
+	}
+	n := len(*f.reps.Load())
+	h := f.hooks.Load()
+	if h == nil || h.sink != ts || h.replicas != n {
+		h = newFedHooks(ts, n)
+		f.hooks.Store(h)
+	}
+	return h
+}
+
+func newFedHooks(ts *telemetry.Sink, replicas int) *fedHooks {
+	h := &fedHooks{
+		sink:             ts,
+		replicas:         replicas,
+		failovers:        ts.Counter("federation.failovers"),
+		directPeel:       ts.Counter("federation.direct_peel"),
+		retries:          ts.Counter("federation.retries"),
+		eventsReplicated: ts.Counter("federation.events.replicated"),
+		catchupReplayed:  ts.Counter("federation.catchup.replayed"),
+		readmits:         ts.Counter("federation.readmits"),
+		kills:            ts.Counter("federation.replica.kills"),
+		breakerOpens:     ts.Counter("federation.breaker.opens"),
+		retryAttempts:    ts.Histogram("federation.retry.attempts", telemetry.Log2Layout()),
+		replicasUp:       ts.Gauge("federation.replicas.up"),
+		replicationLag:   ts.Gauge("federation.replication.lag"),
+	}
+	h.replicaUp = make([]*telemetry.Gauge, replicas)
+	h.replicaAcked = make([]*telemetry.Gauge, replicas)
+	for i := 0; i < replicas; i++ {
+		h.replicaUp[i] = ts.Gauge(fmt.Sprintf("federation.replica%02d.up", i))
+		h.replicaAcked[i] = ts.Gauge(fmt.Sprintf("federation.replica%02d.acked", i))
+	}
+	return h
+}
+
+// refreshFleetGauges recomputes the fleet-level gauges from replica
+// state. Callers hold mu (or are RefreshGauges, which takes it).
+func (f *Federation) refreshFleetGauges(h *fedHooks) {
+	reps := *f.reps.Load()
+	logLen := f.logLen.Load()
+	up := 0
+	var maxLag uint64
+	for _, r := range reps {
+		acked := r.acked.Load()
+		isUp := r.state.Load() == stateUp
+		if isUp {
+			up++
+		}
+		if lag := logLen - acked; lag > maxLag {
+			maxLag = lag
+		}
+		if r.idx < len(h.replicaUp) {
+			v := int64(0)
+			if isUp {
+				v = 1
+			}
+			h.replicaUp[r.idx].Set(v)
+			h.replicaAcked[r.idx].Set(int64(acked))
+		}
+	}
+	h.replicasUp.Set(int64(up))
+	h.replicationLag.Set(int64(maxLag))
+}
+
+// RefreshGauges implements service.API: push current oracle and fleet
+// state into armed gauges before a report snapshot.
+func (f *Federation) RefreshGauges() {
+	f.oracle.RefreshGauges()
+	h := f.tel()
+	if h == nil {
+		return
+	}
+	f.mu.Lock()
+	f.refreshFleetGauges(h)
+	f.mu.Unlock()
+}

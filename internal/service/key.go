@@ -43,6 +43,16 @@ func treeKey(source topology.NodeID, canonical []topology.NodeID) string {
 	return string(buf)
 }
 
+// CanonicalKey renders the tree-cache key for (source, members) after
+// canonicalizing the member set: permutations and duplications of the
+// same set produce the same key. The federation router hashes this key
+// onto its replica ring, so routing inherits the cache's sharing
+// property — two groups with one canonical membership land on one
+// replica's one cache entry.
+func CanonicalKey(source topology.NodeID, members []topology.NodeID) string {
+	return treeKey(source, canonicalMembers(source, members))
+}
+
 // receiversOf returns the canonical member set minus the source — the
 // destination list handed to tree construction and validation.
 func receiversOf(source topology.NodeID, canonical []topology.NodeID) []topology.NodeID {

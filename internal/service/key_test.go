@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"math/rand"
 	"slices"
 	"testing"
@@ -61,20 +62,20 @@ func TestPermutedGroupsShareCacheEntry(t *testing.T) {
 	hosts := g.Hosts()
 	a := []topology.NodeID{hosts[0], hosts[1], hosts[2], hosts[3]}
 	b := []topology.NodeID{hosts[0], hosts[3], hosts[1], hosts[2], hosts[2], hosts[1]}
-	if _, err := s.CreateGroup("a", a); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "a", a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.CreateGroup("b", b); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "b", b); err != nil {
 		t.Fatal(err)
 	}
-	ta, err := s.GetTree("a")
+	ta, err := s.GetTree(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ta.Cached {
 		t.Fatalf("first GetTree unexpectedly cached")
 	}
-	tb, err := s.GetTree("b")
+	tb, err := s.GetTree(context.Background(), "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,14 +107,14 @@ func TestCachedTreeMatchesFreshProperty(t *testing.T) {
 			members = append(members, hosts[i])
 		}
 		id := string(rune('A' + trial%26))
-		s.DeleteGroup(id)
-		if _, err := s.CreateGroup(id, members); err != nil {
+		s.DeleteGroup(context.Background(), id)
+		if _, err := s.CreateGroup(context.Background(), id, members); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.GetTree(id); err != nil {
+		if _, err := s.GetTree(context.Background(), id); err != nil {
 			t.Fatal(err)
 		}
-		cached, err := s.GetTree(id)
+		cached, err := s.GetTree(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}

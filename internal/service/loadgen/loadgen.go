@@ -30,13 +30,22 @@ import (
 // FaultInjector is the chaos hook: the loadgen flaps links through it so
 // failure transitions stay serialized with the service's invalidation
 // protocol. *service.Service implements it.
-type FaultInjector interface {
-	FailLink(id topology.LinkID) bool
-	RestoreLink(id topology.LinkID) bool
-	NumLinks() int
-}
+type FaultInjector = service.FaultInjector
 
-var _ FaultInjector = (*service.Service)(nil)
+// ReplicaChaos is the process-level chaos hook: alongside link flaps, the
+// loadgen can kill and restart whole peeld replicas through it. The
+// federation package implements it; a nil ReplicaChaos disables the kill
+// schedule.
+type ReplicaChaos interface {
+	// NumReplicas reports how many replicas exist (alive or dead).
+	NumReplicas() int
+	// KillReplica hard-kills replica i (kill -9 semantics: no drain, cache
+	// and generation state lost). Reports whether the state changed.
+	KillReplica(i int) bool
+	// RestartReplica boots replica i back up empty; the federation re-admits
+	// it after catch-up. Reports whether the state changed.
+	RestartReplica(i int) bool
+}
 
 // Mix weights the operation types. Zero values fall back to the default
 // 92/3/3/2 get/join/leave/churn split, which keeps the steady-state cache
@@ -82,6 +91,13 @@ type Config struct {
 	// FlapHeal restores the flapped link after FlapHeal further worker-0
 	// operations (default FlapEvery/2).
 	FlapHeal int
+	// KillEvery, when >0 with a ReplicaChaos armed, hard-kills a replica
+	// every KillEvery worker-0 operations (round-robin over replicas, so a
+	// fixed config kills a deterministic sequence).
+	KillEvery int
+	// KillRestart restarts the killed replica after KillRestart further
+	// worker-0 operations (default KillEvery/2).
+	KillRestart int
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.FlapHeal <= 0 {
 		c.FlapHeal = c.FlapEvery / 2
 	}
+	if c.KillRestart <= 0 {
+		c.KillRestart = c.KillEvery / 2
+	}
 	return c
 }
 
@@ -123,19 +142,43 @@ type Stats struct {
 	Benign     int64         `json:"benign_races"`
 	Errors     int64         `json:"errors"`
 	Flaps      int64         `json:"flaps"`
+	Kills      int64         `json:"replica_kills,omitempty"`
 	Wall       time.Duration `json:"wall_ns"`
 	OpsPerSec  float64       `json:"ops_per_sec"`
 	HitRate    float64       `json:"hit_rate"`
+	// ErrorsByKind types every non-benign failure so transport-level
+	// errors surface in the final report instead of vanishing into one
+	// opaque counter: "overloaded" (admission rejection), "draining"
+	// (shutdown refusals), "deadline" (context expiry/cancellation),
+	// "transport" (everything else — connection refused, EOF, 5xx).
+	// Empty (omitted) on a clean run.
+	ErrorsByKind map[string]int64 `json:"errors_by_kind,omitempty"`
+}
+
+// ErrorKind buckets a client error for Stats.ErrorsByKind. Exported so
+// tests and the federation package agree on the taxonomy.
+func ErrorKind(err error) string {
+	switch {
+	case errors.Is(err, service.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, service.ErrDraining):
+		return "draining"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "deadline"
+	default:
+		return "transport"
+	}
 }
 
 // Generator owns a prepared group population and drives the client.
 type Generator struct {
-	client  service.Client
-	faults  FaultInjector
-	cluster *workload.Cluster
-	cfg     Config
-	ids     []string
-	spec    workload.Spec
+	client   service.Client
+	faults   FaultInjector
+	replicas ReplicaChaos
+	cluster  *workload.Cluster
+	cfg      Config
+	ids      []string
+	spec     workload.Spec
 }
 
 // New pre-creates cfg.Groups groups on the client using bin-packed
@@ -164,11 +207,21 @@ func New(client service.Client, faults FaultInjector, cluster *workload.Cluster,
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: placing group %d: %w", i, err)
 		}
-		if _, err := client.CreateGroup(g.ids[i], members); err != nil {
+		if _, err := client.CreateGroup(context.Background(), g.ids[i], members); err != nil {
 			return nil, fmt.Errorf("loadgen: creating group %d: %w", i, err)
 		}
 	}
 	return g, nil
+}
+
+// ArmReplicaChaos attaches the replica kill/restart hook. Required before
+// Run when Config.KillEvery > 0.
+func (g *Generator) ArmReplicaChaos(rc ReplicaChaos) error {
+	if rc == nil || rc.NumReplicas() == 0 {
+		return fmt.Errorf("loadgen: replica chaos armed with no replicas")
+	}
+	g.replicas = rc
+	return nil
 }
 
 // IDs returns the generator's group IDs (tests sample them directly).
@@ -190,7 +243,11 @@ func benign(err error) bool {
 func (g *Generator) Run(ctx context.Context) Stats {
 	var st Stats
 	var wg sync.WaitGroup
-	var ops, gets, hits, misses, overloaded, races, errs, flaps atomic.Int64
+	var ops, gets, hits, misses, overloaded, races, errs, flaps, kills atomic.Int64
+	var ekDraining, ekDeadline, ekTransport atomic.Int64
+	if g.cfg.KillEvery > 0 && g.replicas == nil {
+		panic("loadgen: KillEvery set but replica chaos not armed (call ArmReplicaChaos)")
+	}
 	per := g.cfg.Ops / g.cfg.Workers
 	start := time.Now()
 	for w := 0; w < g.cfg.Workers; w++ {
@@ -207,6 +264,7 @@ func (g *Generator) Run(ctx context.Context) Stats {
 			total := g.cfg.Mix.Get + g.cfg.Mix.Join + g.cfg.Mix.Leave + g.cfg.Mix.Churn
 			flapped := topology.LinkID(-1)
 			flapStart := 0
+			killed, killStart, nextKill := -1, 0, 0
 			for op := 0; op < budget; op++ {
 				if ctx.Err() != nil {
 					return
@@ -226,6 +284,24 @@ func (g *Generator) Run(ctx context.Context) Stats {
 						flaps.Add(1)
 					}
 				}
+				// Worker 0 also owns the replica kill schedule: one dead
+				// replica at a time, round-robin over the fleet, killed and
+				// restarted at fixed operation counts (kill -9 semantics —
+				// the replica's cache and generation state are lost and the
+				// federation must catch it up on re-admission).
+				if worker == 0 && g.cfg.KillEvery > 0 {
+					if killed >= 0 && op-killStart >= g.cfg.KillRestart {
+						g.replicas.RestartReplica(killed)
+						killed = -1
+					}
+					if killed < 0 && op%g.cfg.KillEvery == g.cfg.KillEvery-1 {
+						killed = nextKill % g.replicas.NumReplicas()
+						nextKill++
+						killStart = op
+						g.replicas.KillReplica(killed)
+						kills.Add(1)
+					}
+				}
 				id := g.ids[zipf.Uint64()]
 				r := rng.Intn(total)
 				var err error
@@ -233,7 +309,7 @@ func (g *Generator) Run(ctx context.Context) Stats {
 				case r < g.cfg.Mix.Get:
 					gets.Add(1)
 					var ti service.TreeInfo
-					ti, err = g.client.GetTree(id)
+					ti, err = g.client.GetTree(ctx, id)
 					if err == nil {
 						if ti.Cached {
 							hits.Add(1)
@@ -242,11 +318,11 @@ func (g *Generator) Run(ctx context.Context) Stats {
 						}
 					}
 				case r < g.cfg.Mix.Get+g.cfg.Mix.Join:
-					_, err = g.client.Join(id, hosts[rng.Intn(len(hosts))])
+					_, err = g.client.Join(ctx, id, hosts[rng.Intn(len(hosts))])
 				case r < g.cfg.Mix.Get+g.cfg.Mix.Join+g.cfg.Mix.Leave:
-					err = g.leaveOne(id, rng)
+					err = g.leaveOne(ctx, id, rng)
 				default:
-					err = g.churnOne(id, rng)
+					err = g.churnOne(ctx, id, rng)
 				}
 				ops.Add(1)
 				switch {
@@ -257,6 +333,14 @@ func (g *Generator) Run(ctx context.Context) Stats {
 					races.Add(1)
 				default:
 					errs.Add(1)
+					switch ErrorKind(err) {
+					case "draining":
+						ekDraining.Add(1)
+					case "deadline":
+						ekDeadline.Add(1)
+					default:
+						ekTransport.Add(1)
+					}
 				}
 			}
 		}(w, budget)
@@ -271,6 +355,21 @@ func (g *Generator) Run(ctx context.Context) Stats {
 	st.Benign = races.Load()
 	st.Errors = errs.Load()
 	st.Flaps = flaps.Load()
+	st.Kills = kills.Load()
+	byKind := map[string]int64{
+		"overloaded": st.Overloaded,
+		"draining":   ekDraining.Load(),
+		"deadline":   ekDeadline.Load(),
+		"transport":  ekTransport.Load(),
+	}
+	for k, v := range byKind {
+		if v == 0 {
+			delete(byKind, k)
+		}
+	}
+	if len(byKind) > 0 {
+		st.ErrorsByKind = byKind
+	}
 	if st.Wall > 0 {
 		st.OpsPerSec = float64(st.Ops) / st.Wall.Seconds()
 	}
@@ -282,35 +381,35 @@ func (g *Generator) Run(ctx context.Context) Stats {
 
 // leaveOne removes a random non-source member; groups already at the
 // two-member floor get a Join instead so membership keeps circulating.
-func (g *Generator) leaveOne(id string, rng *rand.Rand) error {
-	gi, err := g.client.Describe(id)
+func (g *Generator) leaveOne(ctx context.Context, id string, rng *rand.Rand) error {
+	gi, err := g.client.Describe(ctx, id)
 	if err != nil {
 		return err
 	}
 	if len(gi.Members) <= 2 {
 		hosts := g.cluster.Hosts()
-		_, err = g.client.Join(id, hosts[rng.Intn(len(hosts))])
+		_, err = g.client.Join(ctx, id, hosts[rng.Intn(len(hosts))])
 		return err
 	}
 	i := rng.Intn(len(gi.Members))
 	if gi.Members[i] == gi.Source {
 		i = (i + 1) % len(gi.Members)
 	}
-	_, err = g.client.Leave(id, gi.Members[i])
+	_, err = g.client.Leave(ctx, id, gi.Members[i])
 	return err
 }
 
 // churnOne tears a group down and re-creates it under the same ID with a
 // fresh placement — the control-plane analogue of a job finishing and its
 // slots being reallocated.
-func (g *Generator) churnOne(id string, rng *rand.Rand) error {
-	if err := g.client.DeleteGroup(id); err != nil {
+func (g *Generator) churnOne(ctx context.Context, id string, rng *rand.Rand) error {
+	if err := g.client.DeleteGroup(ctx, id); err != nil {
 		return err
 	}
 	members, err := g.cluster.Place(g.spec, rng)
 	if err != nil {
 		return err
 	}
-	_, err = g.client.CreateGroup(id, members)
+	_, err = g.client.CreateGroup(ctx, id, members)
 	return err
 }

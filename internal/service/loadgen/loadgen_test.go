@@ -3,8 +3,10 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"peel/internal/service"
@@ -34,7 +36,7 @@ func TestGeneratorPreCreatesGroups(t *testing.T) {
 		t.Fatalf("Groups = %d, want 10", st.Groups)
 	}
 	for _, id := range gen.IDs() {
-		gi, err := s.Describe(id)
+		gi, err := s.Describe(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,6 +64,99 @@ func TestRunMixedWorkloadClean(t *testing.T) {
 	}
 	if st.HitRate < 0.5 {
 		t.Fatalf("hit rate %.2f implausibly low: %+v", st.HitRate, st)
+	}
+	if st.ErrorsByKind != nil {
+		t.Fatalf("clean run reported errors_by_kind: %+v", st.ErrorsByKind)
+	}
+}
+
+// deadReplicaClient answers fine while the generator pre-creates groups,
+// then — once dead — fails every operation the way a client talking to a
+// dead replica does: tree reads die at the transport, membership lookups
+// run out their deadline, and teardown hits a draining listener.
+type deadReplicaClient struct {
+	dead atomic.Bool
+}
+
+func (c *deadReplicaClient) err(kind string) error {
+	switch kind {
+	case "deadline":
+		return fmt.Errorf("dead replica: %w", context.DeadlineExceeded)
+	case "draining":
+		return fmt.Errorf("dead replica: %w", service.ErrDraining)
+	default:
+		return fmt.Errorf("dead replica: connection refused")
+	}
+}
+
+func (c *deadReplicaClient) CreateGroup(ctx context.Context, id string, members []topology.NodeID) (service.GroupInfo, error) {
+	if c.dead.Load() {
+		return service.GroupInfo{}, c.err("transport")
+	}
+	return service.GroupInfo{ID: id, Source: members[0], Members: members}, nil
+}
+
+func (c *deadReplicaClient) Describe(ctx context.Context, id string) (service.GroupInfo, error) {
+	if c.dead.Load() {
+		return service.GroupInfo{}, c.err("deadline")
+	}
+	return service.GroupInfo{ID: id}, nil
+}
+
+func (c *deadReplicaClient) Join(ctx context.Context, id string, host topology.NodeID) (service.GroupInfo, error) {
+	if c.dead.Load() {
+		return service.GroupInfo{}, c.err("deadline")
+	}
+	return service.GroupInfo{ID: id}, nil
+}
+
+func (c *deadReplicaClient) Leave(ctx context.Context, id string, host topology.NodeID) (service.GroupInfo, error) {
+	if c.dead.Load() {
+		return service.GroupInfo{}, c.err("deadline")
+	}
+	return service.GroupInfo{ID: id}, nil
+}
+
+func (c *deadReplicaClient) GetTree(ctx context.Context, id string) (service.TreeInfo, error) {
+	if c.dead.Load() {
+		return service.TreeInfo{}, c.err("transport")
+	}
+	return service.TreeInfo{Cached: true}, nil
+}
+
+func (c *deadReplicaClient) DeleteGroup(ctx context.Context, id string) error {
+	if c.dead.Load() {
+		return c.err("draining")
+	}
+	return nil
+}
+
+// TestDeadReplicaSurfacesTypedErrorCounts is the regression gate for
+// error-kind accounting: a run against a dead replica must report
+// nonzero per-kind counts in errors_by_kind (not one opaque total), and
+// the kinds must sum to the hard-error total.
+func TestDeadReplicaSurfacesTypedErrorCounts(t *testing.T) {
+	g := topology.FatTree(4)
+	cluster := workload.NewCluster(g, 1)
+	client := &deadReplicaClient{}
+	gen, err := New(client, nil, cluster, Config{Groups: 8, GroupSize: 4, Workers: 2, Ops: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.dead.Store(true)
+	st := gen.Run(context.Background())
+	if st.Errors == 0 {
+		t.Fatalf("dead replica produced no hard errors: %+v", st)
+	}
+	var sum int64
+	for _, kind := range []string{"transport", "deadline", "draining"} {
+		if st.ErrorsByKind[kind] == 0 {
+			t.Fatalf("errors_by_kind[%q] = 0, want nonzero: %+v", kind, st.ErrorsByKind)
+		}
+		sum += st.ErrorsByKind[kind]
+	}
+	if sum != st.Errors {
+		t.Fatalf("errors_by_kind sums to %d, want %d: %+v", sum, st.Errors, st.ErrorsByKind)
 	}
 }
 

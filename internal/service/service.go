@@ -34,6 +34,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -99,6 +100,11 @@ type Options struct {
 	CacheCap int
 	// Seed seeds the controller install-latency model (default 1).
 	Seed int64
+	// ComputeHook, when set, runs at the start of every tree computation
+	// (before the topology lock is taken). It is a test seam for slowing
+	// or gating computes — admission-token and singleflight tests block in
+	// it — and must never be set in production configurations.
+	ComputeHook func()
 }
 
 func (o Options) withDefaults() Options {
@@ -139,15 +145,51 @@ type TreeInfo struct {
 	Cached     bool   // true when served without a fresh computation
 }
 
-// Client is the group-lifecycle API, implemented in-process by *Service;
-// the loadgen drives it, and cmd/peeld re-exposes it over HTTP/JSON.
+// Client is the group-lifecycle API, implemented in-process by *Service
+// and by the federation router's failover client; the loadgen drives it,
+// and cmd/peeld re-exposes it over HTTP/JSON. Every call takes a context:
+// daemon handlers propagate the client's deadline into the service, and
+// federated implementations propagate it across replica hops.
 type Client interface {
-	CreateGroup(id string, members []topology.NodeID) (GroupInfo, error)
-	Describe(id string) (GroupInfo, error)
-	Join(id string, host topology.NodeID) (GroupInfo, error)
-	Leave(id string, host topology.NodeID) (GroupInfo, error)
-	GetTree(id string) (TreeInfo, error)
-	DeleteGroup(id string) error
+	CreateGroup(ctx context.Context, id string, members []topology.NodeID) (GroupInfo, error)
+	Describe(ctx context.Context, id string) (GroupInfo, error)
+	Join(ctx context.Context, id string, host topology.NodeID) (GroupInfo, error)
+	Leave(ctx context.Context, id string, host topology.NodeID) (GroupInfo, error)
+	GetTree(ctx context.Context, id string) (TreeInfo, error)
+	DeleteGroup(ctx context.Context, id string) error
+}
+
+// FaultInjector is the failure-injection surface: chaos drivers (the
+// loadgen's flap schedule, the daemon's chaos endpoints) fail and heal
+// links through it so transitions stay serialized with invalidation.
+// *Service implements it for one fabric; federation.Federation implements
+// it by replicating every transition to all replicas.
+type FaultInjector interface {
+	FailLink(id topology.LinkID) bool
+	RestoreLink(id topology.LinkID) bool
+	NumLinks() int
+}
+
+// API is the full surface the HTTP daemon serves: group lifecycle, direct
+// tree computation, chaos, and operational state. *Service implements it
+// for a single node; the federation router's client implements it over a
+// replica fleet so cmd/peeld serves both through one handler set.
+type API interface {
+	Client
+	FaultInjector
+	// TreeFor computes (or serves from cache) the tree for an explicit
+	// membership, members[0] being the source — the group-registry-free
+	// path federation routers use to offload computation onto replicas.
+	TreeFor(ctx context.Context, members []topology.NodeID) (TreeInfo, error)
+	// Ready reports request-serving readiness (the topology observer is
+	// subscribed and the instance is not draining).
+	Ready() bool
+	// StatsJSON returns the instance's stats payload for GET /v1/stats.
+	StatsJSON() any
+	// RefreshGauges pushes current state into armed telemetry gauges.
+	RefreshGauges()
+	// Close drains the instance.
+	Close()
 }
 
 // membership is one immutable membership snapshot; Join/Leave swap in a
@@ -156,8 +198,18 @@ type membership struct {
 	key       string
 	source    topology.NodeID
 	members   []topology.NodeID // canonical
-	receivers []topology.NodeID // members minus source
+	receivers []topology.NodeID // members minus source; may be nil (see recv)
 	version   uint64
+}
+
+// recv returns the receiver set, deriving it when the snapshot was built
+// without one (TreeForCanonical's trusted path defers the allocation to
+// the compute path). No caching: memberships are shared immutable.
+func (m *membership) recv() []topology.NodeID {
+	if m.receivers != nil {
+		return m.receivers
+	}
+	return receiversOf(m.source, m.members)
 }
 
 // group is one registered multicast group.
@@ -193,7 +245,7 @@ type Service struct {
 	hooks atomic.Pointer[telHooks]
 }
 
-var _ Client = (*Service)(nil)
+var _ API = (*Service)(nil)
 
 // New builds a service owning g. The graph must not be mutated behind the
 // service's back once requests are flowing; route failure injection
@@ -230,6 +282,14 @@ func (s *Service) Close() {
 // Gen returns the current topology generation: the count of failure-state
 // transitions observed since construction.
 func (s *Service) Gen() uint64 { return s.gen.Load() }
+
+// Ready reports whether the service can serve requests: its topology
+// observer is subscribed (true from construction) and it is not draining.
+// The daemon's /readyz endpoint and federation health probes read it.
+func (s *Service) Ready() bool { return !s.closing.Load() }
+
+// StatsJSON implements API for the daemon's stats endpoint.
+func (s *Service) StatsJSON() any { return s.Stats() }
 
 // onFailureChange is the generation-based invalidator, registered with
 // the graph at construction. It runs synchronously inside the transition
@@ -376,7 +436,10 @@ func (g *group) info() GroupInfo {
 // CreateGroup registers a group. members[0] is the source; the member set
 // is canonicalized (sorted, deduplicated). Fails with ErrGroupExists if
 // the ID is taken.
-func (s *Service) CreateGroup(id string, members []topology.NodeID) (GroupInfo, error) {
+func (s *Service) CreateGroup(ctx context.Context, id string, members []topology.NodeID) (GroupInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return GroupInfo{}, err
+	}
 	if s.closing.Load() {
 		return GroupInfo{}, ErrDraining
 	}
@@ -405,7 +468,10 @@ func (s *Service) CreateGroup(id string, members []topology.NodeID) (GroupInfo, 
 }
 
 // Describe returns a group's current membership.
-func (s *Service) Describe(id string) (GroupInfo, error) {
+func (s *Service) Describe(ctx context.Context, id string) (GroupInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return GroupInfo{}, err
+	}
 	grp := s.lookupGroup(id)
 	if grp == nil {
 		return GroupInfo{}, fmt.Errorf("%w: %s", ErrNoSuchGroup, id)
@@ -413,9 +479,39 @@ func (s *Service) Describe(id string) (GroupInfo, error) {
 	return grp.info(), nil
 }
 
+// Canonicalize validates an explicit membership (members[0] is the
+// source) and returns its canonical routing tuple: the tree-cache key,
+// the source, and the canonical member set. The federation router uses
+// it to route TreeFor requests the same way GetTree routes registered
+// groups.
+func (s *Service) Canonicalize(members []topology.NodeID) (key string, source topology.NodeID, canonical []topology.NodeID, err error) {
+	m, err := s.canonicalize(members)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	return m.key, m.source, m.members, nil
+}
+
+// GroupSnapshot returns a group's current membership without copying:
+// the source, the canonical member set (READ-ONLY — it is the live
+// snapshot shared with concurrent readers), and the tree-cache key. The
+// federation router uses it to route GetTree by key with zero per-op
+// allocation.
+func (s *Service) GroupSnapshot(id string) (source topology.NodeID, members []topology.NodeID, key string, err error) {
+	grp := s.lookupGroup(id)
+	if grp == nil {
+		return 0, nil, "", fmt.Errorf("%w: %s", ErrNoSuchGroup, id)
+	}
+	m := grp.m.Load()
+	return m.source, m.members, m.key, nil
+}
+
 // Join adds a host to a group. Joining a current member is a no-op
 // returning the unchanged membership.
-func (s *Service) Join(id string, host topology.NodeID) (GroupInfo, error) {
+func (s *Service) Join(ctx context.Context, id string, host topology.NodeID) (GroupInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return GroupInfo{}, err
+	}
 	if s.closing.Load() {
 		return GroupInfo{}, ErrDraining
 	}
@@ -454,7 +550,10 @@ func (s *Service) Join(id string, host topology.NodeID) (GroupInfo, error) {
 // Leave removes a host from a group. When the source leaves, the lowest
 // remaining member becomes the new source. Shrinking below two members
 // fails with ErrGroupTooSmall (delete the group instead).
-func (s *Service) Leave(id string, host topology.NodeID) (GroupInfo, error) {
+func (s *Service) Leave(ctx context.Context, id string, host topology.NodeID) (GroupInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return GroupInfo{}, err
+	}
 	if s.closing.Load() {
 		return GroupInfo{}, ErrDraining
 	}
@@ -496,7 +595,10 @@ func (s *Service) Leave(id string, host topology.NodeID) (GroupInfo, error) {
 // DeleteGroup unregisters a group. Cached trees for its membership stay
 // until evicted or invalidated — they may serve other groups with the
 // same canonical member set.
-func (s *Service) DeleteGroup(id string) error {
+func (s *Service) DeleteGroup(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.closing.Load() {
 		return ErrDraining
 	}
@@ -519,8 +621,13 @@ func (s *Service) DeleteGroup(id string) error {
 // membership: a cache hit when a fresh tree is published (0 allocs), a
 // coalesced wait when another request is already computing it, or a fresh
 // computation — which pays admission control and, for failure-driven
-// recomputes, the charged controller install latency.
-func (s *Service) GetTree(id string) (TreeInfo, error) {
+// recomputes, the charged controller install latency. An expired or
+// cancelled ctx aborts coalesced waits and fails abandoned computations
+// with ctx.Err() after their admission token is returned.
+func (s *Service) GetTree(ctx context.Context, id string) (TreeInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return TreeInfo{}, err
+	}
 	if s.closing.Load() {
 		return TreeInfo{}, ErrDraining
 	}
@@ -533,6 +640,56 @@ func (s *Service) GetTree(id string) (TreeInfo, error) {
 	if h != nil {
 		h.opsGet.Inc()
 	}
+	return s.getTreeFor(ctx, m, h)
+}
+
+// TreeFor computes (or serves from cache) the tree for an explicit
+// membership with members[0] as the source — the group-registry-free
+// entry point federated routers call on replicas. It shares the cache,
+// singleflight, admission control, and invalidation machinery with
+// GetTree: a replica serving TreeFor behaves exactly like the single-node
+// GetTree path for an equivalent group.
+func (s *Service) TreeFor(ctx context.Context, members []topology.NodeID) (TreeInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return TreeInfo{}, err
+	}
+	if s.closing.Load() {
+		return TreeInfo{}, ErrDraining
+	}
+	m, err := s.canonicalize(members)
+	if err != nil {
+		return TreeInfo{}, err
+	}
+	h := s.tel()
+	if h != nil {
+		h.opsGet.Inc()
+	}
+	return s.getTreeFor(ctx, m, h)
+}
+
+// TreeForCanonical is TreeFor for a pre-canonicalized membership: source,
+// the canonical member set (sorted, deduplicated, containing source), and
+// its tree key, as returned by GroupSnapshot or CanonicalKey. Trusted
+// callers only — the in-process federation backend uses it to skip
+// re-canonicalization on the per-op path. The members slice is retained
+// read-only; receivers are derived lazily on the compute path.
+func (s *Service) TreeForCanonical(ctx context.Context, key string, source topology.NodeID, members []topology.NodeID) (TreeInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return TreeInfo{}, err
+	}
+	if s.closing.Load() {
+		return TreeInfo{}, ErrDraining
+	}
+	m := &membership{key: key, source: source, members: members}
+	h := s.tel()
+	if h != nil {
+		h.opsGet.Inc()
+	}
+	return s.getTreeFor(ctx, m, h)
+}
+
+// getTreeFor serves one membership from the cache or computes it.
+func (s *Service) getTreeFor(ctx context.Context, m *membership, h *telHooks) (TreeInfo, error) {
 	if e := s.cache.lookup(m.key); e != nil {
 		if v := e.val.Load(); v != nil && !v.stale.Load() && s.checkServe(v, m) {
 			s.cache.touch(e)
@@ -543,7 +700,7 @@ func (s *Service) GetTree(id string) (TreeInfo, error) {
 			return s.treeInfo(v, true), nil
 		}
 	}
-	return s.computeTree(m, h)
+	return s.computeTree(ctx, m, h)
 }
 
 // checkServe re-validates a hit against the current graph when an
@@ -561,7 +718,7 @@ func (s *Service) checkServe(v *treeVal, m *membership) bool {
 	if v.stale.Load() {
 		return false
 	}
-	err := v.tree.Validate(s.g, m.receivers)
+	err := v.tree.Validate(s.g, m.recv())
 	iv.Checkf(ServedTreeFresh, err == nil,
 		"cached tree for key %q invalid on current graph: %v", m.key, err)
 	return true
@@ -581,8 +738,12 @@ func (s *Service) treeInfo(v *treeVal, cached bool) TreeInfo {
 }
 
 // computeTree is the miss path: singleflight-coalesce onto an in-flight
-// computation, or run one under admission control.
-func (s *Service) computeTree(m *membership, h *telHooks) (TreeInfo, error) {
+// computation, or run one under admission control. The computation itself
+// is not interruptible (it is CPU-bound and its result is published for
+// coalesced waiters), but an abandoned caller gets ctx.Err() back as soon
+// as the compute finishes — after its admission token is returned, so a
+// hung client can never leak capacity.
+func (s *Service) computeTree(ctx context.Context, m *membership, h *telHooks) (TreeInfo, error) {
 	e, evicted := s.cache.ensure(m.key)
 	if h != nil {
 		if evicted {
@@ -607,7 +768,13 @@ func (s *Service) computeTree(m *membership, h *telHooks) (TreeInfo, error) {
 		if h != nil {
 			h.coalesced.Inc()
 		}
-		<-f.done
+		// A coalesced waiter honors its own deadline: abandoning the wait
+		// leaves the flight (and its token accounting) untouched.
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return TreeInfo{}, ctx.Err()
+		}
 		if f.err != nil {
 			return TreeInfo{}, f.err
 		}
@@ -650,6 +817,11 @@ func (s *Service) computeTree(m *membership, h *telHooks) (TreeInfo, error) {
 		h.treeCost.Observe(int64(v.cost))
 	}
 	s.cache.touch(e)
+	// The tree is published and the token released; an abandoned request
+	// still reports its own failure so the daemon can answer 504.
+	if cerr := ctx.Err(); cerr != nil {
+		return TreeInfo{}, cerr
+	}
 	return s.treeInfo(v, false), nil
 }
 
@@ -657,19 +829,25 @@ func (s *Service) computeTree(m *membership, h *telHooks) (TreeInfo, error) {
 // so no failure transition interleaves between construction, link
 // indexing, and publication.
 func (s *Service) runCompute(e *entry, m *membership, h *telHooks) (*treeVal, error) {
+	if s.opts.ComputeHook != nil {
+		// Test seam, deliberately outside the topology lock so a gated
+		// compute cannot deadlock failure injection.
+		s.opts.ComputeHook()
+	}
+	receivers := m.recv()
 	s.topoMu.RLock()
 	defer s.topoMu.RUnlock()
 	gen := s.gen.Load()
 	prior := e.val.Load()
 	failureDriven := prior != nil && prior.stale.Load()
-	tree, err := core.BuildTree(s.g, m.source, m.receivers)
+	tree, err := core.BuildTree(s.g, m.source, receivers)
 	if err != nil {
 		return nil, fmt.Errorf("service: tree for %q: %w", m.key, err)
 	}
 	if iv := invariant.Active(); iv != nil {
 		// A lazily re-peeled tree must satisfy the same validity and
 		// Theorem 2.5 budget checks as the collective repair path's.
-		steiner.ReportTreeChecks(iv, s.g, tree, m.receivers)
+		steiner.ReportTreeChecks(iv, s.g, tree, receivers)
 	}
 	var installPs int64
 	// Charge the §3.1 controller round trip for pushing this tree's rules.

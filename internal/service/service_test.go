@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"slices"
 	"sync"
@@ -25,7 +26,7 @@ func TestGroupLifecycle(t *testing.T) {
 	s, g := newTestService(t, 4, Options{})
 	hosts := g.Hosts()
 
-	gi, err := s.CreateGroup("j1", []topology.NodeID{hosts[2], hosts[0], hosts[1]})
+	gi, err := s.CreateGroup(context.Background(), "j1", []topology.NodeID{hosts[2], hosts[0], hosts[1]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,22 +36,22 @@ func TestGroupLifecycle(t *testing.T) {
 	if !slices.IsSorted(gi.Members) || len(gi.Members) != 3 {
 		t.Fatalf("members not canonical: %v", gi.Members)
 	}
-	if _, err := s.CreateGroup("j1", gi.Members); !errors.Is(err, ErrGroupExists) {
+	if _, err := s.CreateGroup(context.Background(), "j1", gi.Members); !errors.Is(err, ErrGroupExists) {
 		t.Fatalf("duplicate create: %v", err)
 	}
-	if _, err := s.CreateGroup("bad", []topology.NodeID{hosts[0], 99999}); !errors.Is(err, ErrBadMember) {
+	if _, err := s.CreateGroup(context.Background(), "bad", []topology.NodeID{hosts[0], 99999}); !errors.Is(err, ErrBadMember) {
 		t.Fatalf("bad member: %v", err)
 	}
 	// A switch is not a valid member either.
 	sw := g.EdgeSwitchOf(hosts[0])
-	if _, err := s.CreateGroup("bad", []topology.NodeID{hosts[0], sw}); !errors.Is(err, ErrBadMember) {
+	if _, err := s.CreateGroup(context.Background(), "bad", []topology.NodeID{hosts[0], sw}); !errors.Is(err, ErrBadMember) {
 		t.Fatalf("switch member: %v", err)
 	}
-	if _, err := s.CreateGroup("tiny", []topology.NodeID{hosts[0], hosts[0]}); !errors.Is(err, ErrGroupTooSmall) {
+	if _, err := s.CreateGroup(context.Background(), "tiny", []topology.NodeID{hosts[0], hosts[0]}); !errors.Is(err, ErrGroupTooSmall) {
 		t.Fatalf("tiny group: %v", err)
 	}
 
-	gi, err = s.Join("j1", hosts[5])
+	gi, err = s.Join(context.Background(), "j1", hosts[5])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,16 +59,16 @@ func TestGroupLifecycle(t *testing.T) {
 		t.Fatalf("after join: version %d members %v", gi.Version, gi.Members)
 	}
 	// Joining a current member is a no-op.
-	gi2, err := s.Join("j1", hosts[5])
+	gi2, err := s.Join(context.Background(), "j1", hosts[5])
 	if err != nil || gi2.Version != 1 {
 		t.Fatalf("idempotent join: %v version %d", err, gi2.Version)
 	}
 
-	if _, err := s.Leave("j1", hosts[9]); !errors.Is(err, ErrNotMember) {
+	if _, err := s.Leave(context.Background(), "j1", hosts[9]); !errors.Is(err, ErrNotMember) {
 		t.Fatalf("leave non-member: %v", err)
 	}
 	// The source leaving promotes the lowest remaining member.
-	gi, err = s.Leave("j1", hosts[2])
+	gi, err = s.Leave(context.Background(), "j1", hosts[2])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,21 +76,21 @@ func TestGroupLifecycle(t *testing.T) {
 		t.Fatalf("source promotion: %+v", gi)
 	}
 	for len(gi.Members) > 2 {
-		if gi, err = s.Leave("j1", gi.Members[len(gi.Members)-1]); err != nil {
+		if gi, err = s.Leave(context.Background(), "j1", gi.Members[len(gi.Members)-1]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.Leave("j1", gi.Members[1]); !errors.Is(err, ErrGroupTooSmall) {
+	if _, err := s.Leave(context.Background(), "j1", gi.Members[1]); !errors.Is(err, ErrGroupTooSmall) {
 		t.Fatalf("leave below floor: %v", err)
 	}
 
-	if err := s.DeleteGroup("j1"); err != nil {
+	if err := s.DeleteGroup(context.Background(), "j1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.DeleteGroup("j1"); !errors.Is(err, ErrNoSuchGroup) {
+	if err := s.DeleteGroup(context.Background(), "j1"); !errors.Is(err, ErrNoSuchGroup) {
 		t.Fatalf("double delete: %v", err)
 	}
-	if _, err := s.GetTree("j1"); !errors.Is(err, ErrNoSuchGroup) {
+	if _, err := s.GetTree(context.Background(), "j1"); !errors.Is(err, ErrNoSuchGroup) {
 		t.Fatalf("get deleted: %v", err)
 	}
 }
@@ -111,17 +112,17 @@ func switchLink(t *testing.T, g *topology.Graph, tree *steiner.Tree) topology.Li
 func TestGetTreeCachesAndFailureInvalidates(t *testing.T) {
 	s, g := newTestService(t, 4, Options{})
 	hosts := g.Hosts()
-	if _, err := s.CreateGroup("b", []topology.NodeID{hosts[0], hosts[4], hosts[9], hosts[13]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "b", []topology.NodeID{hosts[0], hosts[4], hosts[9], hosts[13]}); err != nil {
 		t.Fatal(err)
 	}
-	ti, err := s.GetTree("b")
+	ti, err := s.GetTree(context.Background(), "b")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ti.Cached || ti.Gen != 0 {
 		t.Fatalf("cold get: cached=%v gen=%d", ti.Cached, ti.Gen)
 	}
-	hit, err := s.GetTree("b")
+	hit, err := s.GetTree(context.Background(), "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestGetTreeCachesAndFailureInvalidates(t *testing.T) {
 	if s.Gen() != 1 {
 		t.Fatalf("generation = %d after one failure", s.Gen())
 	}
-	re, err := s.GetTree("b")
+	re, err := s.GetTree(context.Background(), "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestGetTreeCachesAndFailureInvalidates(t *testing.T) {
 	if !s.RestoreLink(failed) {
 		t.Fatalf("RestoreLink reported no transition")
 	}
-	after, err := s.GetTree("b")
+	after, err := s.GetTree(context.Background(), "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,28 +174,28 @@ func TestFailureInvalidatesOnlyCrossingTrees(t *testing.T) {
 	hosts := g.Hosts()
 	// Group a lives in pod 0, group b in pod 3: their rack-local trees
 	// share no links.
-	if _, err := s.CreateGroup("a", []topology.NodeID{hosts[0], hosts[2]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "a", []topology.NodeID{hosts[0], hosts[2]}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.CreateGroup("b", []topology.NodeID{hosts[14], hosts[15]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "b", []topology.NodeID{hosts[14], hosts[15]}); err != nil {
 		t.Fatal(err)
 	}
-	ta, err := s.GetTree("a")
+	ta, err := s.GetTree(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.GetTree("b"); err != nil {
+	if _, err := s.GetTree(context.Background(), "b"); err != nil {
 		t.Fatal(err)
 	}
 	s.FailLink(switchLink(t, g, ta.Tree))
-	rb, err := s.GetTree("b")
+	rb, err := s.GetTree(context.Background(), "b")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rb.Cached {
 		t.Fatalf("failure in a's tree invalidated b's unrelated tree")
 	}
-	ra, err := s.GetTree("a")
+	ra, err := s.GetTree(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,17 +207,17 @@ func TestFailureInvalidatesOnlyCrossingTrees(t *testing.T) {
 func TestOverloadFailsFastAndRecovers(t *testing.T) {
 	s, g := newTestService(t, 4, Options{MaxInflight: 1})
 	hosts := g.Hosts()
-	if _, err := s.CreateGroup("o", []topology.NodeID{hosts[0], hosts[7]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "o", []topology.NodeID{hosts[0], hosts[7]}); err != nil {
 		t.Fatal(err)
 	}
 	// Exhaust the admission budget from the outside: every miss must now
 	// fail fast with ErrOverloaded rather than queue.
 	s.inflight <- struct{}{}
-	if _, err := s.GetTree("o"); !errors.Is(err, ErrOverloaded) {
+	if _, err := s.GetTree(context.Background(), "o"); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("want ErrOverloaded, got %v", err)
 	}
 	<-s.inflight
-	ti, err := s.GetTree("o")
+	ti, err := s.GetTree(context.Background(), "o")
 	if err != nil || ti.Cached {
 		t.Fatalf("recovery get: %v cached=%v", err, ti.Cached)
 	}
@@ -224,7 +225,7 @@ func TestOverloadFailsFastAndRecovers(t *testing.T) {
 	// cached tree still serves.
 	s.inflight <- struct{}{}
 	defer func() { <-s.inflight }()
-	hit, err := s.GetTree("o")
+	hit, err := s.GetTree(context.Background(), "o")
 	if err != nil || !hit.Cached {
 		t.Fatalf("hit under overload: %v cached=%v", err, hit.Cached)
 	}
@@ -233,7 +234,7 @@ func TestOverloadFailsFastAndRecovers(t *testing.T) {
 func TestConcurrentColdGetsCoalesce(t *testing.T) {
 	s, g := newTestService(t, 4, Options{})
 	hosts := g.Hosts()
-	if _, err := s.CreateGroup("c", []topology.NodeID{hosts[0], hosts[5], hosts[10]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "c", []topology.NodeID{hosts[0], hosts[5], hosts[10]}); err != nil {
 		t.Fatal(err)
 	}
 	sink := telemetry.NewSink(0)
@@ -245,7 +246,7 @@ func TestConcurrentColdGetsCoalesce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ti, err := s.GetTree("c")
+			ti, err := s.GetTree(context.Background(), "c")
 			if err != nil {
 				t.Errorf("caller %d: %v", i, err)
 				return
@@ -273,23 +274,23 @@ func TestConcurrentColdGetsCoalesce(t *testing.T) {
 func TestEvictionAtCap(t *testing.T) {
 	s, g := newTestService(t, 4, Options{Shards: 1, CacheCap: 1})
 	hosts := g.Hosts()
-	if _, err := s.CreateGroup("e1", []topology.NodeID{hosts[0], hosts[1]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "e1", []topology.NodeID{hosts[0], hosts[1]}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.CreateGroup("e2", []topology.NodeID{hosts[2], hosts[3]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "e2", []topology.NodeID{hosts[2], hosts[3]}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.GetTree("e1"); err != nil {
+	if _, err := s.GetTree(context.Background(), "e1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.GetTree("e2"); err != nil {
+	if _, err := s.GetTree(context.Background(), "e2"); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.CacheEntries != 1 {
 		t.Fatalf("CacheEntries = %d, want 1 at cap", st.CacheEntries)
 	}
 	// The evicted key recomputes (and evicts the other in turn).
-	ti, err := s.GetTree("e1")
+	ti, err := s.GetTree(context.Background(), "e1")
 	if err != nil || ti.Cached {
 		t.Fatalf("evicted key: %v cached=%v", err, ti.Cached)
 	}
@@ -298,13 +299,13 @@ func TestEvictionAtCap(t *testing.T) {
 func TestUnreachableReceiverReportsTypedError(t *testing.T) {
 	s, g := newTestService(t, 4, Options{})
 	hosts := g.Hosts()
-	if _, err := s.CreateGroup("u", []topology.NodeID{hosts[0], hosts[1]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "u", []topology.NodeID{hosts[0], hosts[1]}); err != nil {
 		t.Fatal(err)
 	}
 	// A host has exactly one access link; failing it disconnects the
 	// receiver.
 	s.FailLink(g.LinkBetween(hosts[1], g.EdgeSwitchOf(hosts[1])))
-	if _, err := s.GetTree("u"); !errors.Is(err, steiner.ErrUnreachable) {
+	if _, err := s.GetTree(context.Background(), "u"); !errors.Is(err, steiner.ErrUnreachable) {
 		t.Fatalf("want ErrUnreachable, got %v", err)
 	}
 }
@@ -317,7 +318,7 @@ func TestCloseDrainsAndUnsubscribes(t *testing.T) {
 		t.Fatalf("observer not registered")
 	}
 	hosts := g.Hosts()
-	if _, err := s.CreateGroup("d", []topology.NodeID{hosts[0], hosts[1]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "d", []topology.NodeID{hosts[0], hosts[1]}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -325,10 +326,10 @@ func TestCloseDrainsAndUnsubscribes(t *testing.T) {
 	if g.NumObservers() != base {
 		t.Fatalf("observer leaked across Close: %d != %d", g.NumObservers(), base)
 	}
-	if _, err := s.GetTree("d"); !errors.Is(err, ErrDraining) {
+	if _, err := s.GetTree(context.Background(), "d"); !errors.Is(err, ErrDraining) {
 		t.Fatalf("GetTree after Close: %v", err)
 	}
-	if _, err := s.CreateGroup("x", []topology.NodeID{hosts[0], hosts[1]}); !errors.Is(err, ErrDraining) {
+	if _, err := s.CreateGroup(context.Background(), "x", []topology.NodeID{hosts[0], hosts[1]}); !errors.Is(err, ErrDraining) {
 		t.Fatalf("CreateGroup after Close: %v", err)
 	}
 }
@@ -339,10 +340,10 @@ func TestCloseDrainsAndUnsubscribes(t *testing.T) {
 func TestServedTreeFreshCheckerFires(t *testing.T) {
 	s, g := newTestService(t, 4, Options{})
 	hosts := g.Hosts()
-	if _, err := s.CreateGroup("m", []topology.NodeID{hosts[0], hosts[4]}); err != nil {
+	if _, err := s.CreateGroup(context.Background(), "m", []topology.NodeID{hosts[0], hosts[4]}); err != nil {
 		t.Fatal(err)
 	}
-	ti, err := s.GetTree("m")
+	ti, err := s.GetTree(context.Background(), "m")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +353,7 @@ func TestServedTreeFreshCheckerFires(t *testing.T) {
 	m := s.lookupGroup("m").m.Load()
 	s.cache.lookup(m.key).val.Load().stale.Store(false)
 	suite := invtest.Capture(t, func() {
-		if _, err := s.GetTree("m"); err != nil {
+		if _, err := s.GetTree(context.Background(), "m"); err != nil {
 			t.Errorf("sabotaged get: %v", err)
 		}
 	})
