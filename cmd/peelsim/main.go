@@ -29,6 +29,9 @@
 //	-check         run with the invariant checker suite armed; any
 //	               violation is reported and exits non-zero
 //	-chaosfrac F   single mid-flight failure fraction for the chaos experiment
+//	-repair M      chaos-watchdog recompute mode: "patch" grafts orphaned
+//	               receivers into the installed tree (default), "full"
+//	               always re-peels from scratch
 //	-workers N     concurrent simulation runs per sweep, and concurrent
 //	               experiments when several are requested (default GOMAXPROCS;
 //	               1 = serial, the determinism oracle)
@@ -123,6 +126,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	csv := fs.Bool("csv", false, "CSV output")
 	check := fs.Bool("check", false, "arm the invariant checker suite; violations exit non-zero")
 	chaosFrac := fs.Float64("chaosfrac", 0, "single mid-flight failure fraction for the chaos experiment (0 = sweep)")
+	repair := fs.String("repair", "", "chaos-watchdog recompute mode: patch (graft orphans, default) or full (always re-peel)")
 	workers := fs.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	perf := fs.Bool("perf", false, "append perf digests to experiment notes")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
@@ -141,7 +145,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if err := validateFlags(*samples, *workers, *load, *chaosFrac); err != nil {
+	if err := validateFlags(*samples, *workers, *load, *chaosFrac, *repair); err != nil {
 		fmt.Fprintf(stderr, "peelsim: %v\n", err)
 		return 2
 	}
@@ -164,6 +168,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *chaosFrac > 0 {
 		opts.ChaosFrac = *chaosFrac
 	}
+	opts.Repair = *repair
 	opts.Workers = *workers
 	opts.Perf = *perf
 
@@ -236,7 +241,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 // validateFlags rejects flag values outside their domains before any
 // simulation starts (a usage error, exit code 2).
-func validateFlags(samples, workers int, load, chaosFrac float64) error {
+func validateFlags(samples, workers int, load, chaosFrac float64, repair string) error {
 	switch {
 	case samples < 0:
 		return fmt.Errorf("-samples %d must be non-negative", samples)
@@ -246,6 +251,8 @@ func validateFlags(samples, workers int, load, chaosFrac float64) error {
 		return fmt.Errorf("-load %v outside [0,1]", load)
 	case chaosFrac < 0 || chaosFrac > 1:
 		return fmt.Errorf("-chaosfrac %v outside [0,1]", chaosFrac)
+	case repair != "" && repair != "patch" && repair != "full":
+		return fmt.Errorf("-repair %q must be \"patch\" or \"full\"", repair)
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ func (in *instance) startTreeFlow(tree *steiner.Tree, receivers []topology.NodeI
 		return err
 	}
 	in.track(f, receivers)
+	in.repairBase = tree
 	f.OnChunk(func(recv topology.NodeID, chunk int) { in.hostComplete(recv) })
 	f.Send(0, in.c.Bytes)
 	return nil
@@ -146,6 +147,7 @@ func (in *instance) cutOverToRefined(plan *core.Plan, static []*netsim.Flow) {
 		return
 	}
 	in.track(rf, pending)
+	in.repairBase = plan.Refined
 	rf.OnChunk(func(recv topology.NodeID, chunk int) { in.hostComplete(recv) })
 	rf.Send(0, remaining)
 }

@@ -203,14 +203,44 @@ func (in *instance) repairTree() {
 		return
 	}
 	// The repair rules cost a controller round trip (§3.1), exactly like
-	// PEEL's refined-tree cut-over.
+	// PEEL's refined-tree cut-over — unless the patch adds no forwarding
+	// rules. When the repair tree is the old tree minus the dead branch
+	// (every orphaned receiver already finished, so the graft is a pure
+	// prune), there is nothing for the controller to install; the watchdog
+	// used to bill the full re-peel round trip for that no-op. Probe the
+	// patch at detect time and cut over immediately in that case — no sim
+	// time passes, so installRepair recomputes the identical patch.
 	in.repairPending = true
 	install := func() { in.installRepair(reachable) }
-	if in.r.Ctrl != nil {
-		in.r.Ctrl.Install(in.r.Net.Engine, install)
-	} else {
+	if in.r.Ctrl == nil {
 		install()
+		return
 	}
+	if tree, stats, err := in.patchRepair(reachable); err == nil && tree != nil &&
+		!stats.FellBack && stats.GraftEdges == 0 {
+		install()
+		return
+	}
+	in.r.Ctrl.Install(in.r.Net.Engine, install)
+}
+
+// patchRepair attempts the incremental graft repair toward pending on the
+// current degraded graph. Returns (nil, stats, nil) when patching is not
+// applicable (no single-tree base, or RepairMode "full"); otherwise
+// core.RepairTree's result, which internally degrades to a full re-peel.
+func (in *instance) patchRepair(pending []topology.NodeID) (*steiner.Tree, steiner.RepairStats, error) {
+	if in.r.RepairMode == "full" || in.repairBase == nil {
+		return nil, steiner.RepairStats{}, nil
+	}
+	// The global-progress watchdog declares a stall only once receivers on
+	// live branches have drained, so the pending set here is typically
+	// exactly the orphaned subtree. The orphan-fraction guard — sized for
+	// whole-group recomputes where most receivers survive — would then
+	// refuse every watchdog patch; lift it and let the cost-ratio and
+	// Theorem 2.5 budget gates decide instead.
+	pol := steiner.DefaultRepairPolicy()
+	pol.MaxOrphanFrac = 1
+	return core.RepairTree(in.r.Net.G, in.repairBase, -1, pending, pol)
 }
 
 // maxReceived returns the best delivery progress recorded for one receiver
@@ -263,9 +293,18 @@ func (in *instance) installRepair(targets []topology.NodeID) {
 	}
 	params := in.r.Net.Cfg.DCQCN.WithGuard()
 
-	tree, err := core.BuildTree(in.r.Net.G, in.c.Source(), pending)
+	// Patch-first: graft the orphaned receivers into the last installed
+	// tree; core.RepairTree falls back to a full re-peel when the patch
+	// exceeds its policy or Theorem 2.5 cost bounds (and checks accepted
+	// patches under steiner.repaired-tree-valid itself).
+	attempted := in.r.RepairMode != "full" && in.repairBase != nil
+	tree, stats, err := in.patchRepair(pending)
+	patched := err == nil && tree != nil && !stats.FellBack
+	if tree == nil && err == nil {
+		tree, err = core.BuildTree(in.r.Net.G, in.c.Source(), pending)
+	}
 	if err == nil {
-		if s := invariant.Active(); s != nil {
+		if s := invariant.Active(); s != nil && !patched {
 			// Every repair re-peel must still be a valid tree within the
 			// Theorem 2.5 cost budget on the *degraded* fabric.
 			steiner.ReportTreeChecks(s, in.r.Net.G, tree, pending)
@@ -273,9 +312,17 @@ func (in *instance) installRepair(targets []topology.NodeID) {
 		rf, ferr := in.r.Net.NewMulticastFlow(tree, pending, params)
 		if ferr == nil {
 			in.recovery.Repairs++
+			in.repairBase = tree
 			in.noteRepairInstalled()
 			if ts := telemetry.Active(); ts != nil {
 				ts.Counter("collective.repairs").Inc()
+				if patched {
+					ts.Counter("collective.repair.patched").Inc()
+					ts.Histogram("collective.repair.patch_ps", telemetry.Log2Layout()).
+						Observe(int64(in.r.Net.Engine.Now() - in.repairDetectAt))
+				} else if attempted {
+					ts.Counter("collective.repair.full_fallback").Inc()
+				}
 			}
 			in.track(rf, pending)
 			rf.OnChunk(func(recv topology.NodeID, _ int) { in.hostComplete(recv) })

@@ -6,6 +6,7 @@ import (
 	"peel/internal/chaos"
 	"peel/internal/core"
 	"peel/internal/sim"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 	"peel/internal/workload"
 )
@@ -87,6 +88,67 @@ func TestWatchdogRepairsMidFlightTreeFailure(t *testing.T) {
 	}
 	if tb.net.LinkDrops == 0 {
 		t.Fatal("dead tree link dropped no frames")
+	}
+}
+
+// subtreeVictim returns the delivery-tree link feeding one receiver's edge
+// switch — a failure that orphans a small subtree, the case incremental
+// repair is designed to graft around rather than re-peel.
+func subtreeVictim(t *testing.T, g *topology.Graph, c *workload.Collective) topology.LinkID {
+	t.Helper()
+	tree, err := core.BuildTree(g, c.Source(), c.Receivers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvs := c.Receivers()
+	e := g.EdgeSwitchOf(recvs[len(recvs)-1])
+	p := tree.Parent[e]
+	if p == topology.None {
+		t.Fatalf("edge switch %d has no tree parent", e)
+	}
+	return g.LinkBetween(p, e)
+}
+
+// TestWatchdogPatchRepair pins the incremental path end to end: a
+// small-subtree link failure mid-flight must be repaired by grafting
+// (collective.repair.patched fires) and the collective must still
+// complete every receiver. The "full" mode variant must also complete,
+// with the patch counter untouched — the A/B pair the -repair flag
+// exposes.
+func TestWatchdogPatchRepair(t *testing.T) {
+	members := []int{1, 3, 5, 8, 12, 15}
+	const bytes = 4 << 20
+
+	clean := newTestbed(t, nil)
+	cleanRep := clean.runReport(t, clean.collective(t, 0, members, bytes), Optimal)
+
+	for _, mode := range []string{"patch", "full"} {
+		sink := telemetry.NewSink(0)
+		restore := telemetry.Enable(sink)
+
+		tb := newTestbed(t, nil)
+		tb.runner.Watchdog = 100 * sim.Microsecond
+		tb.runner.RepairMode = mode
+		c := tb.collective(t, 0, members, bytes)
+		victim := subtreeVictim(t, tb.g, c)
+		sched := (&chaos.Schedule{}).FailLinkAt(cleanRep.CCT*3/10, victim)
+		if err := chaos.NewInjector(tb.g, tb.eng).Arm(sched); err != nil {
+			restore()
+			t.Fatal(err)
+		}
+		rep := tb.runReport(t, c, Optimal)
+		restore()
+
+		if rep.Recovery.Repairs < 1 || rep.Recovery.Abandoned != 0 {
+			t.Fatalf("%s: repair did not complete cleanly: %+v", mode, rep.Recovery)
+		}
+		patched := sink.Counter("collective.repair.patched").Value()
+		if mode == "patch" && patched < 1 {
+			t.Fatalf("patch mode repaired %d times without a single graft", rep.Recovery.Repairs)
+		}
+		if mode == "full" && patched != 0 {
+			t.Fatalf("full mode grafted %d times; must always re-peel", patched)
+		}
 	}
 }
 

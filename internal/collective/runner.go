@@ -18,6 +18,7 @@ import (
 	"peel/internal/netsim"
 	"peel/internal/routing"
 	"peel/internal/sim"
+	"peel/internal/steiner"
 	"peel/internal/telemetry"
 	"peel/internal/topology"
 	"peel/internal/workload"
@@ -86,6 +87,11 @@ type Runner struct {
 	// MaxRepairs bounds repair attempts per collective before the pending
 	// receivers are abandoned; 0 means the default budget.
 	MaxRepairs int
+	// RepairMode selects how stalled collectives re-plan: "patch" (the
+	// default, also for "") grafts orphaned receivers into the last
+	// installed tree via core.RepairTree; "full" always re-peels from
+	// scratch (the pre-incremental behavior).
+	RepairMode string
 
 	flowKey uint64
 }
@@ -195,7 +201,11 @@ type instance struct {
 
 	// Failure-recovery state (see recovery.go). All zero when the
 	// watchdog is disabled.
-	watch          []watched
+	watch []watched
+	// repairBase is the last installed single multicast tree — the graft
+	// base for incremental repair. nil for multi-tree stages (PEEL's static
+	// prefix packets), where repair always re-peels.
+	repairBase     *steiner.Tree
 	recovery       RecoveryStats
 	repairAttempts int
 	lastSnapshot   int64

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"peel/internal/invariant"
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+// RepairTree is BuildTree's incremental sibling: it patches old — a tree
+// built before failedLink died — into a valid tree over the current
+// (degraded) graph covering dests, grafting orphaned receivers into the
+// surviving subtree instead of re-peeling from scratch. failedLink is a
+// diagnostic hint (negative when unknown, e.g. several links flapped);
+// the patch rescans the tree's edges against the live graph regardless,
+// so stacked failures repair correctly.
+//
+// The patch is accepted only when it stays inside pol's bounds AND inside
+// Theorem 2.5's fresh-peel cost envelope on the degraded graph — the
+// budget BuildTree itself is held to — so a patched tree is never
+// categorically worse than a rebuild. Otherwise RepairTree falls back to
+// BuildTree and reports it via RepairStats.FellBack. The returned error
+// is nil whenever either path produced a tree.
+func RepairTree(g *topology.Graph, old *steiner.Tree, failedLink topology.LinkID,
+	dests []topology.NodeID, pol steiner.RepairPolicy) (*steiner.Tree, steiner.RepairStats, error) {
+
+	_ = failedLink
+	tree, stats, err := steiner.Repair(g, old, dests, pol)
+	if err == nil {
+		// The local policy passed; hold the patch to the same Theorem 2.5
+		// budget a fresh peel would satisfy (one pooled BFS, still far
+		// cheaper than peeling). Outside it, rebuilding is worth the cost.
+		_, ub, berr := steiner.PeelCostBudget(g, old.Source, dests)
+		if berr == nil && (ub == 0 || tree.Cost() <= ub) {
+			steiner.ReportRepairChecks(invariant.Active(), g, tree, dests)
+			return tree, stats, nil
+		}
+	}
+	// Any refusal — policy bounds, budget, or a degraded-fabric corner —
+	// degrades to the full build, which reports its own errors properly
+	// (ErrUnreachable for disconnected receivers above all).
+	stats.FellBack = true
+	t, ferr := BuildTree(g, old.Source, dests)
+	return t, stats, ferr
+}

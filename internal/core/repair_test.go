@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"peel/internal/steiner"
+	"peel/internal/topology"
+)
+
+// TestRepairTreeCostWithinFreshPeelBound is the graft-vs-fresh property
+// test: across seeded random groups and failure patterns, every patch
+// RepairTree accepts must stay inside Theorem 2.5's fresh-peel envelope
+// — patched cost ≤ min(F,|D|) × an actual fresh peel's cost — and every
+// refusal must degrade to a full build that serves the same receivers.
+func TestRepairTreeCostWithinFreshPeelBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pol := steiner.DefaultRepairPolicy()
+	patched, fellBack, unreachable := 0, 0, 0
+	for trial := 0; trial < 200; trial++ {
+		var g *topology.Graph
+		switch trial % 3 {
+		case 0:
+			g = topology.FatTree(4)
+		case 1:
+			g = topology.FatTree(8)
+		default:
+			g = topology.LeafSpine(4, 4, 4)
+		}
+		hosts := g.Hosts()
+		src := hosts[rng.Intn(len(hosts))]
+		nd := 2 + rng.Intn(14)
+		dests := make([]topology.NodeID, 0, nd)
+		for len(dests) < nd {
+			h := hosts[rng.Intn(len(hosts))]
+			if h != src && !slices.Contains(dests, h) {
+				dests = append(dests, h)
+			}
+		}
+		old, err := BuildTree(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At least one tree link dies; up to two more links flap anywhere.
+		links := old.Links(g)
+		failed := links[rng.Intn(len(links))]
+		g.FailLink(failed)
+		for extra := rng.Intn(3); extra > 0; extra-- {
+			g.FailLink(topology.LinkID(rng.Intn(g.NumLinks())))
+		}
+
+		tree, stats, err := RepairTree(g, old, failed, dests, pol)
+		if err != nil {
+			if !errors.Is(err, steiner.ErrUnreachable) {
+				t.Fatalf("trial %d: unexpected error: %v", trial, err)
+			}
+			unreachable++
+			continue
+		}
+		if verr := tree.Validate(g, dests); verr != nil {
+			t.Fatalf("trial %d: repaired tree invalid: %v", trial, verr)
+		}
+		if stats.FellBack {
+			fellBack++
+			continue
+		}
+		patched++
+		lb, ub, berr := steiner.PeelCostBudget(g, src, dests)
+		if berr != nil {
+			t.Fatalf("trial %d: budget after accepted patch: %v", trial, berr)
+		}
+		if tree.Cost() < lb || tree.Cost() > ub {
+			t.Fatalf("trial %d: patched cost %d outside fresh-peel budget [%d, %d]",
+				trial, tree.Cost(), lb, ub)
+		}
+		// The literal graft-vs-fresh ratio: a fresh peel costs at least lb,
+		// so the envelope caps the patch at min(F,|D|) × fresh.
+		fresh, _, ferr := steiner.LayerPeeling(g, src, dests)
+		if ferr != nil {
+			t.Fatalf("trial %d: fresh peel failed after accepted patch: %v", trial, ferr)
+		}
+		if lb > 0 && tree.Cost() > (ub/lb)*fresh.Cost() {
+			t.Fatalf("trial %d: patched cost %d exceeds min(F,|D|)=%d × fresh cost %d",
+				trial, tree.Cost(), ub/lb, fresh.Cost())
+		}
+	}
+	if patched == 0 {
+		t.Fatal("sweep accepted no patches; fixture is broken")
+	}
+	t.Logf("patched=%d fellBack=%d unreachable=%d", patched, fellBack, unreachable)
+}
+
+// TestRepairTreeFallsBackToFullBuild pins the degradation contract: a
+// policy that refuses everything still yields a served tree, flagged as
+// a full-build fallback.
+func TestRepairTreeFallsBackToFullBuild(t *testing.T) {
+	g := topology.FatTree(4)
+	hosts := g.Hosts()
+	src := hosts[0]
+	dests := []topology.NodeID{hosts[3], hosts[7], hosts[11]}
+	old, err := BuildTree(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed topology.LinkID = -1
+	for _, l := range old.Links(g) {
+		lk := g.Link(l)
+		if g.Node(lk.A).Kind.IsSwitch() && g.Node(lk.B).Kind.IsSwitch() {
+			failed = l
+			break
+		}
+	}
+	if failed < 0 {
+		t.Fatal("no switch-switch tree link")
+	}
+	g.FailLink(failed)
+	pol := steiner.DefaultRepairPolicy()
+	pol.MaxOrphanFrac = 1e-9
+	tree, stats, err := RepairTree(g, old, failed, dests, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.FellBack {
+		t.Fatalf("expected a full-build fallback, got %+v", stats)
+	}
+	if verr := tree.Validate(g, dests); verr != nil {
+		t.Fatalf("fallback tree invalid: %v", verr)
+	}
+}

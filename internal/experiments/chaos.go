@@ -70,7 +70,7 @@ func ChaosStudy(o Options) (*Result, error) {
 				cfg := o.configFor(msg, o.Seed+int64(ci))
 				// Clean pass: the failure is scheduled relative to this
 				// collective's own failure-free CCT.
-				clean, err := runChaosOne(build, s, c, cfg, nil, o.MaxEvents, o.TelemetrySample)
+				clean, err := runChaosOne(build, s, c, cfg, nil, o)
 				if err != nil {
 					return nil, fmt.Errorf("chaos clean %s: %w", s, err)
 				}
@@ -82,7 +82,7 @@ func ChaosStudy(o Options) (*Result, error) {
 				chaosRNG := cfg.RNG(netsim.SaltChaos + int64(si)*1000 + int64(ci))
 				sched, _ := chaos.FailFractionAt(build(), topology.SwitchLinks, frac,
 					failAt, failAt+mttr, chaosRNG)
-				rep, err := runChaosOne(build, s, c, cfg, sched, o.MaxEvents, o.TelemetrySample)
+				rep, err := runChaosOne(build, s, c, cfg, sched, o)
 				if err != nil {
 					return nil, fmt.Errorf("chaos frac=%v %s: %w", frac, s, err)
 				}
@@ -112,7 +112,7 @@ func ChaosStudy(o Options) (*Result, error) {
 // runChaosOne simulates a single broadcast on a fresh fabric, optionally
 // arming a chaos schedule, and returns the runner's recovery report.
 func runChaosOne(build func() *topology.Graph, scheme collective.Scheme, c *workload.Collective,
-	cfg netsim.Config, sched *chaos.Schedule, maxEvents uint64, sample sim.Time) (collective.Report, error) {
+	cfg netsim.Config, sched *chaos.Schedule, o Options) (collective.Report, error) {
 
 	g := build()
 	eng := &sim.Engine{}
@@ -125,6 +125,7 @@ func runChaosOne(build func() *topology.Graph, scheme collective.Scheme, c *work
 	ctrl := controller.New(cfg.RNG(netsim.SaltController))
 	runner := collective.NewRunner(net, cl, planner, ctrl)
 	runner.Watchdog = 100 * sim.Microsecond
+	runner.RepairMode = o.Repair
 
 	var rep collective.Report
 	done := false
@@ -137,8 +138,8 @@ func runChaosOne(build func() *topology.Graph, scheme collective.Scheme, c *work
 	if err := chaos.NewInjector(g, eng).Arm(sched); err != nil {
 		return collective.Report{}, err
 	}
-	net.ArmTelemetrySampler(telemetry.Active(), sample)
-	if err := eng.Run(maxEvents); err != nil {
+	net.ArmTelemetrySampler(telemetry.Active(), o.TelemetrySample)
+	if err := eng.Run(o.MaxEvents); err != nil {
 		return collective.Report{}, err
 	}
 	if startErr != nil {

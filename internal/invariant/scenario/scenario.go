@@ -54,8 +54,8 @@ func Generate(seed int64) Scenario {
 	rng := rand.New(rand.NewSource(seed))
 	sc := Scenario{
 		Seed:       seed,
-		GroupGPUs:  8 + rng.Intn(56),                           // 1–8 of the 16 hosts
-		Bytes:      (64 << 10) << rng.Intn(5),                  // 64 KiB … 1 MiB
+		GroupGPUs:  8 + rng.Intn(56),          // 1–8 of the 16 hosts
+		Bytes:      (64 << 10) << rng.Intn(5), // 64 KiB … 1 MiB
 		FrameBytes: []int64{16 << 10, 32 << 10, 64 << 10}[rng.Intn(3)],
 	}
 	if rng.Intn(2) == 1 {

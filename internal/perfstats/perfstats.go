@@ -91,6 +91,9 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. the flap-churn
+	// benchmark's "p99-ns") keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // BenchReport is the schema of a checked-in BENCH_*.json file.
@@ -128,15 +131,21 @@ func ParseGoBench(r io.Reader) ([]Benchmark, error) {
 		}
 		b := Benchmark{Name: trimProcSuffix(fields[0]), Iterations: iters, NsPerOp: ns}
 		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
+			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
 			switch fields[i+1] {
 			case "B/op":
-				b.BytesPerOp = v
+				b.BytesPerOp = int64(v)
 			case "allocs/op":
-				b.AllocsPerOp = v
+				b.AllocsPerOp = int64(v)
+			default:
+				// Custom b.ReportMetric units (p99-ns and friends).
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[fields[i+1]] = v
 			}
 		}
 		out = append(out, b)

@@ -51,6 +51,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkLayerPeelingTree-4     	    3770	     61302 ns/op	   34032 B/op	     200 allocs/op
 BenchmarkHeaderCodec            	 2503220	        98.30 ns/op	       8 B/op	       1 allocs/op
 BenchmarkNoMem-8 	 100	 5000 ns/op
+BenchmarkFlapChurnRecompute/patch-8   	   50000	       991.9 ns/op	     21684 p99-ns
 PASS
 ok  	peel	1.823s
 `
@@ -58,7 +59,7 @@ ok  	peel	1.823s
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(bs) != 3 {
+	if len(bs) != 4 {
 		t.Fatalf("parsed %d benchmarks: %+v", len(bs), bs)
 	}
 	lp := bs[0]
@@ -71,6 +72,9 @@ ok  	peel	1.823s
 	}
 	if bs[2].Name != "BenchmarkNoMem" || bs[2].BytesPerOp != 0 {
 		t.Fatalf("bad parse %+v", bs[2])
+	}
+	if bs[3].Name != "BenchmarkFlapChurnRecompute/patch" || bs[3].Metrics["p99-ns"] != 21684 {
+		t.Fatalf("custom metric not parsed: %+v", bs[3])
 	}
 }
 

@@ -33,6 +33,8 @@ type treeVal struct {
 	cost      int
 	gen       uint64 // service topology generation at compute time
 	installPs int64  // controller install latency charged for this compute
+	patched   bool   // produced by incremental repair, not a full peel
+	repairGen uint64 // consecutive patches since the last full peel
 	stale     atomic.Bool
 }
 

@@ -66,6 +66,9 @@ type DaemonConfig struct {
 	MaxInflight int
 	CacheCap    int
 	Seed        int64
+	// Repair selects the failure-recompute strategy: RepairPatch (default)
+	// or RepairFull; see Options.Repair.
+	Repair string
 	// RequestTimeout bounds each request's context: handlers pass it into
 	// the service, so a slow tree computation answers 504 instead of
 	// holding the connection forever (default 10s; <0 disables).
@@ -116,11 +119,15 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		}
 		g = topology.FatTree(cfg.K)
 	}
+	if cfg.Repair != "" && cfg.Repair != RepairPatch && cfg.Repair != RepairFull {
+		return nil, fmt.Errorf("service: unknown repair mode %q (want %q or %q)", cfg.Repair, RepairPatch, RepairFull)
+	}
 	svc := New(g, Options{
 		Shards:      cfg.Shards,
 		MaxInflight: cfg.MaxInflight,
 		CacheCap:    cfg.CacheCap,
 		Seed:        cfg.Seed,
+		Repair:      cfg.Repair,
 	})
 	d := &Daemon{cfg: cfg, api: svc, svc: svc}
 	d.mux = d.routes()
@@ -253,6 +260,8 @@ type TreeResponse struct {
 	CurrentGen uint64     `json:"current_gen"`
 	InstallPs  int64      `json:"install_ps"`
 	Cached     bool       `json:"cached"`
+	Patched    bool       `json:"patched"`
+	RepairGen  uint64     `json:"repair_gen"`
 	Edges      [][2]int32 `json:"edges"`
 }
 
@@ -264,6 +273,8 @@ func toTreeResponse(ti TreeInfo) TreeResponse {
 		CurrentGen: ti.CurrentGen,
 		InstallPs:  ti.InstallPs,
 		Cached:     ti.Cached,
+		Patched:    ti.Patched,
+		RepairGen:  ti.RepairGen,
 		Edges:      make([][2]int32, 0, ti.Cost),
 	}
 	t := ti.Tree

@@ -54,6 +54,11 @@ type localBackend struct {
 	opts     service.Options
 	svc      atomic.Pointer[service.Service]
 	alive    atomic.Bool
+	// Lifetime repair census of service images retired by Restart, so a
+	// kill/restart cycle doesn't erase the replica's contribution to
+	// Federation.RepairCounts.
+	retiredPatched  atomic.Int64
+	retiredFallback atomic.Int64
 }
 
 func newLocalBackend(name string, newGraph func() *topology.Graph, opts service.Options) *localBackend {
@@ -129,9 +134,26 @@ func (b *localBackend) Restart() bool {
 	if b.alive.Load() {
 		return false
 	}
+	if old := b.svc.Load(); old != nil {
+		p, fb := old.RepairCounts()
+		b.retiredPatched.Add(p)
+		b.retiredFallback.Add(fb)
+	}
 	b.svc.Store(service.New(b.newGraph(), b.opts))
 	b.alive.Store(true)
 	return true
+}
+
+// RepairCounts reports the replica's lifetime repair census: the live
+// service image plus every image retired by kill/restart cycles.
+func (b *localBackend) RepairCounts() (patched, fellBack int64) {
+	patched, fellBack = b.retiredPatched.Load(), b.retiredFallback.Load()
+	if svc := b.svc.Load(); svc != nil {
+		p, fb := svc.RepairCounts()
+		patched += p
+		fellBack += fb
+	}
+	return patched, fellBack
 }
 
 // Service exposes the live replica service (tests reach through it to
@@ -241,6 +263,8 @@ func (b *httpBackend) TreeFor(ctx context.Context, key string, source topology.N
 		CurrentGen: tr.CurrentGen,
 		InstallPs:  tr.InstallPs,
 		Cached:     tr.Cached,
+		Patched:    tr.Patched,
+		RepairGen:  tr.RepairGen,
 	}, nil
 }
 

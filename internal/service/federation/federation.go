@@ -233,6 +233,23 @@ func New(cfg Config) (*Federation, error) {
 // peelsim wiring that reads the graph).
 func (f *Federation) Oracle() *service.Service { return f.oracle }
 
+// RepairCounts aggregates the incremental-repair census across the
+// oracle's direct re-peel path and every in-process replica: how many
+// invalidated entries were served by a graft patch, and how many patch
+// attempts degraded to a full re-peel. HTTP replicas are excluded (their
+// counts live in their own /v1/stats).
+func (f *Federation) RepairCounts() (patched, fellBack int64) {
+	patched, fellBack = f.oracle.RepairCounts()
+	for _, r := range *f.reps.Load() {
+		if lb, ok := r.be.(*localBackend); ok {
+			p, fb := lb.RepairCounts()
+			patched += p
+			fellBack += fb
+		}
+	}
+	return patched, fellBack
+}
+
 // Close stops the health loop, drains every live backend gracefully, and
 // closes the oracle. Idempotent.
 func (f *Federation) Close() {

@@ -6,15 +6,19 @@ import (
 	"peel/internal/core"
 	"peel/internal/invariant"
 	"peel/internal/service"
+	"peel/internal/steiner"
 	"peel/internal/topology"
 )
 
 // Invariant checkers owned by the federation layer.
 const (
-	// OracleIdentical: every federated GetTree answer byte-equals (same
-	// source, same parent vector, same cost) the tree a single-node oracle
-	// builds on the same degraded graph — the graph as of the generation
-	// the replica computed the tree at.
+	// OracleIdentical: every fully-peeled federated GetTree answer
+	// byte-equals (same source, same parent vector, same cost) the tree a
+	// single-node oracle builds on the same degraded graph — the graph as
+	// of the generation the replica computed the tree at. Patched answers
+	// (incremental graft repairs) legally diverge in shape; they must
+	// instead be valid on that graph and inside the fresh-peel Theorem 2.5
+	// cost envelope.
 	OracleIdentical = "federation.answer-oracle-identical"
 	// GenerationMonotonic: no replica ever serves a tree stale relative to
 	// the events it has acked — its serve-time generation covers the acked
@@ -28,7 +32,7 @@ func init() {
 	invariant.Register(invariant.Checker{
 		Name:   OracleIdentical,
 		Anchor: "control-plane replication correctness",
-		Desc:   "every federated tree answer is byte-identical to a single-node oracle on the same degraded graph",
+		Desc:   "every federated tree answer matches a single-node oracle on the same degraded graph: byte-identical when fully peeled, valid-and-within-budget when patched",
 	})
 	invariant.Register(invariant.Checker{
 		Name:   GenerationMonotonic,
@@ -94,6 +98,20 @@ func (f *Federation) checkServed(r *replica, ackedAtSend uint64, ti service.Tree
 		if m != source {
 			receivers = append(receivers, m)
 		}
+	}
+	if ti.Patched {
+		// A patched answer is a graft, not a fresh peel: its shape legally
+		// diverges from the oracle's byte-for-byte rebuild. What replication
+		// still owes us is that the patch would have been accepted by the
+		// oracle too — valid on the reconstructed graph and inside the
+		// fresh-peel Theorem 2.5 cost envelope core.RepairTree enforces.
+		verr := ti.Tree.Validate(clone, receivers)
+		lb, ub, berr := steiner.PeelCostBudget(clone, source, receivers)
+		iv.Checkf(OracleIdentical,
+			verr == nil && berr == nil && ti.Cost >= lb && (ub == 0 || ti.Cost <= ub),
+			"replica %s patched tree at gen %d not oracle-acceptable: validate=%v budget=[%d,%d] cost=%d err=%v",
+			r.name, ti.Gen, verr, lb, ub, ti.Cost, berr)
+		return
 	}
 	want, err := core.BuildTree(clone, source, receivers)
 	if err != nil {

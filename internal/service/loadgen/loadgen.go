@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,14 @@ import (
 // failure transitions stay serialized with the service's invalidation
 // protocol. *service.Service implements it.
 type FaultInjector = service.FaultInjector
+
+// RepairCounter is the optional repair-census surface: clients that track
+// how invalidated trees recomputed (patched graft vs full re-peel) expose
+// it, and the loadgen folds the counts into its final Stats.
+// *service.Service and *federation.Federation implement it.
+type RepairCounter interface {
+	RepairCounts() (patched, fellBack int64)
+}
 
 // ReplicaChaos is the process-level chaos hook: alongside link flaps, the
 // loadgen can kill and restart whole peeld replicas through it. The
@@ -146,6 +155,16 @@ type Stats struct {
 	Wall       time.Duration `json:"wall_ns"`
 	OpsPerSec  float64       `json:"ops_per_sec"`
 	HitRate    float64       `json:"hit_rate"`
+	// Repair census, from the client's RepairCounter surface (zero when the
+	// client does not expose one): invalidated trees recomputed by an
+	// incremental graft patch vs patch attempts that fell back to a full
+	// re-peel.
+	RepairsPatched      int64 `json:"repairs_patched"`
+	RepairsFullFallback int64 `json:"repairs_full_fallback"`
+	// GetP99Ns is the wall-clock p99 GetTree latency in nanoseconds. Like
+	// OpsPerSec it is wall-derived and never feeds telemetry, so the golden
+	// run-report stays byte-deterministic.
+	GetP99Ns int64 `json:"get_p99_ns"`
 	// ErrorsByKind types every non-benign failure so transport-level
 	// errors surface in the final report instead of vanishing into one
 	// opaque counter: "overloaded" (admission rejection), "draining"
@@ -245,6 +264,10 @@ func (g *Generator) Run(ctx context.Context) Stats {
 	var wg sync.WaitGroup
 	var ops, gets, hits, misses, overloaded, races, errs, flaps, kills atomic.Int64
 	var ekDraining, ekDeadline, ekTransport atomic.Int64
+	// Per-worker GetTree latency samples, merged after the join below —
+	// workers never share the slices, so sampling stays contention-free.
+	var latMu sync.Mutex
+	var getLat []int64
 	if g.cfg.KillEvery > 0 && g.replicas == nil {
 		panic("loadgen: KillEvery set but replica chaos not armed (call ArmReplicaChaos)")
 	}
@@ -258,6 +281,12 @@ func (g *Generator) Run(ctx context.Context) Stats {
 		wg.Add(1)
 		go func(worker, budget int) {
 			defer wg.Done()
+			lat := make([]int64, 0, budget)
+			defer func() {
+				latMu.Lock()
+				getLat = append(getLat, lat...)
+				latMu.Unlock()
+			}()
 			rng := rand.New(rand.NewSource(g.cfg.Seed + int64(worker)*7919))
 			zipf := rand.NewZipf(rng, g.cfg.ZipfS, 1, uint64(len(g.ids)-1))
 			hosts := g.cluster.Hosts()
@@ -309,7 +338,9 @@ func (g *Generator) Run(ctx context.Context) Stats {
 				case r < g.cfg.Mix.Get:
 					gets.Add(1)
 					var ti service.TreeInfo
+					getStart := time.Now()
 					ti, err = g.client.GetTree(ctx, id)
+					lat = append(lat, int64(time.Since(getStart)))
 					if err == nil {
 						if ti.Cached {
 							hits.Add(1)
@@ -375,6 +406,13 @@ func (g *Generator) Run(ctx context.Context) Stats {
 	}
 	if st.Gets > 0 {
 		st.HitRate = float64(st.Hits) / float64(st.Gets)
+	}
+	if len(getLat) > 0 {
+		sort.Slice(getLat, func(i, j int) bool { return getLat[i] < getLat[j] })
+		st.GetP99Ns = getLat[len(getLat)*99/100]
+	}
+	if rc, ok := g.client.(RepairCounter); ok {
+		st.RepairsPatched, st.RepairsFullFallback = rc.RepairCounts()
 	}
 	return st
 }

@@ -87,6 +87,23 @@ var (
 	ErrDraining      = errors.New("service: draining")
 )
 
+// Repair-mode values for Options.Repair.
+const (
+	// RepairPatch (the default) patches invalidated cache entries
+	// incrementally: orphaned receivers are grafted back into the surviving
+	// subtree, falling back to a full re-peel only when the patch exceeds
+	// core.RepairTree's policy or cost bounds.
+	RepairPatch = "patch"
+	// RepairFull always re-peels invalidated entries from scratch — the
+	// pre-incremental behavior, kept for comparison runs.
+	RepairFull = "full"
+)
+
+// maxRepairChain caps consecutive patches on one cache entry. Each patch
+// stays inside the fresh-peel cost envelope, but long graft chains drift
+// from what a fresh peel would build; a periodic full rebuild re-converges.
+const maxRepairChain = 8
+
 // Options configures a Service.
 type Options struct {
 	// Shards is the tree-cache shard count, rounded up to a power of two
@@ -100,6 +117,10 @@ type Options struct {
 	CacheCap int
 	// Seed seeds the controller install-latency model (default 1).
 	Seed int64
+	// Repair selects how invalidated cache entries recompute: RepairPatch
+	// (default) grafts orphaned receivers incrementally, RepairFull always
+	// re-peels from scratch.
+	Repair string
 	// ComputeHook, when set, runs at the start of every tree computation
 	// (before the topology lock is taken). It is a test seam for slowing
 	// or gating computes — admission-token and singleflight tests block in
@@ -122,6 +143,9 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Repair == "" {
+		o.Repair = RepairPatch
+	}
 	return o
 }
 
@@ -143,6 +167,8 @@ type TreeInfo struct {
 	CurrentGen uint64 // topology generation now
 	InstallPs  int64  // controller install latency charged for this tree's rules
 	Cached     bool   // true when served without a fresh computation
+	Patched    bool   // tree came from an incremental repair, not a full peel
+	RepairGen  uint64 // consecutive patches since the entry's last full peel
 }
 
 // Client is the group-lifecycle API, implemented in-process by *Service
@@ -241,6 +267,9 @@ type Service struct {
 	inflight chan struct{} // admission tokens for tree computations
 	closing  atomic.Bool
 	computes sync.WaitGroup
+
+	repairsPatched  atomic.Int64 // invalidated entries served by a graft patch
+	repairsFallback atomic.Int64 // patch attempts that degraded to a full peel
 
 	hooks atomic.Pointer[telHooks]
 }
@@ -734,6 +763,8 @@ func (s *Service) treeInfo(v *treeVal, cached bool) TreeInfo {
 		CurrentGen: s.gen.Load(),
 		InstallPs:  v.installPs,
 		Cached:     cached,
+		Patched:    v.patched,
+		RepairGen:  v.repairGen,
 	}
 }
 
@@ -840,41 +871,94 @@ func (s *Service) runCompute(e *entry, m *membership, h *telHooks) (*treeVal, er
 	gen := s.gen.Load()
 	prior := e.val.Load()
 	failureDriven := prior != nil && prior.stale.Load()
-	tree, err := core.BuildTree(s.g, m.source, receivers)
+
+	// Patch-first: an invalidated entry keeps its old tree around, so graft
+	// the orphaned receivers back in instead of re-peeling from scratch.
+	// Chains of patches are capped — after maxRepairChain consecutive
+	// grafts the entry re-peels fully to re-converge on peel quality.
+	var (
+		tree      *steiner.Tree
+		err       error
+		stats     steiner.RepairStats
+		patched   bool
+		repairGen uint64
+	)
+	attempted := failureDriven && s.opts.Repair == RepairPatch && prior.repairGen < maxRepairChain
+	if attempted {
+		tree, stats, err = core.RepairTree(s.g, prior.tree, -1, receivers, steiner.DefaultRepairPolicy())
+		patched = err == nil && !stats.FellBack
+	} else {
+		tree, err = core.BuildTree(s.g, m.source, receivers)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("service: tree for %q: %w", m.key, err)
 	}
-	if iv := invariant.Active(); iv != nil {
+	if patched {
+		repairGen = prior.repairGen + 1
+		s.repairsPatched.Add(1)
+	} else if attempted {
+		s.repairsFallback.Add(1)
+	}
+	if iv := invariant.Active(); iv != nil && !patched {
 		// A lazily re-peeled tree must satisfy the same validity and
 		// Theorem 2.5 budget checks as the collective repair path's.
+		// (Accepted patches were already checked by core.RepairTree under
+		// the steiner.repaired-tree-valid invariant.)
 		steiner.ReportTreeChecks(iv, s.g, tree, receivers)
 	}
 	var installPs int64
-	// Charge the §3.1 controller round trip for pushing this tree's rules.
-	// The model's RNG is shared across computations; serialize draws.
-	s.ctrlMu.Lock()
-	installPs = int64(s.ctrl.SetupDelay())
-	s.ctrlMu.Unlock()
+	if !patched || stats.GraftEdges > 0 {
+		// Charge the §3.1 controller round trip for pushing this tree's
+		// rules. The model's RNG is shared across computations; serialize
+		// draws. A patch that installed no new forwarding rules (pure prune
+		// or no-op) charges nothing — there is nothing to push.
+		s.ctrlMu.Lock()
+		installPs = int64(s.ctrl.SetupDelay())
+		s.ctrlMu.Unlock()
+		if h != nil {
+			h.installPs.Observe(installPs)
+		}
+	}
 	if h != nil {
-		h.installPs.Observe(installPs)
 		if failureDriven {
 			h.recomputes.Inc()
 		}
+		if patched {
+			h.repairPatched.Inc()
+			h.repairPatchPs.Observe(installPs)
+			h.repairCostDelta.Observe(int64(tree.Cost() - prior.cost))
+		} else if attempted {
+			h.repairFallback.Inc()
+		}
 	}
-	v := &treeVal{tree: tree, cost: tree.Cost(), gen: gen, installPs: installPs}
+	v := &treeVal{
+		tree: tree, cost: tree.Cost(), gen: gen, installPs: installPs,
+		patched: patched, repairGen: repairGen,
+	}
 	s.cache.index(e, tree.Links(s.g))
 	e.val.Store(v)
 	return v, nil
 }
 
+// RepairCounts reports how invalidated entries recomputed: patched is the
+// count served by an incremental graft, fellBack the count where a patch
+// attempt degraded to a full re-peel (policy bounds, cost envelope, or a
+// chain-cap rebuild).
+func (s *Service) RepairCounts() (patched, fellBack int64) {
+	return s.repairsPatched.Load(), s.repairsFallback.Load()
+}
+
 // Stats is a point-in-time service census.
 type Stats struct {
-	Groups       int    `json:"groups"`
-	CacheEntries int    `json:"cache_entries"`
-	Shards       int    `json:"shards"`
-	Gen          uint64 `json:"topology_generation"`
-	FailedLinks  int    `json:"failed_links"`
-	MaxInflight  int    `json:"max_inflight"`
+	Groups              int    `json:"groups"`
+	CacheEntries        int    `json:"cache_entries"`
+	Shards              int    `json:"shards"`
+	Gen                 uint64 `json:"topology_generation"`
+	FailedLinks         int    `json:"failed_links"`
+	MaxInflight         int    `json:"max_inflight"`
+	RepairMode          string `json:"repair_mode"`
+	RepairsPatched      int64  `json:"repairs_patched"`
+	RepairsFullFallback int64  `json:"repairs_full_fallback"`
 }
 
 // Stats snapshots the service.
@@ -887,12 +971,15 @@ func (s *Service) Stats() Stats {
 	failed := s.g.NumFailedLinks()
 	s.topoMu.RUnlock()
 	return Stats{
-		Groups:       groups,
-		CacheEntries: total,
-		Shards:       len(s.cache.shards),
-		Gen:          s.gen.Load(),
-		FailedLinks:  failed,
-		MaxInflight:  s.opts.MaxInflight,
+		Groups:              groups,
+		CacheEntries:        total,
+		Shards:              len(s.cache.shards),
+		Gen:                 s.gen.Load(),
+		FailedLinks:         failed,
+		MaxInflight:         s.opts.MaxInflight,
+		RepairMode:          s.opts.Repair,
+		RepairsPatched:      s.repairsPatched.Load(),
+		RepairsFullFallback: s.repairsFallback.Load(),
 	}
 }
 

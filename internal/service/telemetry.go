@@ -26,6 +26,9 @@ type telHooks struct {
 	heals       *telemetry.Counter // heal transitions observed
 	recomputes  *telemetry.Counter // failure-driven recomputes (lazy re-peels)
 
+	repairPatched  *telemetry.Counter // invalidated entries patched incrementally
+	repairFallback *telemetry.Counter // patch attempts that fell back to a full peel
+
 	opsGet    *telemetry.Counter
 	opsJoin   *telemetry.Counter
 	opsLeave  *telemetry.Counter
@@ -34,6 +37,9 @@ type telHooks struct {
 
 	installPs *telemetry.Histogram // charged controller install latency
 	treeCost  *telemetry.Histogram // cost of served trees
+
+	repairPatchPs   *telemetry.Histogram // install latency charged for accepted patches
+	repairCostDelta *telemetry.Histogram // patched cost minus the prior tree's cost
 
 	groups  *telemetry.Gauge // live group count
 	entries *telemetry.Gauge // total cache entries
@@ -60,26 +66,32 @@ func (s *Service) tel() *telHooks {
 
 func newTelHooks(ts *telemetry.Sink, shards int) *telHooks {
 	h := &telHooks{
-		sink:        ts,
-		hits:        ts.Counter("service.cache.hits"),
-		misses:      ts.Counter("service.cache.misses"),
-		coalesced:   ts.Counter("service.cache.coalesced"),
-		overloaded:  ts.Counter("service.overloaded"),
-		evictions:   ts.Counter("service.cache.evictions"),
-		invalidated: ts.Counter("service.cache.invalidated"),
-		failures:    ts.Counter("service.topo.failures"),
-		heals:       ts.Counter("service.topo.heals"),
-		recomputes:  ts.Counter("service.recompute.failure_driven"),
-		opsGet:      ts.Counter("service.ops.get_tree"),
-		opsJoin:     ts.Counter("service.ops.join"),
-		opsLeave:    ts.Counter("service.ops.leave"),
-		opsCreate:   ts.Counter("service.ops.create"),
-		opsDelete:   ts.Counter("service.ops.delete"),
-		installPs:   ts.Histogram("service.install_ps", telemetry.Log2Layout()),
-		treeCost:    ts.Histogram("service.tree_cost", telemetry.Log2Layout()),
-		groups:      ts.Gauge("service.groups"),
-		entries:     ts.Gauge("service.cache.entries"),
-		topoGen:     ts.Gauge("service.topo.generation"),
+		sink:           ts,
+		hits:           ts.Counter("service.cache.hits"),
+		misses:         ts.Counter("service.cache.misses"),
+		coalesced:      ts.Counter("service.cache.coalesced"),
+		overloaded:     ts.Counter("service.overloaded"),
+		evictions:      ts.Counter("service.cache.evictions"),
+		invalidated:    ts.Counter("service.cache.invalidated"),
+		failures:       ts.Counter("service.topo.failures"),
+		heals:          ts.Counter("service.topo.heals"),
+		recomputes:     ts.Counter("service.recompute.failure_driven"),
+		repairPatched:  ts.Counter("service.repair.patched"),
+		repairFallback: ts.Counter("service.repair.full_fallback"),
+		opsGet:         ts.Counter("service.ops.get_tree"),
+		opsJoin:        ts.Counter("service.ops.join"),
+		opsLeave:       ts.Counter("service.ops.leave"),
+		opsCreate:      ts.Counter("service.ops.create"),
+		opsDelete:      ts.Counter("service.ops.delete"),
+		installPs:      ts.Histogram("service.install_ps", telemetry.Log2Layout()),
+		treeCost:       ts.Histogram("service.tree_cost", telemetry.Log2Layout()),
+		repairPatchPs:  ts.Histogram("service.repair.patch_ps", telemetry.Log2Layout()),
+		// Cost deltas are small and can be negative (a prune-only patch
+		// shrinks the tree): fixed-width buckets centered on zero.
+		repairCostDelta: ts.Histogram("service.repair.patch_cost_delta", telemetry.LinearLayout(-32, 4, 32)),
+		groups:          ts.Gauge("service.groups"),
+		entries:         ts.Gauge("service.cache.entries"),
+		topoGen:         ts.Gauge("service.topo.generation"),
 	}
 	h.shardEntries = make([]*telemetry.Gauge, shards)
 	h.shardGens = make([]*telemetry.Gauge, shards)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package steiner
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package steiner
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation pin skips under it (race mode defeats sync.Pool reuse).
+const raceEnabled = true

@@ -1,0 +1,538 @@
+package steiner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"peel/internal/invariant"
+	"peel/internal/routing"
+	"peel/internal/topology"
+)
+
+// Incremental tree repair (graft instead of re-peel).
+//
+// A link failure rarely disconnects more than a small subtree of a
+// multicast tree, yet re-running LayerPeeling pays the full O(V+E) build
+// every time. Repair patches instead: classify the old tree's members as
+// alive (still connected to the source over live edges) or orphaned,
+// prune dead and receiver-less branches, then re-attach each orphaned
+// receiver via a bounded BFS from the orphan into the surviving tree —
+// the cheapest still-valid graft under unit link costs. Elmo-style
+// multicast state patching, applied to the paper's peeled trees.
+//
+// Repair is conservative by design: when the orphaned set, the graft
+// radius, or the patched cost exceeds RepairPolicy's bounds it refuses
+// (ErrRepairFallback) and the caller rebuilds from scratch. The patched
+// tree never mutates the input tree, so cached trees shared across
+// goroutines stay immutable.
+
+// SteinerRepairedTreeValid is the differential invariant for patched
+// trees: a repaired tree must validate on the degraded graph, span every
+// receiver, and stay inside Theorem 2.5's cost envelope — the budget a
+// fresh layer-peeling is guaranteed to meet.
+const SteinerRepairedTreeValid = "steiner.repaired-tree-valid"
+
+func init() {
+	invariant.Register(invariant.Checker{
+		Name:   SteinerRepairedTreeValid,
+		Anchor: "incremental repair correctness",
+		Desc:   "patched trees are valid on the degraded graph, cover all receivers, and cost within a fresh peel's Theorem 2.5 budget",
+	})
+}
+
+// ErrRepairFallback reports that a patch would exceed the repair policy's
+// bounds (too many orphans, no graft within the radius, patched cost too
+// high); the caller must rebuild the tree from scratch.
+var ErrRepairFallback = errors.New("steiner: repair exceeds policy bounds, full rebuild required")
+
+// RepairPolicy bounds the incremental repair path. Zero values select the
+// defaults of DefaultRepairPolicy.
+type RepairPolicy struct {
+	// MaxRadius caps the graft search: an orphaned receiver must reach the
+	// surviving tree within this many live hops or the repair falls back.
+	MaxRadius int
+	// MaxCostRatio caps the patched tree's cost relative to the old
+	// tree's: patched > ratio × old falls back to a full build.
+	MaxCostRatio float64
+	// MaxOrphanFrac caps the orphaned share of the receiver set; when a
+	// failure disconnects more than this fraction a fresh peel is at least
+	// as cheap as grafting, so the repair falls back.
+	MaxOrphanFrac float64
+}
+
+// DefaultRepairPolicy bounds grafts at the fat-tree diameter, patched
+// cost at 1.5× the old tree, and the orphaned share at half the group.
+func DefaultRepairPolicy() RepairPolicy {
+	return RepairPolicy{MaxRadius: 6, MaxCostRatio: 1.5, MaxOrphanFrac: 0.5}
+}
+
+func (p RepairPolicy) normalized() RepairPolicy {
+	d := DefaultRepairPolicy()
+	if p.MaxRadius <= 0 {
+		p.MaxRadius = d.MaxRadius
+	}
+	if p.MaxCostRatio <= 0 {
+		p.MaxCostRatio = d.MaxCostRatio
+	}
+	if p.MaxOrphanFrac <= 0 {
+		p.MaxOrphanFrac = d.MaxOrphanFrac
+	}
+	return p
+}
+
+// RepairStats reports what one Repair call did.
+type RepairStats struct {
+	// Orphaned counts receivers that had lost their live path to the
+	// source (including receivers absent from the old tree).
+	Orphaned int
+	// Grafts counts orphaned receivers re-attached.
+	Grafts int
+	// GraftEdges counts edges added by grafting — the new forwarding rules
+	// a controller must install. Zero means the surviving tree already
+	// covers every receiver and the repair is pure pruning.
+	GraftEdges int
+	// Pruned counts members removed: orphaned subtrees plus surviving
+	// branches left without receivers.
+	Pruned int
+	// NoChange reports that the patched tree is member-identical to the
+	// old tree (nothing orphaned, nothing pruned).
+	NoChange bool
+	// FellBack is set by core.RepairTree when the policy refused the patch
+	// and a full build produced the returned tree.
+	FellBack bool
+}
+
+// repairScratch is the pooled working state of one Repair call, following
+// the peelScratch touched-list idiom: node-indexed arrays are reset via
+// the lists of indexes actually written, so a repair costs O(tree + graft
+// search), not O(nodes).
+type repairScratch struct {
+	state    []int8            // 0 untouched, 1 in patched tree, 2 orphaned old member
+	touched  []topology.NodeID // state indexes set
+	isDest   []bool
+	destTch  []topology.NodeID
+	childCnt []int32
+	cntTch   []topology.NodeID
+	stack    []topology.NodeID // classification walks + prune queue
+	orphans  []topology.NodeID
+	nbr      []topology.NodeID
+	// Bounded graft BFS: dist doubles as the visited mark (-1 = unseen),
+	// from records the discovery predecessor (toward the orphan).
+	dist  []int32
+	from  []topology.NodeID
+	seen  []topology.NodeID
+	queue []topology.NodeID
+}
+
+var repairPool = sync.Pool{New: func() any { return new(repairScratch) }}
+
+func grabRepairScratch(n int) *repairScratch {
+	s := repairPool.Get().(*repairScratch)
+	if cap(s.state) < n {
+		s.state = make([]int8, n)
+		s.isDest = make([]bool, n)
+		s.childCnt = make([]int32, n)
+		s.dist = make([]int32, n)
+		s.from = make([]topology.NodeID, n)
+		for i := range s.dist {
+			s.dist[i] = -1
+		}
+	}
+	s.state = s.state[:n]
+	s.isDest = s.isDest[:n]
+	s.childCnt = s.childCnt[:n]
+	s.dist = s.dist[:n]
+	s.from = s.from[:n]
+	return s
+}
+
+func (s *repairScratch) release() {
+	for _, id := range s.touched {
+		s.state[id] = 0
+	}
+	for _, id := range s.destTch {
+		s.isDest[id] = false
+	}
+	for _, id := range s.cntTch {
+		s.childCnt[id] = 0
+	}
+	for _, id := range s.seen {
+		s.dist[id] = -1
+	}
+	s.touched = s.touched[:0]
+	s.destTch = s.destTch[:0]
+	s.cntTch = s.cntTch[:0]
+	s.seen = s.seen[:0]
+	s.stack = s.stack[:0]
+	s.orphans = s.orphans[:0]
+	s.queue = s.queue[:0]
+	repairPool.Put(s)
+}
+
+func (s *repairScratch) setState(id topology.NodeID, v int8) {
+	if s.state[id] == 0 {
+		s.touched = append(s.touched, id)
+	}
+	s.state[id] = v
+}
+
+// Repair patches old — built before the failure — into a new tree over
+// the current (degraded) graph covering dests, without mutating old. See
+// RepairInto for the algorithm; Repair allocates the result tree.
+func Repair(g *topology.Graph, old *Tree, dests []topology.NodeID, pol RepairPolicy) (*Tree, RepairStats, error) {
+	dst := &Tree{}
+	stats, err := RepairInto(dst, g, old, dests, pol)
+	if err != nil {
+		return nil, stats, err
+	}
+	return dst, stats, nil
+}
+
+// RepairInto is the allocation-free repair primitive: it rebuilds dst in
+// place (reusing its storage when large enough) as the patched version of
+// old. dests must be the receivers the patched tree has to span — they
+// may be a subset of old's receivers (the collective runner repairs onto
+// still-pending receivers only); receivers missing from old are treated
+// as orphans and grafted like the rest.
+//
+// The algorithm, in four passes over the old tree (never the whole
+// graph):
+//
+//  1. Classify: walk each member's parent chain over live edges;
+//     memoized per node, so the pass is O(members). Members whose chain
+//     reaches the source are alive, the rest orphaned.
+//  2. Rebuild: copy the alive members into dst (the surviving tree).
+//  3. Prune: repeatedly drop leaves that are neither receivers nor the
+//     source — dead subtrees and branches whose receivers all left.
+//  4. Graft: for each orphaned receiver (ascending ID, deterministic), a
+//     bounded BFS over live links — expanding only through switches not
+//     yet in the tree — finds the nearest attach point (a surviving
+//     switch or the source) within MaxRadius hops; the path joins dst,
+//     so later orphans can share earlier grafts.
+//
+// Old is read-only throughout (cached trees are shared across
+// goroutines); in particular Repair never touches old's lazy child-list
+// cache.
+func RepairInto(dst *Tree, g *topology.Graph, old *Tree, dests []topology.NodeID, pol RepairPolicy) (RepairStats, error) {
+	var stats RepairStats
+	pol = pol.normalized()
+	n := len(old.Parent)
+	if n < g.NumNodes() {
+		return stats, fmt.Errorf("steiner: repair: tree spans %d nodes, graph has %d", n, g.NumNodes())
+	}
+	src := old.Source
+	sc := grabRepairScratch(n)
+	defer sc.release()
+
+	// Pass 1: classify old members as alive (1) or orphaned (2).
+	sc.setState(src, 1)
+	for _, m := range old.Members {
+		if sc.state[m] != 0 {
+			continue
+		}
+		// Push the unknown prefix of m's parent chain, then resolve it
+		// backward from the first classified node (or a dead edge).
+		stack := sc.stack[:0]
+		cur := m
+		verdict := int8(1)
+		for {
+			stack = append(stack, cur)
+			if len(stack) > n {
+				verdict = 2 // cycle in a corrupted input tree: treat as orphaned
+				break
+			}
+			p := old.Parent[cur]
+			if p == topology.None {
+				verdict = 2 // non-source member without a parent: orphaned
+				break
+			}
+			if g.LinkBetween(p, cur) < 0 {
+				verdict = 2 // the edge above cur died
+				break
+			}
+			if st := sc.state[p]; st != 0 {
+				verdict = st
+				break
+			}
+			cur = p
+		}
+		for _, nd := range stack {
+			sc.setState(nd, verdict)
+		}
+		sc.stack = stack[:0]
+	}
+
+	// Pass 2: rebuild dst from the survivors, preserving old's member
+	// order (parents precede children, since an alive node's parent is
+	// alive and already listed).
+	if cap(dst.Parent) < n {
+		dst.Parent = make([]topology.NodeID, n)
+		for i := range dst.Parent {
+			dst.Parent[i] = topology.None
+		}
+	} else {
+		prev := dst.Parent // previous length, in case dst spanned another graph
+		dst.Parent = dst.Parent[:n]
+		for _, m := range dst.Members {
+			prev[m] = topology.None
+		}
+		for i := len(prev); i < n; i++ {
+			dst.Parent[i] = topology.None
+		}
+	}
+	dst.Source = src
+	dst.Members = append(dst.Members[:0], src)
+	dst.children = nil
+	for _, m := range old.Members {
+		if m == src || sc.state[m] != 1 {
+			continue
+		}
+		dst.Parent[m] = old.Parent[m]
+		dst.Members = append(dst.Members, m)
+	}
+
+	// Receiver marks; count the orphaned receivers against the policy.
+	nd := 0
+	for _, d := range dests {
+		if d == src || sc.isDest[d] {
+			continue
+		}
+		sc.isDest[d] = true
+		sc.destTch = append(sc.destTch, d)
+		nd++
+		if sc.state[d] != 1 {
+			sc.orphans = append(sc.orphans, d)
+		}
+	}
+	stats.Orphaned = len(sc.orphans)
+	if nd == 0 {
+		// Degenerate self-send: no receivers to serve, so the patched tree
+		// is the bare source.
+		for _, m := range dst.Members[1:] {
+			dst.Parent[m] = topology.None
+			sc.setState(m, 0)
+		}
+		stats.Pruned = len(old.Members) - 1
+		dst.Members = dst.Members[:1]
+		stats.NoChange = stats.Pruned == 0
+		return stats, nil
+	}
+	if float64(stats.Orphaned) > pol.MaxOrphanFrac*float64(nd) {
+		return stats, fmt.Errorf("%w: %d of %d receivers orphaned", ErrRepairFallback, stats.Orphaned, nd)
+	}
+
+	// Pass 3: prune receiver-less leaves from the surviving tree.
+	for _, m := range dst.Members {
+		if p := dst.Parent[m]; p != topology.None {
+			if sc.childCnt[p] == 0 {
+				sc.cntTch = append(sc.cntTch, p)
+			}
+			sc.childCnt[p]++
+		}
+	}
+	queue := sc.stack[:0]
+	for _, m := range dst.Members {
+		if m != src && sc.childCnt[m] == 0 && !sc.isDest[m] {
+			queue = append(queue, m)
+		}
+	}
+	for len(queue) > 0 {
+		m := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		p := dst.Parent[m]
+		dst.Parent[m] = topology.None
+		sc.setState(m, 0)
+		stats.Pruned++
+		if p != src {
+			sc.childCnt[p]--
+			if sc.childCnt[p] == 0 && !sc.isDest[p] {
+				queue = append(queue, p)
+			}
+		}
+	}
+	sc.stack = queue[:0]
+	if stats.Pruned > 0 {
+		kept := dst.Members[:1] // source stays
+		for _, m := range dst.Members[1:] {
+			if dst.Parent[m] != topology.None {
+				kept = append(kept, m)
+			}
+		}
+		dst.Members = kept
+	}
+	stats.Pruned += countPruned(old, sc)
+
+	// Pass 4: graft each orphaned receiver (ascending ID) into the
+	// surviving tree via bounded BFS.
+	insertionSortNodes(sc.orphans)
+	for _, o := range sc.orphans {
+		if sc.state[o] == 1 {
+			continue // attached as an intermediate of an earlier graft
+		}
+		attach, err := sc.graftSearch(g, src, o, pol.MaxRadius)
+		if err != nil {
+			return stats, err
+		}
+		// Walk the discovery chain from the attach point back down to the
+		// orphan, adding each hop with the previous one as parent.
+		for cur := attach; cur != o; {
+			child := sc.from[cur]
+			dst.Parent[child] = cur
+			dst.Members = append(dst.Members, child)
+			sc.setState(child, 1)
+			stats.GraftEdges++
+			cur = child
+		}
+		stats.Grafts++
+	}
+
+	if old.Cost() > 0 && float64(dst.Cost()) > pol.MaxCostRatio*float64(old.Cost()) {
+		return stats, fmt.Errorf("%w: patched cost %d exceeds %.2g× old cost %d",
+			ErrRepairFallback, dst.Cost(), pol.MaxCostRatio, old.Cost())
+	}
+	stats.NoChange = stats.GraftEdges == 0 && stats.Pruned == 0
+	return stats, nil
+}
+
+// graftSearch runs the bounded BFS from orphan o over live links, routing
+// only through switches outside the tree, until it discovers a node of
+// the surviving tree that may replicate (a switch or the source). It
+// returns that attach point; sc.from then traces the path back to o.
+// Deterministic: FIFO expansion over the graph's fixed adjacency order.
+func (sc *repairScratch) graftSearch(g *topology.Graph, src, o topology.NodeID, radius int) (topology.NodeID, error) {
+	for _, id := range sc.seen {
+		sc.dist[id] = -1
+	}
+	sc.seen = sc.seen[:0]
+	sc.dist[o] = 0
+	sc.seen = append(sc.seen, o)
+	queue := append(sc.queue[:0], o)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		d := sc.dist[cur]
+		if int(d) >= radius {
+			break // FIFO: every later entry is at least this far out
+		}
+		sc.nbr = g.Neighbors(cur, sc.nbr[:0])
+		for _, nb := range sc.nbr {
+			if sc.dist[nb] >= 0 {
+				continue
+			}
+			sc.dist[nb] = d + 1
+			sc.seen = append(sc.seen, nb)
+			sc.from[nb] = cur
+			if sc.state[nb] == 1 && (g.Node(nb).Kind.IsSwitch() || nb == src) {
+				sc.queue = queue[:0]
+				return nb, nil
+			}
+			if g.Node(nb).Kind.IsSwitch() && sc.state[nb] != 1 {
+				queue = append(queue, nb)
+			}
+		}
+	}
+	sc.queue = queue[:0]
+	return topology.None, fmt.Errorf("%w: no graft for receiver %d within %d hops", ErrRepairFallback, o, radius)
+}
+
+// countPruned counts old members that classified as orphaned — they were
+// dropped with their subtrees during the rebuild.
+func countPruned(old *Tree, sc *repairScratch) int {
+	n := 0
+	for _, m := range old.Members {
+		if sc.state[m] == 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// insertionSortNodes sorts a small node slice ascending without
+// allocating (the orphan set of a single link failure is tiny).
+func insertionSortNodes(s []topology.NodeID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ReportRepairChecks reports the steiner.repaired-tree-valid differential
+// invariant for a patched tree: validity on the degraded graph (spanning
+// every receiver over live links) and Theorem 2.5's cost envelope
+// [lb, lb·min(F,|D|)] computed fresh on the degraded graph — the budget
+// any fresh layer-peeling of the same group is guaranteed to meet, so a
+// patched tree inside it is never categorically worse than a rebuild.
+func ReportRepairChecks(s *invariant.Suite, g *topology.Graph, t *Tree, dests []topology.NodeID) {
+	if s == nil {
+		return
+	}
+	err := t.Validate(g, dests)
+	if !s.Checkf(SteinerRepairedTreeValid, err == nil, "patched tree invalid: %v", err) {
+		return
+	}
+	d := routing.BorrowBFS(g, t.Source)
+	defer d.Release()
+	f, ferr := d.Farthest(dests)
+	if ferr != nil {
+		s.Violatef(SteinerRepairedTreeValid, "patched tree has unreachable destination: %v", ferr)
+		return
+	}
+	nd := 0
+	for _, dst := range dests {
+		if dst != t.Source {
+			nd++ // dests are de-duplicated by the repair callers
+		}
+	}
+	if nd == 0 {
+		return
+	}
+	cost := t.Cost()
+	lb := nd
+	if int(f) > lb {
+		lb = int(f)
+	}
+	minFD := nd
+	if int(f) < minFD {
+		minFD = int(f)
+	}
+	if minFD < 1 {
+		minFD = 1
+	}
+	s.Checkf(SteinerRepairedTreeValid, cost >= lb && cost <= lb*minFD,
+		"patched cost %d outside fresh-peel budget [%d, %d] (F=%d |D|=%d)", cost, lb, lb*minFD, f, nd)
+}
+
+// PeelCostBudget returns Theorem 2.5's cost envelope for a fresh peel of
+// dests on g: [lb, lb·min(F,|D|)] with lb = max(F, |D|). The federation
+// oracle uses it to accept patched answers that are valid but not
+// byte-identical to its own fresh build.
+func PeelCostBudget(g *topology.Graph, src topology.NodeID, dests []topology.NodeID) (lb, ub int, err error) {
+	d := routing.BorrowBFS(g, src)
+	defer d.Release()
+	f, err := d.Farthest(dests)
+	if err != nil {
+		return 0, 0, err
+	}
+	nd := 0
+	for _, dst := range dests {
+		if dst != src {
+			nd++
+		}
+	}
+	if nd == 0 {
+		return 0, 0, nil
+	}
+	lb = nd
+	if int(f) > lb {
+		lb = int(f)
+	}
+	minFD := nd
+	if int(f) < minFD {
+		minFD = int(f)
+	}
+	if minFD < 1 {
+		minFD = 1
+	}
+	return lb, lb * minFD, nil
+}

@@ -1,0 +1,461 @@
+package steiner
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"peel/internal/invariant"
+	"peel/internal/topology"
+)
+
+// spreadHosts picks nd distinct destination hosts (excluding src) evenly
+// spread across the host list, so groups span pods.
+func spreadHosts(g *topology.Graph, src topology.NodeID, nd int) []topology.NodeID {
+	hosts := g.Hosts()
+	out := make([]topology.NodeID, 0, nd)
+	for i := 0; len(out) < nd && i < len(hosts); i++ {
+		h := hosts[(i*len(hosts)/nd+1)%len(hosts)]
+		if h != src && !slices.Contains(out, h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// treeSnapshot captures the mutable state of a tree for aliasing checks.
+func treeSnapshot(t *Tree) ([]topology.NodeID, []topology.NodeID) {
+	return append([]topology.NodeID(nil), t.Parent...), append([]topology.NodeID(nil), t.Members...)
+}
+
+// failTreeLink fails a deterministic switch-side tree link whose removal
+// orphans at least one receiver but at most maxOrphans of them, returning
+// the link and the expected orphan count (receivers whose old-tree path
+// crossed the dead link).
+func failTreeLink(t testing.TB, g *topology.Graph, tree *Tree, dests []topology.NodeID, maxOrphans int) topology.LinkID {
+	t.Helper()
+	for _, l := range tree.Links(g) {
+		lk := g.Link(l)
+		if !g.Node(lk.A).Kind.IsSwitch() || !g.Node(lk.B).Kind.IsSwitch() {
+			continue // a host uplink makes its receiver unreachable, not orphaned
+		}
+		g.FailLink(l)
+		orphans := 0
+		for _, d := range dests {
+			cut := false
+			for n := d; n != tree.Source; n = tree.Parent[n] {
+				if tree.Parent[n] == topology.None || g.LinkBetween(tree.Parent[n], n) < 0 {
+					cut = true
+					break
+				}
+			}
+			if cut {
+				orphans++
+			}
+		}
+		if orphans >= 1 && orphans <= maxOrphans {
+			return l
+		}
+		g.RestoreLink(l)
+	}
+	t.Fatal("no tree link orphans between 1 and maxOrphans receivers")
+	return -1
+}
+
+func TestRepairGraftsOrphans(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 8)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldP, oldM := treeSnapshot(old)
+	failTreeLink(t, g, old, dests, 2)
+
+	patched, stats, err := Repair(g, old, dests, DefaultRepairPolicy())
+	if err != nil {
+		t.Fatalf("repair refused a single-link failure: %v", err)
+	}
+	if err := patched.Validate(g, dests); err != nil {
+		t.Fatalf("patched tree invalid: %v", err)
+	}
+	if stats.Orphaned == 0 || stats.Grafts != stats.Orphaned {
+		t.Fatalf("expected every orphan grafted, got %+v", stats)
+	}
+	if stats.NoChange {
+		t.Fatalf("a failure that orphaned receivers cannot be a no-change repair: %+v", stats)
+	}
+	// The shared input tree must not be touched (caches hand it to
+	// concurrent readers).
+	p2, m2 := treeSnapshot(old)
+	if !slices.Equal(oldP, p2) || !slices.Equal(oldM, m2) {
+		t.Fatal("Repair mutated the input tree")
+	}
+	ReportRepairChecks(invariant.Active(), g, patched, dests)
+}
+
+func TestRepairNoChangeWhenTreeUnaffected(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 6)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail a live link the tree does not use.
+	used := old.Links(g)
+	for id := 0; id < g.NumLinks(); id++ {
+		l := topology.LinkID(id)
+		if !slices.Contains(used, l) {
+			g.FailLink(l)
+			break
+		}
+	}
+	patched, stats, err := Repair(g, old, dests, DefaultRepairPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.NoChange || stats.Orphaned != 0 || stats.GraftEdges != 0 || stats.Pruned != 0 {
+		t.Fatalf("expected a no-change repair, got %+v", stats)
+	}
+	if !slices.Equal(patched.Members, old.Members) {
+		t.Fatal("no-change repair must reproduce the old member list")
+	}
+}
+
+func TestRepairPrunesDroppedReceivers(t *testing.T) {
+	// The collective runner repairs onto still-pending receivers only: a
+	// subset of the old tree's receivers. The patch must prune the
+	// branches that served the finished ones — with zero new graft edges
+	// when no pending receiver was orphaned.
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 8)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := dests[:3]
+	patched, stats, err := Repair(g, old, pending, DefaultRepairPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := patched.Validate(g, pending); err != nil {
+		t.Fatalf("patched tree invalid: %v", err)
+	}
+	if stats.GraftEdges != 0 {
+		t.Fatalf("healthy-graph subset repair needs no grafts, got %+v", stats)
+	}
+	if stats.Pruned == 0 || patched.Cost() >= old.Cost() {
+		t.Fatalf("expected pruning to shrink the tree: %+v, cost %d vs %d", stats, patched.Cost(), old.Cost())
+	}
+	for _, d := range dests[3:] {
+		if patched.Contains(d) && g.Node(d).Kind == topology.Host {
+			t.Fatalf("finished receiver %d still in the pruned tree", d)
+		}
+	}
+}
+
+func TestRepairDeterministic(t *testing.T) {
+	g := topology.FatTree(8)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 16)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failTreeLink(t, g, old, dests, 4)
+	a, _, err := Repair(g, old, dests, DefaultRepairPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Repair(g, old, dests, DefaultRepairPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(a.Parent, b.Parent) || !slices.Equal(a.Members, b.Members) {
+		t.Fatal("repair is not deterministic for identical inputs")
+	}
+}
+
+func TestRepairFallbackOrphanFraction(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 8)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failTreeLink(t, g, old, dests, len(dests))
+	pol := DefaultRepairPolicy()
+	pol.MaxOrphanFrac = 1e-9 // any orphan at all must refuse
+	_, _, err = Repair(g, old, dests, pol)
+	if !errors.Is(err, ErrRepairFallback) {
+		t.Fatalf("expected ErrRepairFallback, got %v", err)
+	}
+}
+
+func TestRepairFallbackRadius(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 8)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failTreeLink(t, g, old, dests, 2)
+	pol := DefaultRepairPolicy()
+	pol.MaxRadius = 1 // an orphaned host needs at least its ToR plus one hop
+	if _, _, err := Repair(g, old, dests, pol); !errors.Is(err, ErrRepairFallback) {
+		t.Fatalf("expected ErrRepairFallback at radius 1, got %v", err)
+	}
+}
+
+func TestRepairFallbackCostRatio(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 2)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failTreeLink(t, g, old, dests, 2)
+	pol := DefaultRepairPolicy()
+	pol.MaxCostRatio = 1e-9 // any patched tree exceeds this
+	if _, _, err := Repair(g, old, dests, pol); !errors.Is(err, ErrRepairFallback) {
+		t.Fatalf("expected ErrRepairFallback under a zero cost budget, got %v", err)
+	}
+}
+
+// TestRepairConcurrentReaders exercises the shared-tree contract under
+// -race: many goroutines repair from the same old tree while others walk
+// it, which is exactly what the service's cache shards do.
+func TestRepairConcurrentReaders(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 8)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failTreeLink(t, g, old, dests, 3)
+	done := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, _, err := Repair(g, old, dests, DefaultRepairPolicy())
+			done <- err
+		}()
+		go func() {
+			sum := topology.NodeID(0)
+			for _, m := range old.Members {
+				sum += old.Parent[m] + 1
+			}
+			_ = sum
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRepairIntoZeroAlloc pins the patch fast path at zero allocations
+// when reusing a destination tree (the CI bench gate re-checks this via
+// BenchmarkRepairPatch).
+func TestRepairIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse")
+	}
+	g := topology.FatTree(8)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 16)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failTreeLink(t, g, old, dests, 4)
+	dst := &Tree{}
+	pol := DefaultRepairPolicy()
+	if _, err := RepairInto(dst, g, old, dests, pol); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := RepairInto(dst, g, old, dests, pol); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RepairInto fast path allocates %v times per run, want 0", allocs)
+	}
+}
+
+// Mutation self-tests for the repaired-tree checker.
+
+func TestMutationRepairedTreeValidFiresOnDeadEdge(t *testing.T) {
+	g, src, dst, leaf, _, _ := mutationFabric(t)
+	tr := newTree(src, g.NumNodes())
+	tr.add(leaf, src)
+	tr.add(dst, leaf)
+	g.FailLink(g.LinkBetween(leaf, dst)) // the patched tree now crosses a dead link
+
+	s := invariant.NewSuite()
+	ReportRepairChecks(s, g, tr, []topology.NodeID{dst})
+	if s.Violations(SteinerRepairedTreeValid) == 0 {
+		t.Fatal("repaired-tree checker did not fire on a dead tree edge")
+	}
+}
+
+func TestMutationRepairedTreeValidFiresOnUnspannedReceiver(t *testing.T) {
+	g, src, dst, leaf, _, _ := mutationFabric(t)
+	tr := newTree(src, g.NumNodes())
+	tr.add(leaf, src)
+
+	s := invariant.NewSuite()
+	ReportRepairChecks(s, g, tr, []topology.NodeID{dst})
+	if s.Violations(SteinerRepairedTreeValid) == 0 {
+		t.Fatal("repaired-tree checker did not fire on an unspanned receiver")
+	}
+}
+
+func TestMutationRepairedTreeValidFiresOnOverBudgetCost(t *testing.T) {
+	g, src, dst, leaf, spine, leaf2 := mutationFabric(t)
+	// Valid tree, gratuitous detour: cost 4 against a fresh-peel budget of
+	// [2, 2] for (F=2, |D|=1).
+	tr := newTree(src, g.NumNodes())
+	tr.add(leaf, src)
+	tr.add(dst, leaf)
+	tr.add(spine, leaf)
+	tr.add(leaf2, spine)
+
+	s := invariant.NewSuite()
+	ReportRepairChecks(s, g, tr, []topology.NodeID{dst})
+	if s.Violations(SteinerRepairedTreeValid) == 0 {
+		t.Fatal("repaired-tree checker did not fire on an over-budget patch")
+	}
+}
+
+func TestMutationRepairedTreeValidPassesOnGoodPatch(t *testing.T) {
+	g := topology.FatTree(4)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 6)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failTreeLink(t, g, old, dests, 2)
+	patched, _, err := Repair(g, old, dests, DefaultRepairPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := invariant.NewSuite()
+	ReportRepairChecks(s, g, patched, dests)
+	if n := s.Violations(SteinerRepairedTreeValid); n != 0 {
+		t.Fatalf("checker fired %d times on a good patch: %s", n, s.FirstFailure(SteinerRepairedTreeValid))
+	}
+}
+
+// TestRepairSeededRandom drives Repair across seeded random failure
+// patterns on several fabrics: accepted patches must validate and stay
+// within the policy's cost ratio of the old tree; refusals must be typed.
+func TestRepairSeededRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pol := DefaultRepairPolicy()
+	accepted, refused := 0, 0
+	for trial := 0; trial < 150; trial++ {
+		var g *topology.Graph
+		if trial%2 == 0 {
+			g = topology.FatTree(4)
+		} else {
+			g = topology.LeafSpine(4, 4, 4)
+		}
+		hosts := g.Hosts()
+		src := hosts[rng.Intn(len(hosts))]
+		nd := 2 + rng.Intn(10)
+		dests := make([]topology.NodeID, 0, nd)
+		for len(dests) < nd {
+			h := hosts[rng.Intn(len(hosts))]
+			if h != src && !slices.Contains(dests, h) {
+				dests = append(dests, h)
+			}
+		}
+		old, _, err := LayerPeeling(g, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links := old.Links(g)
+		g.FailLink(links[rng.Intn(len(links))])
+		for extra := rng.Intn(3); extra > 0; extra-- {
+			g.FailLink(topology.LinkID(rng.Intn(g.NumLinks())))
+		}
+		patched, _, err := Repair(g, old, dests, pol)
+		if err != nil {
+			if !errors.Is(err, ErrRepairFallback) {
+				t.Fatalf("trial %d: unexpected repair error: %v", trial, err)
+			}
+			refused++
+			continue
+		}
+		accepted++
+		if verr := patched.Validate(g, dests); verr != nil {
+			t.Fatalf("trial %d: patched tree invalid: %v", trial, verr)
+		}
+		if old.Cost() > 0 && float64(patched.Cost()) > pol.MaxCostRatio*float64(old.Cost()) {
+			t.Fatalf("trial %d: patched cost %d exceeds policy ratio of old cost %d",
+				trial, patched.Cost(), old.Cost())
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("seeded sweep accepted no repairs; fixture is broken")
+	}
+	t.Logf("accepted=%d refused=%d", accepted, refused)
+}
+
+// Benchmarks: the CI bench-smoke gate asserts BenchmarkRepairPatch is at
+// least 3× faster than BenchmarkRepairFull and allocation-free.
+
+// benchRepairFixture: a 16-receiver group on a k=8 fat-tree with one
+// switch-side link failure orphaning ≤ 25% of the receivers — the
+// small-subtree-failure case incremental repair exists for.
+func benchRepairFixture(b *testing.B) (*topology.Graph, *Tree, topology.NodeID, []topology.NodeID) {
+	b.Helper()
+	g := topology.FatTree(8)
+	src := g.Hosts()[0]
+	dests := spreadHosts(g, src, 16)
+	old, _, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		b.Fatal(err)
+	}
+	failTreeLink(b, g, old, dests, len(dests)/4)
+	return g, old, src, dests
+}
+
+func BenchmarkRepairPatch(b *testing.B) {
+	g, old, _, dests := benchRepairFixture(b)
+	pol := DefaultRepairPolicy()
+	dst := &Tree{}
+	if _, err := RepairInto(dst, g, old, dests, pol); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RepairInto(dst, g, old, dests, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepairFull(b *testing.B) {
+	g, _, src, dests := benchRepairFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := LayerPeeling(g, src, dests); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
