@@ -20,6 +20,9 @@
 //	-repair M           failure recompute mode: "patch" grafts orphaned receivers
 //	                    into the surviving tree (default), "full" always re-peels
 //	-request-timeout D  per-request deadline; slow peels answer 504 (default 10s; negative disables)
+//	-wire-addr A        also serve the framed binary subscription protocol
+//	                    (internal/service/wire) on A; clients SUBSCRIBE once and
+//	                    receive pushed tree updates instead of polling (single-node only)
 //	-telemetry          arm the telemetry sink (GET /v1/report serves the JSON run-report)
 //	-check              arm the invariant checker suite; violations print at exit
 //	                    and force a non-zero status
@@ -63,6 +66,7 @@ import (
 	"peel/internal/invariant"
 	"peel/internal/service"
 	"peel/internal/service/federation"
+	"peel/internal/service/wire"
 	"peel/internal/telemetry"
 	"peel/internal/topology"
 )
@@ -87,6 +91,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	seed := fs.Int64("seed", 0, "install-latency model seed (default 1)")
 	repair := fs.String("repair", "", "failure recompute mode: patch (graft orphans, default) or full (always re-peel)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline (default 10s; negative disables)")
+	wireAddr := fs.String("wire-addr", "", "also serve the framed binary subscription protocol on this address (single-node only)")
 	useTelemetry := fs.Bool("telemetry", false, "arm the telemetry sink for GET /v1/report")
 	check := fs.Bool("check", false, "arm the invariant checker suite")
 	router := fs.Bool("router", false, "serve as a federation router")
@@ -113,6 +118,10 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *repair != "" && *repair != service.RepairPatch && *repair != service.RepairFull {
 		fmt.Fprintf(stderr, "peeld: unknown -repair mode %q (want %q or %q)\n",
 			*repair, service.RepairPatch, service.RepairFull)
+		return 2
+	}
+	if *wireAddr != "" && *router {
+		fmt.Fprintf(stderr, "peeld: -wire-addr requires single-node mode (not -router)\n")
 		return 2
 	}
 
@@ -151,6 +160,11 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 			Seed:           *seed,
 			Repair:         *repair,
 			RequestTimeout: *reqTimeout,
+		}
+		if *wireAddr != "" {
+			cfg.Aux = wire.Hook(*wireAddr, wire.Options{}, func(addr string) {
+				fmt.Fprintf(stdout, "peeld: wire protocol listening on %s\n", addr)
+			})
 		}
 		if *replicaName != "" {
 			name, join := *replicaName, *joinURL

@@ -7,6 +7,8 @@
 //	peelsim all
 //	peelsim serve [-addr A] [-k K] [-shards N] [-max-inflight N] ...
 //	peelsim federate [-replicas N] [-ops N] [-kill-every N] [-flap-every N] ...
+//	peelsim watch -addr A -groups g0,g1 [-count N] [-timeout D] [-reconnect]
+//	peelsim loadgen [-ops N] [-flap-every N] [-propagation push|poll] ...
 //
 // The serve subcommand runs the multicast control-plane daemon through
 // the same service wiring as cmd/peeld (see that command's docs). The
@@ -14,7 +16,12 @@
 // peeld replicas behind the federation router under a mixed workload
 // with scripted link flaps and replica kill/restart, reporting loadgen
 // stats plus the final fleet census as JSON (deterministic at
-// -workers 1; add -check to gate on the invariant suite).
+// -workers 1; add -check to gate on the invariant suite). The watch
+// subcommand subscribes to groups over a daemon's wire protocol
+// (-wire-addr) and prints one JSON line per pushed tree update. The
+// loadgen subcommand runs a single-node churn workload; its
+// -propagation push|poll modes measure flap-to-client tree-update
+// latency over the wire protocol versus the GetTree polling baseline.
 //
 // Experiments: fig1 fig3 fig4 fig5 fig6 fig7 state guard approx bandwidth
 //
@@ -115,6 +122,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		ctx, stop := signalContext()
 		defer stop()
 		return federateMain(ctx, args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "watch" {
+		ctx, stop := signalContext()
+		defer stop()
+		return watchMain(ctx, args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "loadgen" {
+		ctx, stop := signalContext()
+		defer stop()
+		return loadgenMain(ctx, args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("peelsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -448,6 +465,6 @@ func dumpTrace(sink *telemetry.Sink, suite *invariant.Suite, path string, stderr
 }
 
 func usage(fs *flag.FlagSet, stderr io.Writer) {
-	fmt.Fprintf(stderr, "usage: peelsim [flags] <experiment>...\n       peelsim serve [flags]\n       peelsim federate [flags]\nexperiments: %s all\n", strings.Join(order, " "))
+	fmt.Fprintf(stderr, "usage: peelsim [flags] <experiment>...\n       peelsim serve [flags]\n       peelsim federate [flags]\n       peelsim loadgen [flags]\n       peelsim watch [flags]\nexperiments: %s all\n", strings.Join(order, " "))
 	fs.PrintDefaults()
 }

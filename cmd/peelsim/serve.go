@@ -11,6 +11,7 @@ import (
 
 	"peel/internal/invariant"
 	"peel/internal/service"
+	"peel/internal/service/wire"
 	"peel/internal/telemetry"
 )
 
@@ -29,6 +30,7 @@ func serveMain(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	cacheCap := fs.Int("cache-cap", 0, "cached trees per shard (default 4096; -1 = unbounded)")
 	seed := fs.Int64("seed", 0, "install-latency model seed (default 1)")
 	repair := fs.String("repair", "", "failure recompute mode: patch (graft orphans, default) or full (always re-peel)")
+	wireAddr := fs.String("wire-addr", "", "also serve the framed binary subscription protocol on this address")
 	useTelemetry := fs.Bool("telemetry", false, "arm the telemetry sink for GET /v1/report")
 	check := fs.Bool("check", false, "arm the invariant checker suite")
 	if err := fs.Parse(args); err != nil {
@@ -49,7 +51,7 @@ func serveMain(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		defer invariant.Enable(suite)()
 	}
 
-	code := service.Serve(ctx, service.DaemonConfig{
+	cfg := service.DaemonConfig{
 		Addr:        *addr,
 		K:           *k,
 		Shards:      *shards,
@@ -57,7 +59,13 @@ func serveMain(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		CacheCap:    *cacheCap,
 		Seed:        *seed,
 		Repair:      *repair,
-	}, stdout, stderr)
+	}
+	if *wireAddr != "" {
+		cfg.Aux = wire.Hook(*wireAddr, wire.Options{}, func(addr string) {
+			fmt.Fprintf(stdout, "peelsim serve: wire protocol listening on %s\n", addr)
+		})
+	}
+	code := service.Serve(ctx, cfg, stdout, stderr)
 
 	if suite != nil {
 		fmt.Fprint(stdout, suite.Report())

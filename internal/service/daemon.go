@@ -78,6 +78,14 @@ type DaemonConfig struct {
 	// OnReady, when set, is called with the bound address once the
 	// listener is accepting (tests and peelsim use it to find the port).
 	OnReady func(addr string)
+	// Aux, when set, attaches an auxiliary listener to the daemon's
+	// single-node service before the HTTP listener binds — the wire
+	// subscription server above all (cmd packages install it via
+	// wire.Hook, keeping this package free of a wire import cycle). The
+	// returned stop runs first during shutdown, before the service
+	// closes. Requires single-node mode: a federation daemon has no
+	// *Service to attach to.
+	Aux func(svc *Service) (stop func(), err error)
 }
 
 func (c DaemonConfig) withDefaults() DaemonConfig {
@@ -160,8 +168,20 @@ func (d *Daemon) Handler() http.Handler { return d.mux }
 // service closes (unsubscribing its topology observer). Returns nil on a
 // clean drain.
 func (d *Daemon) Run(ctx context.Context) error {
+	stopAux := func() {}
+	if d.cfg.Aux != nil {
+		if d.svc == nil {
+			return errors.New("service: DaemonConfig.Aux requires a single-node service")
+		}
+		stop, err := d.cfg.Aux(d.svc)
+		if err != nil {
+			return err
+		}
+		stopAux = stop
+	}
 	ln, err := net.Listen("tcp", d.cfg.Addr)
 	if err != nil {
+		stopAux()
 		return err
 	}
 	srv := &http.Server{Handler: d.mux}
@@ -172,6 +192,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 	}
 	select {
 	case err := <-errCh:
+		stopAux()
 		d.api.Close()
 		return err
 	case <-ctx.Done():
@@ -180,6 +201,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 	sctx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
 	defer cancel()
 	err = srv.Shutdown(sctx)
+	stopAux()
 	d.api.Close()
 	if serr := <-errCh; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
 		err = serr

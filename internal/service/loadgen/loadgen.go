@@ -94,6 +94,12 @@ type Config struct {
 	// Fragmentation is the placement fragmentation knob passed to
 	// workload.Place.
 	Fragmentation float64
+	// Pace, when >0, sleeps this long between operations on every worker,
+	// turning the closed loop into a paced load. Latency-sensitive probes
+	// (propagation measurement) need it: a saturating closed loop on a
+	// small machine starves the push pipeline's goroutine handoffs and
+	// measures scheduler queuing instead of propagation.
+	Pace time.Duration
 	// FlapEvery, when >0 with a FaultInjector armed, fails a random link
 	// every FlapEvery worker-0 operations.
 	FlapEvery int
@@ -172,6 +178,10 @@ type Stats struct {
 	// "transport" (everything else — connection refused, EOF, 5xx).
 	// Empty (omitted) on a clean run.
 	ErrorsByKind map[string]int64 `json:"errors_by_kind,omitempty"`
+	// Propagation reports the flap→client update-propagation latency probe
+	// (see ArmPropagation); nil when the probe was not armed. Wall-derived
+	// like OpsPerSec, so it never feeds telemetry.
+	Propagation *PropagationStats `json:"propagation,omitempty"`
 }
 
 // ErrorKind buckets a client error for Stats.ErrorsByKind. Exported so
@@ -198,6 +208,7 @@ type Generator struct {
 	cfg      Config
 	ids      []string
 	spec     workload.Spec
+	probe    *propProbe
 }
 
 // New pre-creates cfg.Groups groups on the client using bin-packed
@@ -271,6 +282,11 @@ func (g *Generator) Run(ctx context.Context) Stats {
 	if g.cfg.KillEvery > 0 && g.replicas == nil {
 		panic("loadgen: KillEvery set but replica chaos not armed (call ArmReplicaChaos)")
 	}
+	if g.probe != nil {
+		if err := g.probe.start(); err != nil {
+			panic(err) // armed explicitly; a dead wire server is a harness bug
+		}
+	}
 	per := g.cfg.Ops / g.cfg.Workers
 	start := time.Now()
 	for w := 0; w < g.cfg.Workers; w++ {
@@ -309,8 +325,14 @@ func (g *Generator) Run(ctx context.Context) Stats {
 					if flapped < 0 && op%g.cfg.FlapEvery == g.cfg.FlapEvery-1 {
 						flapped = topology.LinkID(rng.Intn(g.faults.NumLinks()))
 						flapStart = op
+						flapAt := time.Now()
 						g.faults.FailLink(flapped)
 						flaps.Add(1)
+						if g.probe != nil {
+							// Stamp the transition's generation for the
+							// propagation probe's flap→receipt join.
+							g.probe.noteFlap(g.faults.(genSource).Gen(), flapAt)
+						}
 					}
 				}
 				// Worker 0 also owns the replica kill schedule: one dead
@@ -330,6 +352,9 @@ func (g *Generator) Run(ctx context.Context) Stats {
 						g.replicas.KillReplica(killed)
 						kills.Add(1)
 					}
+				}
+				if g.cfg.Pace > 0 {
+					time.Sleep(g.cfg.Pace)
 				}
 				id := g.ids[zipf.Uint64()]
 				r := rng.Intn(total)
@@ -413,6 +438,10 @@ func (g *Generator) Run(ctx context.Context) Stats {
 	}
 	if rc, ok := g.client.(RepairCounter); ok {
 		st.RepairsPatched, st.RepairsFullFallback = rc.RepairCounts()
+	}
+	if g.probe != nil {
+		st.Propagation = g.probe.stop()
+		g.probe = nil // one probe per Run
 	}
 	return st
 }

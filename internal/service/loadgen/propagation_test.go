@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"peel/internal/service"
+	"peel/internal/service/wire"
+)
+
+// runPropagation runs one churn workload with the probe armed in the
+// given mode and returns its stats.
+func runPropagation(t *testing.T, mode string) *PropagationStats {
+	t.Helper()
+	s, cluster := newRig(t, 4, service.Options{})
+	gen, err := New(s, s, cluster, Config{
+		Groups:    8,
+		GroupSize: 5,
+		Workers:   2,
+		Ops:       6000,
+		FlapEvery: 100,
+		Pace:      200 * time.Microsecond,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PropagationConfig{Mode: mode, Subscribers: 4, GroupsEach: 2, PollInterval: 5 * time.Millisecond}
+	if mode == "push" {
+		srv := wire.NewServer(s, wire.Options{})
+		var addr string
+		if err := srv.ListenAndServe("127.0.0.1:0", func(a string) { addr = a }); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		cfg.WireAddr = addr
+	}
+	if err := gen.ArmPropagation(cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := gen.Run(context.Background())
+	if st.Propagation == nil {
+		t.Fatal("Run did not attach propagation stats")
+	}
+	if st.Propagation.Mode != mode {
+		t.Fatalf("mode %q, want %q", st.Propagation.Mode, mode)
+	}
+	return st.Propagation
+}
+
+// TestPropagationPushBeatsPoll is the ISSUE acceptance check: under the
+// same flap-churn workload, wire-protocol push propagation must deliver
+// failure-driven tree updates faster than the polling baseline at its
+// configured interval.
+func TestPropagationPushBeatsPoll(t *testing.T) {
+	push := runPropagation(t, "push")
+	poll := runPropagation(t, "poll")
+	t.Logf("push: %+v", push)
+	t.Logf("poll: %+v", poll)
+	if push.Samples == 0 {
+		t.Fatal("push mode attributed no samples")
+	}
+	if poll.Samples == 0 {
+		t.Fatal("poll mode attributed no samples")
+	}
+	if push.FailurePushes == 0 {
+		t.Fatal("push mode saw no failure-driven pushes")
+	}
+	if push.P50Ns >= poll.P50Ns {
+		t.Errorf("push p50 %v is not faster than poll p50 %v",
+			time.Duration(push.P50Ns), time.Duration(poll.P50Ns))
+	}
+	if push.P99Ns >= poll.P99Ns {
+		t.Errorf("push p99 %v is not faster than poll p99 %v",
+			time.Duration(push.P99Ns), time.Duration(poll.P99Ns))
+	}
+}
+
+// TestArmPropagationValidation pins the probe's arming errors: a bad
+// mode, a missing wire address, and a missing flap schedule all fail
+// loudly instead of measuring nothing.
+func TestArmPropagationValidation(t *testing.T) {
+	s, cluster := newRig(t, 4, service.Options{})
+	gen, err := New(s, s, cluster, Config{Groups: 4, GroupSize: 4, Ops: 10, FlapEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.ArmPropagation(PropagationConfig{Mode: "smoke-signal"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := gen.ArmPropagation(PropagationConfig{Mode: "push"}); err == nil {
+		t.Error("push mode without WireAddr accepted")
+	}
+	s2, cluster2 := newRig(t, 4, service.Options{})
+	noFlap, err := New(s2, s2, cluster2, Config{Groups: 4, GroupSize: 4, Ops: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noFlap.ArmPropagation(PropagationConfig{Mode: "poll"}); err == nil {
+		t.Error("probe without a flap schedule accepted")
+	}
+}

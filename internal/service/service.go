@@ -42,6 +42,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"peel/internal/controller"
 	"peel/internal/core"
@@ -271,6 +272,16 @@ type Service struct {
 	repairsPatched  atomic.Int64 // invalidated entries served by a graft patch
 	repairsFallback atomic.Int64 // patch attempts that degraded to a full peel
 
+	// Push layer (subs.go): the group-watch registry and its refresher.
+	// All fields are guarded by watchMu; the maps and channels are built
+	// lazily by the first Watch.
+	watchMu        sync.Mutex
+	watched        map[string]*watchSet
+	pendingRefresh map[string]refreshReq
+	refreshKick    chan struct{}
+	refreshStop    chan struct{}
+	refreshDone    chan struct{}
+
 	hooks atomic.Pointer[telHooks]
 }
 
@@ -302,6 +313,10 @@ func (s *Service) Close() {
 	if s.closing.Swap(true) {
 		return
 	}
+	// The refresher first: its eager recomputes fail fast with ErrDraining
+	// once closing is set, and stopping it before the computes barrier
+	// keeps a mid-drain refresh from racing the wait below.
+	s.stopRefresher()
 	s.computes.Wait()
 	s.topoMu.Lock()
 	s.g.Unsubscribe(s.obs)
@@ -349,6 +364,10 @@ func (s *Service) onFailureChange(id topology.LinkID, failed bool) {
 			h.shardGens[i].Set(int64(s.cache.shards[i].gen.Load()))
 		}
 	}
+	// Push layer: watched groups refresh eagerly instead of waiting for
+	// the next poll. The timestamp anchors the propagation-latency
+	// measurement (invalidation → subscriber receipt).
+	s.noteInvalidation(time.Now())
 }
 
 // FailLink fails a link through the service, serialized against tree
@@ -493,6 +512,9 @@ func (s *Service) CreateGroup(ctx context.Context, id string, members []topology
 		h.opsCreate.Inc()
 		h.groups.Set(int64(n))
 	}
+	// A churned group (delete + re-create under the same ID) may still be
+	// watched; its subscribers get the fresh placement's tree pushed.
+	s.noteGroupChanged(id)
 	return grp.info(), nil
 }
 
@@ -573,6 +595,7 @@ func (s *Service) Join(ctx context.Context, id string, host topology.NodeID) (Gr
 	if h := s.tel(); h != nil {
 		h.opsJoin.Inc()
 	}
+	s.noteGroupChanged(id)
 	return grp.info(), nil
 }
 
@@ -618,6 +641,7 @@ func (s *Service) Leave(ctx context.Context, id string, host topology.NodeID) (G
 	if h := s.tel(); h != nil {
 		h.opsLeave.Inc()
 	}
+	s.noteGroupChanged(id)
 	return grp.info(), nil
 }
 

@@ -29,6 +29,11 @@ type telHooks struct {
 	repairPatched  *telemetry.Counter // invalidated entries patched incrementally
 	repairFallback *telemetry.Counter // patch attempts that fell back to a full peel
 
+	pushRefreshes *telemetry.Counter // eager recomputes run for watched groups
+	pushPublished *telemetry.Counter // tree updates published to watchers
+	pushSkipped   *telemetry.Counter // refreshes suppressed (unaffected or stale)
+	pushAbandoned *telemetry.Counter // refreshes dropped after the retry budget
+
 	opsGet    *telemetry.Counter
 	opsJoin   *telemetry.Counter
 	opsLeave  *telemetry.Counter
@@ -41,9 +46,10 @@ type telHooks struct {
 	repairPatchPs   *telemetry.Histogram // install latency charged for accepted patches
 	repairCostDelta *telemetry.Histogram // patched cost minus the prior tree's cost
 
-	groups  *telemetry.Gauge // live group count
-	entries *telemetry.Gauge // total cache entries
-	topoGen *telemetry.Gauge // service topology generation
+	groups      *telemetry.Gauge // live group count
+	entries     *telemetry.Gauge // total cache entries
+	topoGen     *telemetry.Gauge // service topology generation
+	pushWatched *telemetry.Gauge // groups with registered watchers
 
 	shardEntries []*telemetry.Gauge // per-shard entry counts
 	shardGens    []*telemetry.Gauge // per-shard invalidation generations
@@ -78,6 +84,10 @@ func newTelHooks(ts *telemetry.Sink, shards int) *telHooks {
 		recomputes:     ts.Counter("service.recompute.failure_driven"),
 		repairPatched:  ts.Counter("service.repair.patched"),
 		repairFallback: ts.Counter("service.repair.full_fallback"),
+		pushRefreshes:  ts.Counter("service.push.refreshes"),
+		pushPublished:  ts.Counter("service.push.published"),
+		pushSkipped:    ts.Counter("service.push.skipped"),
+		pushAbandoned:  ts.Counter("service.push.abandoned"),
 		opsGet:         ts.Counter("service.ops.get_tree"),
 		opsJoin:        ts.Counter("service.ops.join"),
 		opsLeave:       ts.Counter("service.ops.leave"),
@@ -92,6 +102,7 @@ func newTelHooks(ts *telemetry.Sink, shards int) *telHooks {
 		groups:          ts.Gauge("service.groups"),
 		entries:         ts.Gauge("service.cache.entries"),
 		topoGen:         ts.Gauge("service.topo.generation"),
+		pushWatched:     ts.Gauge("service.push.watched"),
 	}
 	h.shardEntries = make([]*telemetry.Gauge, shards)
 	h.shardGens = make([]*telemetry.Gauge, shards)

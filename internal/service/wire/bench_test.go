@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"peel/internal/invariant"
+	"peel/internal/service"
+	"peel/internal/topology"
+)
+
+// benchTree builds a representative pushed tree: a 16-receiver group
+// spanning every pod of a k=8 fat tree.
+func benchTree(b *testing.B) (*service.Service, service.TreeInfo) {
+	b.Helper()
+	g := topology.FatTree(8)
+	s := service.New(g, service.Options{})
+	b.Cleanup(s.Close)
+	hosts := g.Hosts()
+	members := make([]topology.NodeID, 0, 16)
+	for i := 0; i < len(hosts) && len(members) < 16; i += 8 {
+		members = append(members, hosts[i])
+	}
+	if _, err := s.CreateGroup(context.Background(), "bench", members); err != nil {
+		b.Fatal(err)
+	}
+	ti, err := s.GetTree(context.Background(), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, ti
+}
+
+// BenchmarkWireEncodeTree is the CI-pinned steady-state encode: appending
+// a TREE frame into a reused buffer must not allocate — this is the
+// writeLoop's per-push cost for every subscriber.
+func BenchmarkWireEncodeTree(b *testing.B) {
+	defer invariant.Enable(nil)()
+	_, ti := benchTree(b)
+	buf := AppendTreeFrame(nil, "bench", 1, 1, FlagFailure, ti.Tree)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTreeFrame(buf[:0], "bench", uint64(i), uint64(i), FlagFailure, ti.Tree)
+	}
+	_ = buf
+}
+
+// BenchmarkWireDecodeTree is the client-side mirror: decoding a TREE
+// payload into a reused TreeUpdate must not allocate after the first
+// decode sized the edge slice.
+func BenchmarkWireDecodeTree(b *testing.B) {
+	defer invariant.Enable(nil)()
+	_, ti := benchTree(b)
+	buf := AppendTreeFrame(nil, "bench", 1, 1, FlagFailure, ti.Tree)
+	var u TreeUpdate
+	if err := DecodeTree(buf[HeaderLen:], &u); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeTree(buf[HeaderLen:], &u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEncodeTreeZeroAlloc actively pins the steady-state encode and
+// decode to zero allocations — a benchmark regression would only show in
+// BENCH diffs, this fails the suite.
+func TestEncodeTreeZeroAlloc(t *testing.T) {
+	g := topology.FatTree(4)
+	s := service.New(g, service.Options{})
+	defer s.Close()
+	hosts := g.Hosts()
+	if _, err := s.CreateGroup(context.Background(), "g0", hosts[:8]); err != nil {
+		t.Fatal(err)
+	}
+	ti, err := s.GetTree(context.Background(), "g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := AppendTreeFrame(nil, "g0", 1, 1, FlagFailure, ti.Tree)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = AppendTreeFrame(buf[:0], "g0", 2, 2, FlagFailure, ti.Tree)
+	}); n != 0 {
+		t.Errorf("steady-state encode allocates %.1f times per frame, want 0", n)
+	}
+	var u TreeUpdate
+	if err := DecodeTree(buf[HeaderLen:], &u); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := DecodeTree(buf[HeaderLen:], &u); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("steady-state decode allocates %.1f times per frame, want 0", n)
+	}
+}
+
+// flapBenchLink picks a live inter-switch link on the group's current
+// tree (host uplinks are unique, failing one disconnects the member).
+func flapBenchLink(b *testing.B, s *service.Service, g *topology.Graph, gid string) topology.LinkID {
+	b.Helper()
+	ti, err := s.GetTree(context.Background(), gid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := ti.Tree
+	for _, m := range tr.Members {
+		p := tr.Parent[m]
+		if p == topology.None || !g.Node(p).Kind.IsSwitch() || !g.Node(m).Kind.IsSwitch() {
+			continue
+		}
+		if id := g.LinkBetween(p, m); id >= 0 && !g.Link(id).Failed {
+			s.FailLink(id)
+			return id
+		}
+	}
+	b.Fatal("no live inter-switch tree link")
+	return -1
+}
+
+// BenchmarkPushPropagation measures invalidation-to-subscriber latency
+// for the two distribution models the paper's control plane can run:
+// server push over the wire protocol versus client polling at the
+// loadgen default interval. Each iteration fails a live tree link,
+// measures until the subscriber observes the recomputed tree, then heals
+// the link. The p50-ns/p99-ns metrics are the propagation distribution;
+// push should beat the poll interval floor by an order of magnitude.
+func BenchmarkPushPropagation(b *testing.B) {
+	defer invariant.Enable(nil)()
+	const pollInterval = 5 * time.Millisecond
+
+	b.Run("push", func(b *testing.B) {
+		g := topology.FatTree(4)
+		svc := service.New(g, service.Options{})
+		b.Cleanup(svc.Close)
+		srv := NewServer(svc, Options{})
+		var addr string
+		if err := srv.ListenAndServe("127.0.0.1:0", func(a string) { addr = a }); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srv.Close)
+		hosts := g.Hosts()
+		if _, err := svc.CreateGroup(context.Background(), "bench", hosts[:6]); err != nil {
+			b.Fatal(err)
+		}
+		c, err := Dial(addr, ClientOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		if err := c.Subscribe("bench"); err != nil {
+			b.Fatal(err)
+		}
+		snap := <-c.Updates()
+		if snap.Err != nil {
+			b.Fatal(snap.Err)
+		}
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			link := flapBenchLink(b, svc, g, "bench")
+			for u := range c.Updates() {
+				if u.Err == nil && u.FailureDriven() {
+					break
+				}
+			}
+			lat = append(lat, time.Since(start))
+			svc.RestoreLink(link)
+		}
+		b.StopTimer()
+		reportPropagation(b, lat)
+	})
+
+	b.Run("poll", func(b *testing.B) {
+		g := topology.FatTree(4)
+		svc := service.New(g, service.Options{})
+		b.Cleanup(svc.Close)
+		hosts := g.Hosts()
+		if _, err := svc.CreateGroup(context.Background(), "bench", hosts[:6]); err != nil {
+			b.Fatal(err)
+		}
+		ti, err := svc.GetTree(context.Background(), "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			last := ti.Gen
+			start := time.Now()
+			link := flapBenchLink(b, svc, g, "bench")
+			for {
+				time.Sleep(pollInterval)
+				ti, err = svc.GetTree(context.Background(), "bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ti.Gen > last {
+					break
+				}
+			}
+			lat = append(lat, time.Since(start))
+			svc.RestoreLink(link)
+		}
+		b.StopTimer()
+		reportPropagation(b, lat)
+	})
+}
+
+func reportPropagation(b *testing.B, lat []time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)/2]), "p50-ns")
+	b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+}

@@ -1,0 +1,9 @@
+package wire
+
+import (
+	"testing"
+
+	"peel/internal/invariant/invtest"
+)
+
+func TestMain(m *testing.M) { invtest.Main(m) }
