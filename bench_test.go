@@ -99,6 +99,35 @@ func BenchmarkLayerPeelingApprox(b *testing.B) { benchFigure(b, experiments.Appr
 // aggregate-bandwidth headline.
 func BenchmarkAggregateBandwidth(b *testing.B) { benchFigure(b, experiments.BandwidthStudy) }
 
+// BenchmarkStripingStudy regenerates the link-disjoint striping study
+// (striped-peel vs single-tree schemes on the 2:1 oversubscribed 8-ary
+// fat-tree) and reports the striped/single-tree CCT ratio at the largest
+// message size as a custom metric — <1.0 means disjoint striping wins.
+func BenchmarkStripingStudy(b *testing.B) {
+	defer invariant.Enable(nil)()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.StripingStudy(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var peel, striped []float64
+		for _, s := range res.Mean {
+			switch s.Label {
+			case "peel":
+				peel = s.Y
+			case "striped-peel":
+				striped = s.Y
+			}
+		}
+		if len(peel) == 0 || len(striped) == 0 || peel[len(peel)-1] == 0 {
+			b.Fatal("missing peel/striped-peel series")
+		}
+		ratio = striped[len(striped)-1] / peel[len(peel)-1]
+	}
+	b.ReportMetric(ratio, "striped-vs-peel-cct")
+}
+
 // ---- algorithmic kernels ----
 
 // BenchmarkLayerPeelingTree measures the greedy tree construction on the

@@ -39,6 +39,8 @@
 //	-repair M      chaos-watchdog recompute mode: "patch" grafts orphaned
 //	               receivers into the installed tree (default), "full"
 //	               always re-peels from scratch
+//	-stripes K     headline stripe count for the striping experiment:
+//	               4 (default, striped-peel) or 2 (striped-peel-2)
 //	-workers N     concurrent simulation runs per sweep, and concurrent
 //	               experiments when several are requested (default GOMAXPROCS;
 //	               1 = serial, the determinism oracle)
@@ -97,12 +99,13 @@ var runners = map[string]func(experiments.Options) (*experiments.Result, error){
 	"rail":          experiments.RailStudy,
 	"isolation":     experiments.IsolationStudy,
 	"chaos":         experiments.ChaosStudy,
+	"striping":      experiments.StripingStudy,
 }
 
 // order fixes the "all" execution sequence (cheap analytic ones first).
 var order = []string{
 	"state", "fig1", "fig3", "approx", "fragmentation", "bandwidth",
-	"fig7", "guard", "deployment", "multipath", "allgather", "loss", "rail", "isolation", "chaos", "fig4", "fig6", "fig5",
+	"fig7", "guard", "deployment", "multipath", "allgather", "striping", "loss", "rail", "isolation", "chaos", "fig4", "fig6", "fig5",
 }
 
 func main() {
@@ -144,6 +147,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	check := fs.Bool("check", false, "arm the invariant checker suite; violations exit non-zero")
 	chaosFrac := fs.Float64("chaosfrac", 0, "single mid-flight failure fraction for the chaos experiment (0 = sweep)")
 	repair := fs.String("repair", "", "chaos-watchdog recompute mode: patch (graft orphans, default) or full (always re-peel)")
+	stripes := fs.Int("stripes", 0, "headline stripe count for the striping experiment: 4 (default) or 2")
 	workers := fs.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	perf := fs.Bool("perf", false, "append perf digests to experiment notes")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
@@ -162,7 +166,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if err := validateFlags(*samples, *workers, *load, *chaosFrac, *repair); err != nil {
+	if err := validateFlags(*samples, *workers, *load, *chaosFrac, *repair, *stripes); err != nil {
 		fmt.Fprintf(stderr, "peelsim: %v\n", err)
 		return 2
 	}
@@ -186,6 +190,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		opts.ChaosFrac = *chaosFrac
 	}
 	opts.Repair = *repair
+	opts.Stripes = *stripes
 	opts.Workers = *workers
 	opts.Perf = *perf
 
@@ -258,7 +263,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 // validateFlags rejects flag values outside their domains before any
 // simulation starts (a usage error, exit code 2).
-func validateFlags(samples, workers int, load, chaosFrac float64, repair string) error {
+func validateFlags(samples, workers int, load, chaosFrac float64, repair string, stripes int) error {
 	switch {
 	case samples < 0:
 		return fmt.Errorf("-samples %d must be non-negative", samples)
@@ -270,6 +275,8 @@ func validateFlags(samples, workers int, load, chaosFrac float64, repair string)
 		return fmt.Errorf("-chaosfrac %v outside [0,1]", chaosFrac)
 	case repair != "" && repair != "patch" && repair != "full":
 		return fmt.Errorf("-repair %q must be \"patch\" or \"full\"", repair)
+	case stripes != 0 && stripes != 2 && stripes != 4:
+		return fmt.Errorf("-stripes %d must be 2 or 4", stripes)
 	}
 	return nil
 }

@@ -6,7 +6,9 @@ import (
 	"peel/internal/netsim"
 
 	"peel/internal/core"
+	"peel/internal/invariant"
 	"peel/internal/sim"
+	"peel/internal/steiner"
 	"peel/internal/topology"
 	"peel/internal/workload"
 )
@@ -52,6 +54,10 @@ func (r *Runner) StartAllGather(c *workload.Collective, s Scheme, done func(cct 
 		return ag.startRing()
 	case Optimal, PEEL:
 		return ag.startMulticast(s)
+	case StripedPEEL:
+		return ag.startStriped(4)
+	case StripedPEEL2:
+		return ag.startStriped(2)
 	}
 	return fmt.Errorf("collective: allgather does not support scheme %q", s)
 }
@@ -61,6 +67,7 @@ type allGather struct {
 	shard     int64
 	pending   map[topology.NodeID]int
 	remaining int
+	striped   bool
 }
 
 // gotShard records that host h received one shard it lacked.
@@ -72,6 +79,20 @@ func (ag *allGather) gotShard(h topology.NodeID) {
 	ag.remaining--
 	if ag.remaining > 0 {
 		return
+	}
+	if ag.striped {
+		if s := invariant.Active(); s != nil {
+			// The striped allgather is done: every member must now hold
+			// every shard — a zero pending count for each host.
+			missing := 0
+			for _, h := range ag.in.c.Hosts {
+				if ag.pending[h] != 0 {
+					missing++
+				}
+			}
+			s.Checkf(StripedAllShardsDelivered, missing == 0,
+				"striped allgather finished with %d hosts still missing shards", missing)
+		}
 	}
 	in := ag.in
 	eng := in.r.Net.Engine
@@ -156,6 +177,62 @@ func (ag *allGather) startMulticast(s Scheme) error {
 		}
 		f.OnChunk(func(recv topology.NodeID, _ int) { ag.gotShard(recv) })
 		f.Send(i, ag.shard)
+	}
+	return nil
+}
+
+// startStriped runs the bandwidth-optimal allgather of Khalilov et al.:
+// every member's shard rides its own set of up to k link-disjoint trees
+// (steiner.DisjointTrees from that member), the shard split into one
+// piece per tree. A receiver counts a shard gathered once all of its
+// owner's pieces arrived. All N striped broadcasts are concurrently
+// active, as in the single-tree multicast path.
+func (ag *allGather) startStriped(k int) error {
+	in := ag.in
+	hosts := in.c.Hosts
+	params := in.r.Net.Cfg.DCQCN.WithGuard()
+	ag.striped = true
+	for i, src := range hosts {
+		others := make([]topology.NodeID, 0, len(hosts)-1)
+		for j, h := range hosts {
+			if j != i {
+				others = append(others, h)
+			}
+		}
+		trees, _, err := steiner.DisjointTrees(in.r.Net.G, src, others, k)
+		if err != nil {
+			return err
+		}
+		// Piece sizes: shard split across the trees, remainder on the last.
+		nt := int64(len(trees))
+		base := ag.shard / nt
+		if base == 0 {
+			base = 1
+		}
+		// left[r] counts the pieces of THIS shard receiver r still lacks.
+		left := make(map[topology.NodeID]int, len(others))
+		for _, h := range others {
+			left[h] = len(trees)
+		}
+		for ti, tree := range trees {
+			size := base
+			if ti == len(trees)-1 {
+				if size = ag.shard - base*(nt-1); size <= 0 {
+					size = 1
+				}
+			}
+			f, err := in.r.Net.NewMulticastFlow(tree, others, params)
+			if err != nil {
+				return err
+			}
+			f.OnChunk(func(recv topology.NodeID, _ int) {
+				left[recv]--
+				if left[recv] == 0 {
+					ag.gotShard(recv)
+				}
+			})
+			f.Send(ti, size)
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"peel/internal/netsim"
 	"peel/internal/steiner"
+	"peel/internal/telemetry"
 	"peel/internal/topology"
 )
 
@@ -49,6 +50,14 @@ func (in *instance) startMultiTree(trees int) error {
 			}
 		})
 		flows = append(flows, f)
+	}
+	// Small fabrics wrap the variant space around before `trees` distinct
+	// trees exist, so the dedup probe can build fewer flows than asked
+	// for; surface the achieved count instead of silently striping over
+	// fewer trees (Report.Stripes).
+	in.stripeCount = len(flows)
+	if ts := telemetry.Active(); ts != nil && len(flows) < trees {
+		ts.Counter("collective.striped.underprovisioned").Inc()
 	}
 	for c := range sizes {
 		flows[c%len(flows)].Send(c, sizes[c])

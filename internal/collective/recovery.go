@@ -70,6 +70,15 @@ type RecoveryStats struct {
 type Report struct {
 	CCT      sim.Time
 	Recovery RecoveryStats
+	// Stripes is the achieved tree count for the striping schemes
+	// (StripedPEEL*, MultiTree*): the fabric or the dedup probe may yield
+	// fewer trees than the scheme's nominal k. Zero for single-tree
+	// schemes.
+	Stripes int
+	// StripeRepairs counts watchdog repairs per stripe index for
+	// StripedPEEL*; a single failed link must leave every entry but the
+	// dead stripe's at zero. Nil for other schemes.
+	StripeRepairs []int
 }
 
 // watched is one flow under watchdog observation with the receivers whose
@@ -121,6 +130,14 @@ func (in *instance) watchdogTick() {
 		return // collective done; let the engine drain
 	}
 	in.r.Net.Engine.After(in.r.Watchdog, in.watchdogTick)
+
+	if in.striped != nil {
+		// Striped collectives stall and repair per stripe: a dead link on
+		// one tree must not trigger a whole-collective re-plan while the
+		// other k−1 stripes keep delivering.
+		in.striped.tick()
+		return
+	}
 
 	snap := in.progressSnapshot()
 	now := in.r.Net.Engine.Now()

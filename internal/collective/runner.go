@@ -57,6 +57,14 @@ const (
 	MultiTree1 Scheme = "multitree-1"
 	MultiTree2 Scheme = "multitree-2"
 	MultiTree4 Scheme = "multitree-4"
+	// StripedPEEL stripes the message's chunks round-robin across up to
+	// four pairwise link-disjoint peeled trees (steiner.DisjointTrees) —
+	// unlike MultiTree*, whose equal-cost variants may share links, a
+	// single hot or dead link here can stall at most one stripe, and the
+	// watchdog repairs only that stripe's tree. StripedPEEL2 caps the set
+	// at two trees.
+	StripedPEEL  Scheme = "striped-peel"
+	StripedPEEL2 Scheme = "striped-peel-2"
 )
 
 // AllSchemes lists every scheme in the paper's legend order.
@@ -181,6 +189,10 @@ func (in *instance) startScheme(s Scheme) error {
 		return in.startMultiTree(2)
 	case MultiTree4:
 		return in.startMultiTree(4)
+	case StripedPEEL:
+		return in.startStriped(4)
+	case StripedPEEL2:
+		return in.startStriped(2)
 	}
 	return fmt.Errorf("collective: unknown scheme %q", s)
 }
@@ -198,6 +210,14 @@ type instance struct {
 
 	orcaGot  map[topology.NodeID]int // per-peer chunk counts (Orca relays)
 	startErr error                   // deferred-start failure (see failStart)
+
+	// Striped multi-tree state (see striped.go). stripeCount is the
+	// achieved tree count any striping scheme reports — StripedPEEL* and
+	// MultiTree*, whose dedup probe can build fewer trees than asked for
+	// on small fabrics. stripeRepairs counts repairs per stripe index.
+	striped       *stripedRun
+	stripeCount   int
+	stripeRepairs []int
 
 	// Failure-recovery state (see recovery.go). All zero when the
 	// watchdog is disabled.
@@ -267,7 +287,8 @@ func (in *instance) hostComplete(h topology.NodeID) {
 			ts.Counter("collective.completed").Inc()
 			ts.Histogram("collective.cct_ps", telemetry.Log2Layout()).Observe(int64(cct))
 		}
-		in.reportDone(Report{CCT: cct, Recovery: in.recovery})
+		in.reportDone(Report{CCT: cct, Recovery: in.recovery,
+			Stripes: in.stripeCount, StripeRepairs: in.stripeRepairs})
 	})
 }
 

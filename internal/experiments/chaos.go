@@ -39,7 +39,10 @@ func ChaosStudy(o Options) (*Result, error) {
 		fracs = []float64{o.ChaosFrac}
 	}
 	build := func() *topology.Graph { return topology.FatTree(4) }
-	schemes := []collective.Scheme{collective.PEEL, collective.Ring, collective.Orca}
+	// StripedPEEL rides along as the resilience hypothesis: with chunks
+	// striped over link-disjoint trees, a failure stalls one stripe while
+	// the rest keep delivering, and repair touches only the dead tree.
+	schemes := []collective.Scheme{collective.PEEL, collective.Ring, collective.Orca, collective.StripedPEEL}
 
 	res := &Result{Name: "Chaos: CCT and recovery vs mid-flight failure fraction (64-GPU, 32 MB)",
 		XLabel: "failFrac", X: fracs}

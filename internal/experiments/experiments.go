@@ -63,6 +63,9 @@ type Options struct {
 	// event-stream-comparable to runs without; aggregate telemetry totals
 	// are unaffected either way.
 	TelemetrySample sim.Time
+	// Stripes caps the headline stripe count for StripingStudy (peelsim
+	// -stripes): 4 (the default, scheme striped-peel) or 2 (striped-peel-2).
+	Stripes int
 }
 
 // Defaults returns full-fidelity options.

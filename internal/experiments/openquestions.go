@@ -230,6 +230,7 @@ func AllGatherStudy(o Options) (*Result, error) {
 		{"ring", collective.Ring},
 		{"optimal-trees", collective.Optimal},
 		{"peel", collective.PEEL},
+		{"striped-peel", collective.StripedPEEL},
 	}
 	res := &Result{Name: "AllGather: ring vs concurrent multicast (512 GPUs)", XLabel: "totalMB", X: sizes}
 	for _, v := range variants {

@@ -45,7 +45,8 @@ func (sc Scenario) String() string {
 
 // chaosSchemes are the schemes exercised under mid-flight failures (the
 // ones ChaosStudy validates recovery for); the full set runs failure-free.
-var chaosSchemes = []collective.Scheme{collective.PEEL, collective.Ring, collective.Orca}
+// StripedPEEL rides here so the per-stripe watchdog path shrinks too.
+var chaosSchemes = []collective.Scheme{collective.PEEL, collective.Ring, collective.Orca, collective.StripedPEEL}
 
 var allSchemes = collective.AllSchemes
 

@@ -1,0 +1,177 @@
+package steiner
+
+import (
+	"fmt"
+
+	"peel/internal/invariant"
+	"peel/internal/telemetry"
+	"peel/internal/topology"
+)
+
+// Link-disjoint multi-tree construction — the bandwidth-optimal
+// broadcast/allgather building block of Khalilov et al. (arXiv
+// 2408.13356): striping a message across k pairwise edge-disjoint
+// spanning trees multiplies the usable bisection bandwidth by k and, for
+// free, leaves k−1 delivering trees when a single link dies.
+//
+// Disjointness is over switch–switch links only. Hosts here are
+// single-homed (one NIC, one uplink), so every tree from the same source
+// necessarily shares the source's uplink and each receiver's ToR
+// downlink; those edges are NIC-bound, not fabric-bound, and excluding
+// them from the residual graph would make k > 1 trivially impossible.
+// The fabric tiers — where oversubscription and failures live — are
+// where the trees may not overlap.
+
+// TreesLinkDisjoint checks that a DisjointTrees result shares no
+// switch–switch link between any two of its trees.
+const TreesLinkDisjoint = "steiner.trees-link-disjoint"
+
+func init() {
+	invariant.Register(invariant.Checker{
+		Name:   TreesLinkDisjoint,
+		Anchor: "edge-disjoint spanning trees (Khalilov et al., arXiv 2408.13356)",
+		Desc:   "trees built by DisjointTrees are pairwise disjoint over switch-switch links; only single-homed host uplinks may be shared",
+	})
+}
+
+// DisjointStats reports what one DisjointTrees call achieved.
+type DisjointStats struct {
+	// Requested is the k the caller asked for.
+	Requested int
+	// Built is how many pairwise link-disjoint trees were actually
+	// constructed; Built < Requested means the fabric's disjointness was
+	// exhausted, not an error.
+	Built int
+	// Exhausted is set when a further tree could not be peeled on the
+	// residual graph (some destination became unreachable there).
+	Exhausted bool
+	// LinksClaimed counts the switch-switch links removed from the
+	// residual graph across all built trees.
+	LinksClaimed int
+	// Peels holds the per-tree peeling diagnostics, index-aligned with
+	// the returned trees.
+	Peels []PeelingStats
+}
+
+// DisjointTrees peels up to k pairwise link-disjoint multicast trees from
+// src to dests. The first tree is a plain LayerPeeling on g; each further
+// tree re-peels on a residual graph — a one-time clone of g (observers
+// are not cloned, so failing links there has no side effects) with every
+// switch-switch link claimed by earlier trees marked failed. Peeling
+// reuses the pooled BFS scratch internally, so steady-state cost is k
+// peels plus one graph clone.
+//
+// When the residual graph can no longer reach every destination the
+// function returns the trees built so far with stats.Exhausted set —
+// fewer trees is a property of the fabric, not a failure. Only the first
+// peel can return an error (a destination unreachable on g itself).
+//
+// Every returned tree individually satisfies the Theorem 2.5 budget
+// (checked by LayerPeeling); pairwise disjointness is checked under the
+// steiner.trees-link-disjoint invariant when a suite is armed.
+func DisjointTrees(g *topology.Graph, src topology.NodeID, dests []topology.NodeID, k int) ([]*Tree, DisjointStats, error) {
+	stats := DisjointStats{Requested: k}
+	if k < 1 {
+		return nil, stats, fmt.Errorf("steiner: disjoint trees need k >= 1, got %d", k)
+	}
+	first, ps, err := LayerPeeling(g, src, dests)
+	if err != nil {
+		return nil, stats, err
+	}
+	trees := []*Tree{first}
+	stats.Peels = append(stats.Peels, ps)
+
+	if k > 1 {
+		residual := g.Clone()
+		stats.LinksClaimed += claimTreeLinks(residual, first)
+		for len(trees) < k {
+			t, ps, err := LayerPeeling(residual, src, dests)
+			if err != nil {
+				// The residual graph ran out of disjoint capacity: either a
+				// destination is unreachable or no parent candidates remain
+				// in some layer. Both mean "no further disjoint tree".
+				stats.Exhausted = true
+				break
+			}
+			trees = append(trees, t)
+			stats.Peels = append(stats.Peels, ps)
+			stats.LinksClaimed += claimTreeLinks(residual, t)
+		}
+	}
+	stats.Built = len(trees)
+
+	if s := invariant.Active(); s != nil {
+		ReportDisjointChecks(s, g, trees)
+	}
+	if ts := telemetry.Active(); ts != nil {
+		ts.Counter("steiner.disjoint.sets").Inc()
+		ts.Counter("steiner.disjoint.trees").Add(int64(stats.Built))
+		ts.Counter("steiner.disjoint.links_claimed").Add(int64(stats.LinksClaimed))
+		if stats.Built < stats.Requested {
+			ts.Counter("steiner.disjoint.exhausted").Inc()
+		}
+	}
+	return trees, stats, nil
+}
+
+// claimTreeLinks fails every switch-switch link the tree uses on the
+// residual graph, returning how many it claimed. Host uplinks stay live:
+// single-homed hosts must be reachable by every tree.
+func claimTreeLinks(residual *topology.Graph, t *Tree) int {
+	claimed := 0
+	for _, m := range t.Members {
+		p := t.Parent[m]
+		if p == topology.None {
+			continue
+		}
+		if !residual.Node(p).Kind.IsSwitch() || !residual.Node(m).Kind.IsSwitch() {
+			continue
+		}
+		l := residual.LinkBetween(p, m)
+		if l < 0 {
+			continue // already claimed by an earlier edge of this set
+		}
+		residual.FailLink(l)
+		claimed++
+	}
+	return claimed
+}
+
+// ReportDisjointChecks reports the steiner.trees-link-disjoint invariant
+// for a tree set: no switch-switch link of g may be used by two trees.
+// DisjointTrees calls it on every result; mutation self-tests call it
+// directly with deliberately overlapping trees.
+func ReportDisjointChecks(s *invariant.Suite, g *topology.Graph, trees []*Tree) {
+	if s == nil {
+		return
+	}
+	owner := make(map[topology.LinkID]int)
+	ok := true
+	for ti, t := range trees {
+		for _, m := range t.Members {
+			p := t.Parent[m]
+			if p == topology.None {
+				continue
+			}
+			if !g.Node(p).Kind.IsSwitch() || !g.Node(m).Kind.IsSwitch() {
+				continue
+			}
+			l := g.LinkBetween(p, m)
+			if l < 0 {
+				s.Violatef(TreesLinkDisjoint, "tree %d edge %d-%d has no live link", ti, p, m)
+				ok = false
+				continue
+			}
+			if prev, dup := owner[l]; dup && prev != ti {
+				s.Checkf(TreesLinkDisjoint, false,
+					"link %d (%d-%d) used by trees %d and %d", l, p, m, prev, ti)
+				ok = false
+				continue
+			}
+			owner[l] = ti
+		}
+	}
+	if ok {
+		s.Checkf(TreesLinkDisjoint, true, "")
+	}
+}

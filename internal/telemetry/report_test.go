@@ -17,6 +17,14 @@ func goldenSink() *Sink {
 	s.Counter("netsim.frames_allocated").Add(1024)
 	s.Counter("netsim.frames_consumed").Add(1024)
 	s.Counter("collective.repairs").Inc()
+	s.Counter("collective.stripe.repairs").Inc()
+	s.Counter("collective.striped.collectives").Inc()
+	s.Counter("collective.striped.stripes").Add(4)
+	s.Counter("steiner.disjoint.sets").Inc()
+	s.Counter("steiner.disjoint.trees").Add(4)
+	s.Counter("steiner.disjoint.links_claimed").Add(12)
+	trees := s.Histogram("collective.striped.trees_built", LinearLayout(0, 1, 9))
+	trees.Observe(4)
 	g := s.Gauge("netsim.max_queue_bytes")
 	g.Set(512)
 	g.SetMax(4096)
@@ -105,6 +113,14 @@ func TestRunReportDeterministic(t *testing.T) {
 	g := reversed.Gauge("netsim.max_queue_bytes")
 	g.SetMax(4096)
 	g.Set(512)
+	trees := reversed.Histogram("collective.striped.trees_built", LinearLayout(0, 1, 9))
+	trees.Observe(4)
+	reversed.Counter("steiner.disjoint.links_claimed").Add(12)
+	reversed.Counter("steiner.disjoint.trees").Add(4)
+	reversed.Counter("steiner.disjoint.sets").Inc()
+	reversed.Counter("collective.striped.stripes").Add(4)
+	reversed.Counter("collective.striped.collectives").Inc()
+	reversed.Counter("collective.stripe.repairs").Inc()
 	reversed.Counter("collective.repairs").Inc()
 	reversed.Counter("netsim.frames_consumed").Add(1024)
 	reversed.Counter("netsim.frames_allocated").Add(1024)
