@@ -100,12 +100,14 @@ var runners = map[string]func(experiments.Options) (*experiments.Result, error){
 	"isolation":     experiments.IsolationStudy,
 	"chaos":         experiments.ChaosStudy,
 	"striping":      experiments.StripingStudy,
+	"reconfig":      experiments.ReconfigStudy,
+	"hetero":        experiments.HeteroStudy,
 }
 
 // order fixes the "all" execution sequence (cheap analytic ones first).
 var order = []string{
 	"state", "fig1", "fig3", "approx", "fragmentation", "bandwidth",
-	"fig7", "guard", "deployment", "multipath", "allgather", "striping", "loss", "rail", "isolation", "chaos", "fig4", "fig6", "fig5",
+	"fig7", "guard", "deployment", "multipath", "allgather", "striping", "loss", "rail", "isolation", "hetero", "reconfig", "chaos", "fig4", "fig6", "fig5",
 }
 
 func main() {

@@ -1,0 +1,166 @@
+package collective
+
+import (
+	"peel/internal/invariant"
+	"peel/internal/steiner"
+	"peel/internal/telemetry"
+	"peel/internal/topology"
+
+	"peel/internal/core"
+)
+
+// Planned invalidation for announced fabric reconfiguration.
+//
+// The watchdog path (recovery.go) is reactive: an epoch switch-over that
+// removes a circuit under a multicast tree looks exactly like a failure —
+// the collective stalls, two quiet ticks declare it, and a repair tree
+// pays the controller round trip *after* delivery already halted. An
+// announced reconfiguration (topology/fabric) can do better: the
+// EpochChange names the circuits to be removed ahead of the boundary, so
+// trees crossing them are re-peeled on a plan view of the post-epoch
+// graph and cut over while the old circuits are still carrying frames.
+// Delivery never stalls; the switch-over lands on trees that no longer
+// care.
+//
+// PrepareEpoch covers the single-tree multicast schemes (Optimal, PEEL,
+// PEELCores — anything that records a repairBase). Striped schemes keep
+// their per-stripe reactive repair, and unicast schemes (Ring, BinTree)
+// have no tree to pre-peel; both fall through to the watchdog path at
+// commit, exactly like an unannounced fabric.
+
+// PrepareEpoch eagerly re-peels every live single-tree collective whose
+// multicast tree crosses one of the circuits an announced epoch will
+// remove. view must be the post-epoch plan graph (current graph with the
+// removed circuits failed); trees are planned on it but installed on the
+// live fabric, so they are valid on both sides of the boundary. Returns
+// the number of collectives pre-peeled.
+func (r *Runner) PrepareEpoch(view *topology.Graph, removed []topology.LinkID) int {
+	if len(removed) == 0 || len(r.insts) == 0 {
+		return 0
+	}
+	rm := make(map[topology.LinkID]struct{}, len(removed))
+	for _, id := range removed {
+		rm[id] = struct{}{}
+	}
+	n := 0
+	for in := range r.insts {
+		if in.prePeel(view, rm) {
+			n++
+		}
+	}
+	return n
+}
+
+// register tracks a live instance for PrepareEpoch; completion drops it.
+func (r *Runner) register(in *instance) {
+	if r.insts == nil {
+		r.insts = make(map[*instance]struct{})
+	}
+	r.insts[in] = struct{}{}
+}
+
+func (r *Runner) unregister(in *instance) { delete(r.insts, in) }
+
+// prePeel re-plans this collective ahead of an epoch boundary if its
+// current tree crosses a to-be-removed circuit. Failure to build a
+// replacement (receivers already unreachable on the plan view) is not an
+// error: the instance simply falls back to the reactive repair path when
+// the epoch commits.
+func (in *instance) prePeel(view *topology.Graph, rm map[topology.LinkID]struct{}) bool {
+	if in.finished || in.striped != nil || in.repairBase == nil || in.r.Watchdog <= 0 {
+		return false
+	}
+	// Tolerant crossing check: Tree.Links panics on dead edges, but a tree
+	// broken by an *earlier* epoch (repair still pending) is exactly a tree
+	// this announcement should replace — treat a missing live link as a
+	// crossing rather than an error.
+	g := in.r.Net.G
+	crosses := false
+	for _, m := range in.repairBase.Members {
+		p := in.repairBase.Parent[m]
+		if p == topology.None {
+			continue
+		}
+		id := g.LinkBetween(p, m)
+		if id < 0 {
+			crosses = true
+			break
+		}
+		if _, hit := rm[id]; hit {
+			crosses = true
+			break
+		}
+	}
+	if !crosses {
+		return false
+	}
+	pending := in.pendingReceivers()
+	if len(pending) == 0 {
+		return false
+	}
+	tree, err := core.BuildTree(view, in.c.Source(), pending)
+	if err != nil || tree == nil {
+		return false
+	}
+	if s := invariant.Active(); s != nil {
+		// The pre-peeled tree must hold the Theorem 2.5 budget on the plan
+		// view — the graph it will actually live on after the boundary.
+		steiner.ReportTreeChecks(s, view, tree, pending)
+	}
+	// Same cut-over discipline as a repair: the controller installs the
+	// rules, then the tail re-delivers over the new tree. repairPending
+	// suppresses stall declarations while the install is in flight.
+	in.repairPending = true
+	install := func() { in.installPrePeel(tree, pending) }
+	if in.r.Ctrl == nil {
+		install()
+	} else {
+		in.r.Ctrl.Install(in.r.Net.Engine, install)
+	}
+	return true
+}
+
+// installPrePeel cuts delivery over to the pre-peeled tree: close the old
+// flows (their tree dies at the boundary anyway) and deliver the tail
+// from the minimum pending-receiver progress, exactly like installRepair
+// — but without a stall ever having been declared.
+func (in *instance) installPrePeel(tree *steiner.Tree, targets []topology.NodeID) {
+	in.repairPending = false
+	if in.finished {
+		return
+	}
+	pending := targets[:0:0]
+	for _, m := range targets {
+		if !in.hostDone[m] {
+			pending = append(pending, m)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	min := in.c.Bytes
+	for _, m := range pending {
+		if got := in.maxReceived(m); got < min {
+			min = got
+		}
+	}
+	remaining := in.c.Bytes - min
+	if remaining <= 0 {
+		remaining = in.c.Bytes
+	}
+	rf, err := in.r.Net.NewMulticastFlow(tree, pending, in.r.Net.Cfg.DCQCN.WithGuard())
+	if err != nil {
+		return // the reactive path picks this up at commit
+	}
+	for _, w := range in.watch {
+		w.f.Close()
+	}
+	in.repairBase = tree
+	in.recovery.PrePeels++
+	if ts := telemetry.Active(); ts != nil {
+		ts.Counter("collective.pre_peels").Inc()
+	}
+	in.track(rf, pending)
+	rf.OnChunk(func(recv topology.NodeID, _ int) { in.hostComplete(recv) })
+	rf.Send(0, remaining)
+}

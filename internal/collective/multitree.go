@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"peel/internal/core"
 	"peel/internal/netsim"
 	"peel/internal/steiner"
 	"peel/internal/telemetry"
@@ -31,7 +32,18 @@ func (in *instance) startMultiTree(trees int) error {
 	for v := 0; len(flows) < trees && v < trees*4; v++ {
 		tree, err := steiner.SymmetricOptimalVariant(in.r.Net.G, in.c.Source(), receivers, uint64(v))
 		if err != nil {
-			return err
+			// Irregular fabrics (no symmetric variant enumeration —
+			// topology.HeteroFatTree, degraded OCS mappings): fall back to
+			// the single layer-peeled tree and stripe all chunks over it,
+			// like MultiTree1. Report.Stripes surfaces the achieved count.
+			if len(flows) > 0 {
+				break
+			}
+			tree, err = core.BuildTree(in.r.Net.G, in.c.Source(), receivers)
+			if err != nil {
+				return err
+			}
+			v = trees * 4 // no further variants to probe
 		}
 		sig := treeSignature(tree)
 		if seen[sig] {

@@ -57,6 +57,9 @@ type RecoveryStats struct {
 	// Abandoned counts receivers given up on after MaxRepairs attempts;
 	// nonzero means the collective did NOT deliver to everyone.
 	Abandoned int
+	// PrePeels counts planned re-peels installed ahead of announced epoch
+	// boundaries (Runner.PrepareEpoch); these never declared a stall.
+	PrePeels int
 	// FirstStallAt is when the first stall was declared (collective-
 	// relative); zero if none was.
 	FirstStallAt sim.Time
@@ -130,6 +133,19 @@ func (in *instance) watchdogTick() {
 		return // collective done; let the engine drain
 	}
 	in.r.Net.Engine.After(in.r.Watchdog, in.watchdogTick)
+
+	if in.r.PlannedDark != nil && in.r.PlannedDark() {
+		// Announced reconfiguration window: frames offered to retraining
+		// circuits are deferred, not lost, so the absence of progress is
+		// expected and carries no failure signal. Reset the hysteresis so
+		// a genuine stall straddling the window still needs two quiet
+		// ticks after it closes.
+		in.quietTicks = 0
+		if ts := telemetry.Active(); ts != nil {
+			ts.Counter("collective.dark_ticks").Inc()
+		}
+		return
+	}
 
 	if in.striped != nil {
 		// Striped collectives stall and repair per stripe: a dead link on

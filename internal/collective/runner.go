@@ -101,6 +101,20 @@ type Runner struct {
 	// scratch (the pre-incremental behavior).
 	RepairMode string
 
+	// PlannedDark, when set, reports whether an announced fabric
+	// reconfiguration dark window is currently open (fabric.Fabric's
+	// DarkOpen). The watchdog skips stall accounting while it returns
+	// true: deferred frames drain when the window closes, so a planned
+	// quiet interval must not burn repair attempts or count as a failure
+	// stall. Unannounced reconfiguration leaves this nil and lands as an
+	// ordinary failure.
+	PlannedDark func() bool
+
+	// insts tracks live instances so PrepareEpoch (epoch.go) can pre-peel
+	// trees crossing an announced epoch's removed circuits. Mutated only
+	// from the simulation loop; no locking.
+	insts map[*instance]struct{}
+
 	flowKey uint64
 }
 
@@ -152,6 +166,7 @@ func (r *Runner) StartReport(c *workload.Collective, s Scheme, done func(Report)
 	if err := inst.startScheme(s); err != nil {
 		return err
 	}
+	r.register(inst)
 	if r.Watchdog > 0 {
 		inst.armWatchdog()
 	}
@@ -261,6 +276,7 @@ func (in *instance) hostComplete(h topology.NodeID) {
 		return
 	}
 	in.finished = true
+	in.r.unregister(in)
 	if s := invariant.Active(); s != nil {
 		// Completion means every receiver was delivered to exactly once: the
 		// de-dup guard above makes double completion impossible, so a zero

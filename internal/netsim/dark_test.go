@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"testing"
+
+	"peel/internal/topology"
+)
+
+// TestDarkLinkDefersNotDrops covers the announced-reconfiguration channel
+// state: a dark link queues frames without serializing them (no loss, no
+// repair traffic), then drains the backlog when the window clears — unlike
+// down, which drops.
+func TestDarkLinkDefersNotDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	src, dst := hosts[0], hosts[15]
+	f := r.unicast(t, src, dst)
+
+	uplink := r.g.LinkBetween(src, r.g.EdgeSwitchOf(src))
+	const M = 4 << 20
+	var got int64
+	f.OnChunk(func(_ topology.NodeID, _ int) { got = M })
+	f.Send(0, M)
+
+	darkAt := cfg.txTime(M) / 5
+	clearAt := 3 * cfg.txTime(M)
+	l := r.g.Link(uplink)
+	ch := r.net.Channel(src, l.B)
+	if ch == nil {
+		ch = r.net.Channel(src, l.A)
+	}
+
+	var sentAtDark int64
+	r.eng.At(darkAt, func() {
+		r.net.SetLinkDark(uplink, true)
+		if !r.net.LinkDark(uplink) {
+			t.Error("LinkDark=false inside the dark window")
+		}
+		sentAtDark = ch.BytesSent
+	})
+	// Probe late in the window: the channel must have stopped serializing
+	// (at most the frame already on the wire when the window opened) while
+	// the sender's backlog sits queued, not dropped.
+	r.eng.At(clearAt-cfg.txTime(1<<10), func() {
+		if ch.BytesSent > sentAtDark+int64(cfg.FrameBytes) {
+			t.Errorf("dark channel kept serializing: %d bytes after %d at window open",
+				ch.BytesSent, sentAtDark)
+		}
+		if ch.Deferred == 0 {
+			t.Error("no frames counted as deferred inside the dark window")
+		}
+	})
+	r.eng.At(clearAt, func() { r.net.SetLinkDark(uplink, false) })
+	if err := r.eng.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got != M || !f.Done() {
+		t.Fatalf("flow did not complete after the dark window cleared (got=%d done=%v)", got, f.Done())
+	}
+	if r.net.LinkDrops != 0 {
+		t.Fatalf("dark window dropped %d frames; deferral must be lossless", r.net.LinkDrops)
+	}
+	if r.net.LinkDark(uplink) {
+		t.Fatal("LinkDark=true after the window cleared")
+	}
+	// Down-link accounting stays untouched: dark is not an outage.
+	downs, downTime := r.net.LinkDownStats(uplink)
+	if downs != 0 || downTime != 0 {
+		t.Fatalf("dark window counted as an outage: downs=%d time=%v", downs, downTime)
+	}
+	// Completion waited for the window: the transfer cannot beat the clear
+	// time, since four fifths of the message sat deferred behind it.
+	if end := r.eng.Now(); end < clearAt {
+		t.Fatalf("flow finished at %v, before the dark window cleared at %v", end, clearAt)
+	}
+}
+
+// TestDarkClearIsIdempotent exercises the transition guards: re-marking an
+// already-dark link and re-clearing a live one are no-ops.
+func TestDarkClearIsIdempotent(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg)
+	hosts := r.g.Hosts()
+	uplink := r.g.LinkBetween(hosts[0], r.g.EdgeSwitchOf(hosts[0]))
+
+	r.net.SetLinkDark(uplink, false) // already clear
+	if r.net.LinkDark(uplink) {
+		t.Fatal("clearing a live link marked it dark")
+	}
+	r.net.SetLinkDark(uplink, true)
+	r.net.SetLinkDark(uplink, true) // already dark
+	if !r.net.LinkDark(uplink) {
+		t.Fatal("double dark-mark cleared the link")
+	}
+	r.net.SetLinkDark(uplink, false)
+	if r.net.LinkDark(uplink) {
+		t.Fatal("link still dark after clear")
+	}
+}

@@ -97,6 +97,14 @@ type channel struct {
 	// channel drops every frame offered to it instead of queueing.
 	down      bool
 	downSince sim.Time
+	// dark marks an announced reconfiguration window (fabric retraining):
+	// unlike down, a dark channel *defers* — frames queue normally but
+	// serialization will not start until the window closes. The planned /
+	// unplanned distinction lives exactly here: planned reconfiguration
+	// pauses the wire, an unplanned one loses everything in flight.
+	dark bool
+	// Deferred counts frames that arrived while the channel was dark.
+	Deferred int64
 	// DownCount / DownTime / Drops are per-direction failure telemetry:
 	// down transitions, accumulated down duration, and frames lost on this
 	// channel to link failure.
@@ -285,6 +293,28 @@ func (ch *channel) markUp() {
 	ch.maybeSend()
 }
 
+// SetLinkDark marks both directions of a link dark (an announced OCS
+// retraining window) or clears them. Clearing drains any frames deferred
+// during the window. Implements fabric.Darkener.
+func (n *Network) SetLinkDark(id topology.LinkID, dark bool) {
+	l := n.G.Link(id)
+	for _, dir := range [2][2]topology.NodeID{{l.A, l.B}, {l.B, l.A}} {
+		if ch := n.chans[chanKey{dir[0], dir[1]}]; ch != nil && ch.dark != dark {
+			ch.dark = dark
+			if !dark {
+				ch.maybeSend()
+			}
+		}
+	}
+}
+
+// LinkDark reports whether a link's channels are currently dark.
+func (n *Network) LinkDark(id topology.LinkID) bool {
+	l := n.G.Link(id)
+	ch := n.Channel(l.A, l.B)
+	return ch != nil && ch.dark
+}
+
 // LinkDown reports whether a link's channels are currently down.
 func (n *Network) LinkDown(id topology.LinkID) bool {
 	l := n.G.Link(id)
@@ -402,6 +432,12 @@ func (ch *channel) enqueue(f *frame) {
 			n.armPFCWatchdog(ch.from)
 		}
 	}
+	if ch.dark {
+		ch.Deferred++
+		if tc := n.tel(); tc != nil {
+			tc.darkDeferred.Inc()
+		}
+	}
 	ch.maybeSend()
 }
 
@@ -410,7 +446,7 @@ func (ch *channel) enqueue(f *frame) {
 // neighbors, so a channel stops starting new frames while its
 // *destination* has pause asserted.
 func (ch *channel) maybeSend() {
-	if ch.down || ch.sending || ch.head >= len(ch.queue) {
+	if ch.down || ch.dark || ch.sending || ch.head >= len(ch.queue) {
 		return
 	}
 	n := ch.net

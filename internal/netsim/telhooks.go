@@ -20,6 +20,7 @@ type telHooks struct {
 	framesDelivered *telemetry.Counter // frames handed to a host
 	linkDrops       *telemetry.Counter // frames lost to failed links
 	lossDrops       *telemetry.Counter // frames lost to the random loss rate
+	darkDeferred    *telemetry.Counter // frames deferred by announced dark windows
 	rec             *telemetry.Recorder
 }
 
@@ -40,6 +41,7 @@ func (n *Network) tel() *telHooks {
 			framesDelivered: t.Counter("netsim.frames_delivered"),
 			linkDrops:       t.Counter("netsim.link_drops"),
 			lossDrops:       t.Counter("netsim.loss_drops"),
+			darkDeferred:    t.Counter("fabric.dark_deferred_frames"),
 			rec:             t.Recorder(),
 		}
 	}

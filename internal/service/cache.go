@@ -240,6 +240,32 @@ func (c *treeCache) invalidateLink(id topology.LinkID) int {
 	return n
 }
 
+// walk visits every entry holding a servable (published, non-stale)
+// value with its key and indexed link set — the epoch-consistency
+// re-walk. Link sets are copied under idxMu so the visitor runs
+// lock-free; entries going stale mid-walk may still be visited with
+// their last indexed links, which is the conservative direction.
+func (c *treeCache) walk(visit func(key string, links []topology.LinkID)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		entries := make([]*entry, 0, len(s.m))
+		for _, e := range s.m {
+			entries = append(entries, e)
+		}
+		s.mu.RUnlock()
+		for _, e := range entries {
+			if v := e.val.Load(); v == nil || v.stale.Load() {
+				continue
+			}
+			c.idxMu.Lock()
+			links := append([]topology.LinkID(nil), e.links...)
+			c.idxMu.Unlock()
+			visit(e.key, links)
+		}
+	}
+}
+
 // entryCount returns the total and per-shard entry counts.
 func (c *treeCache) entryCount() (total int, perShard []int) {
 	perShard = make([]int, len(c.shards))

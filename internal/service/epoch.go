@@ -1,0 +1,188 @@
+package service
+
+// Planned invalidation for scheduled fabric reconfiguration.
+//
+// Failures invalidate reactively: the transition lands, crossing trees go
+// stale, and the next access (or the push refresher) recomputes on the
+// degraded graph. A scheduled OCS epoch (internal/topology/fabric) is
+// announced ahead of its switch-over, which permits a strictly better
+// discipline — recompute *before* the boundary:
+//
+//   - PlanEpoch installs a plan view (the current graph with the
+//     to-be-removed circuits failed) that every tree computation uses
+//     while the plan is active, marks crossing entries stale, and eagerly
+//     re-peels every registered group that went stale. Replacement trees
+//     avoid the doomed circuits but are also valid on the *current* graph
+//     (the circuits have not failed yet), so ServedTreeFresh holds
+//     throughout the window and steady-state traffic never observes a
+//     stale tree. Pre-peeled trees are pushed to watchers with CauseEpoch
+//     so wire subscribers cut over before the boundary with zero RESYNCs.
+//   - CommitEpoch executes the swap through the ordinary mutate path and
+//     reports how many fresh entries the commit still invalidated — zero
+//     exactly when the pre-peel covered everything, which is what the
+//     fabric.epoch-consistent walk (and the reconfig CI gate) asserts.
+//
+// Real failures occurring inside the plan window are mirrored onto the
+// plan view by the failure observer, so pre-peels never route onto a
+// link that died after the announcement.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"peel/internal/invariant"
+	"peel/internal/topology"
+	"peel/internal/topology/fabric"
+)
+
+// epochPlan is an announced reconfiguration in its pre-commit window.
+// Guarded by Service.topoMu: installed and cleared under the write lock,
+// read by computes under the read lock.
+type epochPlan struct {
+	removed map[topology.LinkID]struct{}
+	// view is the plan graph: a clone of the live graph with the removed
+	// circuits failed. Clones carry no observers, so failing them here
+	// notifies nobody; real transitions are mirrored in by
+	// onFailureChange while the plan is active.
+	view *topology.Graph
+}
+
+// PlanEpoch announces an epoch: trees crossing a to-be-removed circuit
+// are invalidated and eagerly re-peeled onto the post-epoch fabric while
+// the old circuits still carry traffic. Returns the number of registered
+// groups whose tree was pre-peeled (shared cache entries recompute once;
+// each group still counts, and each group's watchers get a CauseEpoch
+// push). Groups that fail transiently (admission rejection) are left to
+// commit-time invalidation rather than retried.
+func (s *Service) PlanEpoch(ctx context.Context, removed []topology.LinkID) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if s.closing.Load() {
+		return 0, ErrDraining
+	}
+	h := s.tel()
+	s.topoMu.Lock()
+	for _, id := range removed {
+		if id < 0 || int(id) >= s.g.NumLinks() {
+			s.topoMu.Unlock()
+			return 0, fmt.Errorf("service: plan epoch: unknown link %d", id)
+		}
+	}
+	view := s.g.Clone()
+	rm := make(map[topology.LinkID]struct{}, len(removed))
+	for _, id := range removed {
+		view.FailLink(id)
+		rm[id] = struct{}{}
+	}
+	s.plan = &epochPlan{removed: rm, view: view}
+	s.topoMu.Unlock()
+
+	invalidated := 0
+	for _, id := range removed {
+		invalidated += s.cache.invalidateLink(id)
+	}
+	if h != nil {
+		h.epochsPlanned.Inc()
+		h.epochPlannedInval.Add(int64(invalidated))
+	}
+
+	prePeeled := 0
+	for _, gid := range s.groupIDs() {
+		grp := s.lookupGroup(gid)
+		if grp == nil {
+			continue // deleted since the snapshot
+		}
+		m := grp.m.Load()
+		e := s.cache.lookup(m.key)
+		if e == nil {
+			continue // never computed: nothing to pre-peel
+		}
+		if v := e.val.Load(); v == nil || !v.stale.Load() {
+			continue // tree does not cross a doomed circuit
+		}
+		ti, err := s.getTreeFor(ctx, m, h)
+		if err != nil {
+			if errors.Is(err, ErrDraining) || ctx.Err() != nil {
+				return prePeeled, err
+			}
+			continue
+		}
+		prePeeled++
+		s.publish(gid, ti, CauseEpoch, time.Time{})
+	}
+	s.prePeels.Add(int64(prePeeled))
+	if h != nil {
+		h.prePeels.Add(int64(prePeeled))
+	}
+	return prePeeled, nil
+}
+
+// CommitEpoch executes the announced switch-over: the plan view is
+// dropped, removed circuits fail for real, and added circuits heal, all
+// through the ordinary serialized mutate path (heals never invalidate,
+// so installed circuits are free). Returns how many fresh cache entries
+// the commit itself invalidated — entries the pre-peel did not cover;
+// an announced epoch with full pre-peel coverage returns 0. With an
+// invariant suite armed, the fabric.epoch-consistent walk re-checks
+// every servable tree against the removed set. CommitEpoch also serves
+// the unannounced A/B arm: calling it without a prior PlanEpoch is
+// exactly failure-driven invalidation.
+func (s *Service) CommitEpoch(removed, added []topology.LinkID) int64 {
+	before := s.invalidatedTotal.Load()
+	s.topoMu.Lock()
+	s.plan = nil
+	for _, id := range removed {
+		s.g.FailLink(id)
+	}
+	for _, id := range added {
+		s.g.RestoreLink(id)
+	}
+	s.topoMu.Unlock()
+	s.epochsCommitted.Add(1)
+	late := s.invalidatedTotal.Load() - before
+	if h := s.tel(); h != nil {
+		h.epochs.Inc()
+		h.epochCommitInval.Add(late)
+	}
+	if iv := invariant.Active(); iv != nil {
+		fabric.CheckEpochConsistent(iv, removed, s.WalkTreeLinks)
+	}
+	return late
+}
+
+// PlanActive reports whether an announced epoch is awaiting its commit.
+func (s *Service) PlanActive() bool {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	return s.plan != nil
+}
+
+// EpochCounts reports the reconfiguration totals: epochs committed and
+// groups pre-peeled by announcements.
+func (s *Service) EpochCounts() (committed, prePeeled int64) {
+	return s.epochsCommitted.Load(), s.prePeels.Load()
+}
+
+// WalkTreeLinks visits every servable cache entry (published and not
+// stale) with its cache key and the link set its tree occupies — the
+// walk fabric.CheckEpochConsistent runs after a switch-over.
+func (s *Service) WalkTreeLinks(visit func(key string, links []topology.LinkID)) {
+	s.cache.walk(visit)
+}
+
+// groupIDs snapshots the registered group IDs in sorted order, so
+// pre-peel processing (and its telemetry) is deterministic.
+func (s *Service) groupIDs() []string {
+	s.groupsMu.RLock()
+	ids := make([]string, 0, len(s.groups))
+	for id := range s.groups {
+		ids = append(ids, id)
+	}
+	s.groupsMu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}

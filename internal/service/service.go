@@ -256,6 +256,10 @@ type Service struct {
 	topoMu sync.RWMutex
 	gen    atomic.Uint64 // bumped per failure-state transition
 	obs    topology.ObserverHandle
+	// plan is the active epoch announcement (epoch.go), guarded by
+	// topoMu: while set, tree computations run on plan.view so
+	// replacements avoid the to-be-removed circuits.
+	plan *epochPlan
 
 	cache *treeCache
 
@@ -271,6 +275,10 @@ type Service struct {
 
 	repairsPatched  atomic.Int64 // invalidated entries served by a graft patch
 	repairsFallback atomic.Int64 // patch attempts that degraded to a full peel
+
+	invalidatedTotal atomic.Int64 // fresh entries invalidated by failures, ever
+	epochsCommitted  atomic.Int64 // epoch switch-overs executed (epoch.go)
+	prePeels         atomic.Int64 // groups eagerly re-peeled by announcements
 
 	// Push layer (subs.go): the group-watch registry and its refresher.
 	// All fields are guarded by watchMu; the maps and channels are built
@@ -346,6 +354,18 @@ func (s *Service) onFailureChange(id topology.LinkID, failed bool) {
 	if h != nil {
 		h.topoGen.Set(int64(s.gen.Load()))
 	}
+	// Mirror real transitions onto the active plan view (if any), so
+	// pre-peels announced before a chaos failure never route onto the
+	// freshly dead link. The observer runs under topoMu for mutations
+	// routed through the service wrappers, which is the concurrency
+	// contract for epochs too.
+	if p := s.plan; p != nil {
+		if failed {
+			p.view.FailLink(id)
+		} else {
+			p.view.RestoreLink(id)
+		}
+	}
 	if !failed {
 		// Heals never invalidate: a cached tree stays valid when a link it
 		// does not use returns, and one it does use coming back cannot
@@ -357,6 +377,7 @@ func (s *Service) onFailureChange(id topology.LinkID, failed bool) {
 		return
 	}
 	n := s.cache.invalidateLink(id)
+	s.invalidatedTotal.Add(int64(n))
 	if h != nil {
 		h.failures.Inc()
 		h.invalidated.Add(int64(n))
@@ -892,6 +913,14 @@ func (s *Service) runCompute(e *entry, m *membership, h *telHooks) (*treeVal, er
 	receivers := m.recv()
 	s.topoMu.RLock()
 	defer s.topoMu.RUnlock()
+	// During an announced epoch, computes run on the plan view — the
+	// current graph plus the to-be-removed circuits failed — so every
+	// tree built in the window is valid both now and after the
+	// switch-over (the view is strictly more degraded than the graph).
+	g := s.g
+	if s.plan != nil {
+		g = s.plan.view
+	}
 	gen := s.gen.Load()
 	prior := e.val.Load()
 	failureDriven := prior != nil && prior.stale.Load()
@@ -909,10 +938,10 @@ func (s *Service) runCompute(e *entry, m *membership, h *telHooks) (*treeVal, er
 	)
 	attempted := failureDriven && s.opts.Repair == RepairPatch && prior.repairGen < maxRepairChain
 	if attempted {
-		tree, stats, err = core.RepairTree(s.g, prior.tree, -1, receivers, steiner.DefaultRepairPolicy())
+		tree, stats, err = core.RepairTree(g, prior.tree, -1, receivers, steiner.DefaultRepairPolicy())
 		patched = err == nil && !stats.FellBack
 	} else {
-		tree, err = core.BuildTree(s.g, m.source, receivers)
+		tree, err = core.BuildTree(g, m.source, receivers)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("service: tree for %q: %w", m.key, err)
@@ -928,7 +957,7 @@ func (s *Service) runCompute(e *entry, m *membership, h *telHooks) (*treeVal, er
 		// Theorem 2.5 budget checks as the collective repair path's.
 		// (Accepted patches were already checked by core.RepairTree under
 		// the steiner.repaired-tree-valid invariant.)
-		steiner.ReportTreeChecks(iv, s.g, tree, receivers)
+		steiner.ReportTreeChecks(iv, g, tree, receivers)
 	}
 	var installPs int64
 	if !patched || stats.GraftEdges > 0 {
@@ -959,7 +988,7 @@ func (s *Service) runCompute(e *entry, m *membership, h *telHooks) (*treeVal, er
 		tree: tree, cost: tree.Cost(), gen: gen, installPs: installPs,
 		patched: patched, repairGen: repairGen,
 	}
-	s.cache.index(e, tree.Links(s.g))
+	s.cache.index(e, tree.Links(g))
 	e.val.Store(v)
 	return v, nil
 }
@@ -983,6 +1012,8 @@ type Stats struct {
 	RepairMode          string `json:"repair_mode"`
 	RepairsPatched      int64  `json:"repairs_patched"`
 	RepairsFullFallback int64  `json:"repairs_full_fallback"`
+	EpochsCommitted     int64  `json:"epochs_committed"`
+	EpochPrePeels       int64  `json:"epoch_pre_peels"`
 }
 
 // Stats snapshots the service.
@@ -1004,6 +1035,8 @@ func (s *Service) Stats() Stats {
 		RepairMode:          s.opts.Repair,
 		RepairsPatched:      s.repairsPatched.Load(),
 		RepairsFullFallback: s.repairsFallback.Load(),
+		EpochsCommitted:     s.epochsCommitted.Load(),
+		EpochPrePeels:       s.prePeels.Load(),
 	}
 }
 

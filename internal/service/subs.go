@@ -43,6 +43,9 @@ const (
 	CauseFailure PushCause = iota
 	// CauseMembership: a join/leave/churn edit changed the membership.
 	CauseMembership
+	// CauseEpoch: an announced fabric reconfiguration pre-peeled the
+	// group's tree ahead of the epoch boundary (service.PlanEpoch).
+	CauseEpoch
 )
 
 func (c PushCause) String() string {
@@ -51,6 +54,8 @@ func (c PushCause) String() string {
 		return "failure"
 	case CauseMembership:
 		return "membership"
+	case CauseEpoch:
+		return "epoch"
 	default:
 		return fmt.Sprintf("cause(%d)", uint8(c))
 	}
@@ -311,7 +316,11 @@ func (s *Service) publish(id string, ti TreeInfo, cause PushCause, invalAt time.
 		s.watchMu.Unlock()
 		return
 	}
-	if ti.Cached && ws.primed && ti.Gen <= ws.lastPub {
+	// Epoch pre-peels bypass the cached-hit suppression: groups sharing
+	// one cache entry all need the replacement pushed, but only the first
+	// pre-peel observes !Cached — the topology generation has not moved
+	// yet, so the generation test below cannot distinguish the rest.
+	if cause != CauseEpoch && ti.Cached && ws.primed && ti.Gen <= ws.lastPub {
 		s.watchMu.Unlock()
 		if h := s.tel(); h != nil {
 			h.pushSkipped.Inc()

@@ -29,6 +29,12 @@ type telHooks struct {
 	repairPatched  *telemetry.Counter // invalidated entries patched incrementally
 	repairFallback *telemetry.Counter // patch attempts that fell back to a full peel
 
+	epochs            *telemetry.Counter // epoch switch-overs committed
+	epochsPlanned     *telemetry.Counter // epoch announcements processed
+	prePeels          *telemetry.Counter // groups eagerly re-peeled at announce
+	epochPlannedInval *telemetry.Counter // entries invalidated by announcements
+	epochCommitInval  *telemetry.Counter // entries still invalidated at commit
+
 	pushRefreshes *telemetry.Counter // eager recomputes run for watched groups
 	pushPublished *telemetry.Counter // tree updates published to watchers
 	pushSkipped   *telemetry.Counter // refreshes suppressed (unaffected or stale)
@@ -84,6 +90,12 @@ func newTelHooks(ts *telemetry.Sink, shards int) *telHooks {
 		recomputes:     ts.Counter("service.recompute.failure_driven"),
 		repairPatched:  ts.Counter("service.repair.patched"),
 		repairFallback: ts.Counter("service.repair.full_fallback"),
+		epochs:            ts.Counter("fabric.epochs"),
+		epochsPlanned:     ts.Counter("fabric.epochs_planned"),
+		prePeels:          ts.Counter("fabric.pre_peels"),
+		epochPlannedInval: ts.Counter("fabric.planned_invalidated"),
+		epochCommitInval:  ts.Counter("fabric.commit_invalidated"),
+
 		pushRefreshes:  ts.Counter("service.push.refreshes"),
 		pushPublished:  ts.Counter("service.push.published"),
 		pushSkipped:    ts.Counter("service.push.skipped"),

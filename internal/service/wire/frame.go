@@ -87,6 +87,10 @@ const (
 	// FlagFailure marks a push triggered by failure-driven invalidation —
 	// the frames whose propagation latency the loadgen probe measures.
 	FlagFailure = 1 << 2
+	// FlagEpoch marks a pre-peeled tree pushed ahead of an announced
+	// fabric reconfiguration (service.CauseEpoch): the subscriber should
+	// cut over before the epoch boundary, no resync needed.
+	FlagEpoch = 1 << 3
 )
 
 // ERROR frame codes.
@@ -110,7 +114,7 @@ type TreeUpdate struct {
 	Group  string
 	Gen    uint64 // topology generation of the compute
 	Seq    uint64 // per-group push sequence (gap ⇒ a shed push was missed)
-	Flags  uint8  // FlagPatched | FlagResync | FlagFailure
+	Flags  uint8  // FlagPatched | FlagResync | FlagFailure | FlagEpoch
 	Source topology.NodeID
 	Edges  [][2]topology.NodeID
 
@@ -130,6 +134,10 @@ func (u *TreeUpdate) Resync() bool { return u.Flags&FlagResync != 0 }
 // FailureDriven reports whether the push was triggered by failure-driven
 // invalidation.
 func (u *TreeUpdate) FailureDriven() bool { return u.Flags&FlagFailure != 0 }
+
+// EpochDriven reports whether the push is a pre-peeled tree announced
+// ahead of a scheduled fabric reconfiguration.
+func (u *TreeUpdate) EpochDriven() bool { return u.Flags&FlagEpoch != 0 }
 
 // appendHeader writes the fixed header for a frame whose payload will be
 // appended afterwards; patchLen fixes the length field up once the

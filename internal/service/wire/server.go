@@ -526,6 +526,9 @@ func (s *Server) onPush(gs *groupState, gid string, pu service.PushUpdate) {
 	if pu.Cause == service.CauseFailure {
 		m.flags |= FlagFailure
 	}
+	if pu.Cause == service.CauseEpoch {
+		m.flags |= FlagEpoch
+	}
 	targets := make([]*conn, 0, len(gs.conns))
 	for c := range gs.conns {
 		targets = append(targets, c)

@@ -1,0 +1,273 @@
+// Package fabric models scheduled optical-fabric reconfiguration: a
+// Schedule of epochs, each remapping a set of OCS inter-pod circuits at
+// a deterministic sim-time with a configurable retraining delay during
+// which the incoming circuits are dark.
+//
+// Reconfiguration differs from chaos failures in one load-bearing way:
+// it is *announced*. The fabric publishes an EpochChange ahead of the
+// switch-over, giving the control plane time to re-peel every tree that
+// crosses a to-be-removed circuit before the boundary (planned
+// invalidation, see internal/service.PlanEpoch), and giving the data
+// plane license to *defer* frames offered to a dark circuit instead of
+// dropping them (netsim.SetLinkDark). MORS (arXiv 2401.14173) is the
+// anchor: OCS fabrics that physically rewire multicast paths on a
+// schedule, where the difference between planned and unplanned
+// invalidation is the difference between a seamless cut-over and a
+// timeout-driven repair storm.
+//
+// Circuits are ordinary topology links created up front: an epoch
+// "removes" a circuit with Graph.FailLink and "installs" one with
+// Graph.RestoreLink, so LinkIDs are stable across any number of
+// reconfigurations and every failure-driven subsystem (netsim channel
+// teardown, service invalidation, collective repair) composes with the
+// schedule unchanged.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"peel/internal/invariant"
+	"peel/internal/sim"
+	"peel/internal/telemetry"
+	"peel/internal/topology"
+)
+
+// EpochConsistent is the invariant name for the post-switch-over walk:
+// no cached/served tree may use a circuit the committed epoch removed.
+const EpochConsistent = "fabric.epoch-consistent"
+
+func init() {
+	invariant.Register(invariant.Checker{
+		Name:   EpochConsistent,
+		Anchor: "scheduled reconfiguration (MORS, arXiv 2401.14173)",
+		Desc:   "after an epoch switch-over, no cached/served tree uses a removed circuit",
+	})
+}
+
+// Epoch is one scheduled reconfiguration: at time At the Removed
+// circuits are unmapped (failed) and the Added circuits are mapped
+// (restored). Added circuits stay dark for the schedule's Dark duration
+// while the optics retrain.
+type Epoch struct {
+	At      sim.Time
+	Removed []topology.LinkID
+	Added   []topology.LinkID
+}
+
+// Schedule is a fabric's reconfiguration plan. Announce is how far ahead
+// of each epoch's At the EpochChange is published (0 = unannounced);
+// Dark is the retraining delay during which installed circuits carry no
+// frames.
+type Schedule struct {
+	Announce sim.Time
+	Dark     sim.Time
+	Epochs   []Epoch
+}
+
+// EpochChange is the published description of one epoch, handed to every
+// hook so observers can pre-peel, defer, or account without consulting
+// the schedule.
+type EpochChange struct {
+	Index   int
+	At      sim.Time
+	Dark    sim.Time
+	Removed []topology.LinkID
+	Added   []topology.LinkID
+}
+
+// Darkener is the data-plane hook for retraining windows: mark both
+// directions of a link dark (defer frames) or clear it (drain deferred
+// frames). netsim.Network implements it.
+type Darkener interface {
+	SetLinkDark(id topology.LinkID, dark bool)
+}
+
+// Hooks are the control-plane observers of a fabric. Announce fires
+// Schedule.Announce before each epoch (skipped when Announce is 0 or the
+// epoch is too close to arming time); Committed fires at the switch-over
+// after the graph mutations; Completed fires once the epoch's dark
+// window closes. Any hook may be nil.
+type Hooks struct {
+	Announce  func(EpochChange)
+	Committed func(EpochChange)
+	Completed func(EpochChange)
+}
+
+// Fabric owns a graph and a reconfiguration schedule.
+type Fabric struct {
+	G     *topology.Graph
+	Sched Schedule
+
+	// Unannounced switches the fabric to failure-equivalent semantics
+	// for A/B studies: no announce hooks, no darkener — removed circuits
+	// fail at At, and added circuits only come up at At+Dark (the
+	// retraining delay is physical either way; an unannounced fabric
+	// simply leaves everyone to discover it as packet loss).
+	Unannounced bool
+
+	dark      map[topology.LinkID]bool
+	darkOpen  int
+	announced int
+	committed int
+	completed int
+}
+
+// New wraps a graph and schedule. Arm does the validation.
+func New(g *topology.Graph, sched Schedule) *Fabric {
+	return &Fabric{G: g, Sched: sched, dark: make(map[topology.LinkID]bool)}
+}
+
+// EpochsCommitted reports how many epochs have switched over so far.
+func (f *Fabric) EpochsCommitted() int { return f.committed }
+
+// DarkOpen reports whether any announced dark window is currently open —
+// the collective watchdog's planned-quiet signal (Runner.PlannedDark).
+func (f *Fabric) DarkOpen() bool { return f.darkOpen > 0 }
+
+// InDark reports whether a specific circuit is currently retraining.
+func (f *Fabric) InDark(id topology.LinkID) bool { return f.dark[id] }
+
+// change builds the published view of epoch i.
+func (f *Fabric) change(i int) EpochChange {
+	e := f.Sched.Epochs[i]
+	return EpochChange{Index: i, At: e.At, Dark: f.Sched.Dark, Removed: e.Removed, Added: e.Added}
+}
+
+// Arm schedules every epoch on the engine. The schedule must be sorted
+// by At with no epoch in the engine's past, and epochs must not overlap
+// a predecessor's dark window (a circuit cannot retrain into two
+// mappings at once). d may be nil (no data-plane deferral); it is
+// ignored when the fabric is Unannounced.
+func (f *Fabric) Arm(eng *sim.Engine, d Darkener, h Hooks) error {
+	now := eng.Now()
+	prevEnd := sim.Time(-1)
+	for i, e := range f.Sched.Epochs {
+		if e.At < now {
+			return fmt.Errorf("fabric: epoch %d at %v is in the past (now %v)", i, e.At, now)
+		}
+		if e.At <= prevEnd {
+			return fmt.Errorf("fabric: epoch %d at %v overlaps previous dark window ending %v", i, e.At, prevEnd)
+		}
+		prevEnd = e.At + f.Sched.Dark
+		for _, id := range append(append([]topology.LinkID{}, e.Removed...), e.Added...) {
+			if id < 0 || int(id) >= f.G.NumLinks() {
+				return fmt.Errorf("fabric: epoch %d references unknown link %d", i, id)
+			}
+		}
+	}
+	for i := range f.Sched.Epochs {
+		i := i
+		ch := f.change(i)
+		if !f.Unannounced && f.Sched.Announce > 0 && ch.At-f.Sched.Announce >= now {
+			eng.At(ch.At-f.Sched.Announce, func() {
+				f.announced++
+				if tc := telemetry.Active(); tc != nil {
+					tc.Counter("fabric.announcements").Inc()
+				}
+				if h.Announce != nil {
+					h.Announce(ch)
+				}
+			})
+		}
+		eng.At(ch.At, func() { f.commit(ch, d, h) })
+		if f.Sched.Dark > 0 {
+			eng.At(ch.At+f.Sched.Dark, func() { f.complete(ch, d, h) })
+		}
+	}
+	return nil
+}
+
+// commit executes the switch-over. For an announced fabric the added
+// circuits are marked dark *before* they are restored, so the netsim
+// markUp path cannot start serializing onto a retraining circuit; an
+// unannounced fabric leaves them failed until the window closes.
+func (f *Fabric) commit(ch EpochChange, d Darkener, h Hooks) {
+	announced := !f.Unannounced
+	if ch.Dark > 0 {
+		f.darkOpen++
+		if announced {
+			for _, id := range ch.Added {
+				f.dark[id] = true
+				if d != nil {
+					d.SetLinkDark(id, true)
+				}
+			}
+		}
+	}
+	for _, id := range ch.Removed {
+		f.G.FailLink(id)
+	}
+	if announced || ch.Dark == 0 {
+		for _, id := range ch.Added {
+			f.G.RestoreLink(id)
+		}
+	}
+	f.committed++
+	if tc := telemetry.Active(); tc != nil {
+		tc.Counter("fabric.epochs").Inc()
+	}
+	if h.Committed != nil {
+		h.Committed(ch)
+	}
+	if ch.Dark == 0 {
+		f.completed++
+		if h.Completed != nil {
+			h.Completed(ch)
+		}
+	}
+}
+
+// complete closes the epoch's dark window: announced fabrics clear the
+// deferral marks (draining queued frames), unannounced ones finally
+// bring the installed circuits up.
+func (f *Fabric) complete(ch EpochChange, d Darkener, h Hooks) {
+	if !f.Unannounced {
+		for _, id := range ch.Added {
+			delete(f.dark, id)
+			if d != nil {
+				d.SetLinkDark(id, false)
+			}
+		}
+	} else {
+		for _, id := range ch.Added {
+			f.G.RestoreLink(id)
+		}
+	}
+	f.darkOpen--
+	f.completed++
+	if h.Completed != nil {
+		h.Completed(ch)
+	}
+}
+
+// CheckEpochConsistent re-walks served trees after a switch-over and
+// asserts none uses a removed circuit. walk must invoke its visitor once
+// per cached/served tree with an identifying label and the tree's link
+// set (service.(*Service).WalkTreeLinks has exactly this shape). Each
+// tree records one check; a tree using any removed circuit records one
+// violation naming the first offender.
+func CheckEpochConsistent(s *invariant.Suite, removed []topology.LinkID, walk func(visit func(label string, links []topology.LinkID))) {
+	if s == nil || walk == nil {
+		return
+	}
+	rm := make(map[topology.LinkID]struct{}, len(removed))
+	for _, id := range removed {
+		rm[id] = struct{}{}
+	}
+	walk(func(label string, links []topology.LinkID) {
+		for _, id := range links {
+			if _, bad := rm[id]; bad {
+				s.Violatef(EpochConsistent, "tree %q uses circuit %d removed at epoch switch-over", label, id)
+				return
+			}
+		}
+		s.Pass(EpochConsistent)
+	})
+}
+
+// sortLinks is a test helper-ish utility used by Rotation to keep epoch
+// link lists deterministic regardless of map iteration order.
+func sortLinks(ids []topology.LinkID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,304 @@
+package fabric
+
+import (
+	"testing"
+
+	"peel/internal/invariant"
+	"peel/internal/invariant/invtest"
+	"peel/internal/routing"
+	"peel/internal/sim"
+	"peel/internal/topology"
+)
+
+// recorder is a fake Darkener capturing SetLinkDark calls in order.
+type recorder struct {
+	calls []struct {
+		id   topology.LinkID
+		dark bool
+	}
+}
+
+func (r *recorder) SetLinkDark(id topology.LinkID, dark bool) {
+	r.calls = append(r.calls, struct {
+		id   topology.LinkID
+		dark bool
+	}{id, dark})
+}
+
+func TestOCSInitialMapping(t *testing.T) {
+	o := NewOCS(4, 8, 4, 3)
+	if got, want := o.G.NumFailedLinks(), 8*(4-3); got != want {
+		t.Fatalf("unmapped circuits = %d, want %d", got, want)
+	}
+	for l := 0; l < o.Leaves; l++ {
+		live := o.Live(l)
+		if len(live) != o.LivePerLeaf {
+			t.Fatalf("leaf %d: %d live circuits, want %d", l, len(live), o.LivePerLeaf)
+		}
+		for _, s := range live {
+			if o.G.Link(o.Circuit(l, s)).Failed {
+				t.Fatalf("leaf %d spine %d: mapped circuit is failed", l, s)
+			}
+		}
+	}
+	if o.G.HostsPerEdge != 4 {
+		t.Fatalf("HostsPerEdge = %d, want 4", o.G.HostsPerEdge)
+	}
+	assertHostsConnected(t, o.G)
+}
+
+// assertHostsConnected BFSes from the first host and requires every other
+// host reachable over live links.
+func assertHostsConnected(t *testing.T, g *topology.Graph) {
+	t.Helper()
+	hosts := g.Hosts()
+	d := routing.BorrowBFS(g, hosts[0])
+	defer d.Release()
+	for _, h := range hosts[1:] {
+		if !d.Reachable(h) {
+			t.Fatalf("host %d unreachable from host %d on live links", h, hosts[0])
+		}
+	}
+}
+
+func TestRotationPreservesLiveCountAndDisjointSets(t *testing.T) {
+	o := NewOCS(4, 8, 4, 3)
+	sched := o.Rotation(5, 1, sim.Millisecond, sim.Millisecond, 100*sim.Microsecond, 20*sim.Microsecond, 7)
+	if len(sched.Epochs) != 5 {
+		t.Fatalf("epochs = %d, want 5", len(sched.Epochs))
+	}
+	for i, e := range sched.Epochs {
+		if len(e.Removed) != o.Leaves || len(e.Added) != o.Leaves {
+			t.Fatalf("epoch %d: removed %d added %d, want %d each", i, len(e.Removed), len(e.Added), o.Leaves)
+		}
+		seen := map[topology.LinkID]bool{}
+		for _, id := range e.Removed {
+			seen[id] = true
+		}
+		for _, id := range e.Added {
+			if seen[id] {
+				t.Fatalf("epoch %d: circuit %d both removed and added", i, id)
+			}
+		}
+	}
+	for l := 0; l < o.Leaves; l++ {
+		if got := len(o.Live(l)); got != o.LivePerLeaf {
+			t.Fatalf("after rotation, leaf %d live = %d, want %d", l, got, o.LivePerLeaf)
+		}
+	}
+	// Same seed on a fresh OCS reproduces the schedule exactly.
+	o2 := NewOCS(4, 8, 4, 3)
+	sched2 := o2.Rotation(5, 1, sim.Millisecond, sim.Millisecond, 100*sim.Microsecond, 20*sim.Microsecond, 7)
+	for i := range sched.Epochs {
+		if len(sched.Epochs[i].Removed) != len(sched2.Epochs[i].Removed) {
+			t.Fatalf("epoch %d not reproducible", i)
+		}
+		for j := range sched.Epochs[i].Removed {
+			if sched.Epochs[i].Removed[j] != sched2.Epochs[i].Removed[j] ||
+				sched.Epochs[i].Added[j] != sched2.Epochs[i].Added[j] {
+				t.Fatalf("epoch %d draw %d differs across identically-seeded rotations", i, j)
+			}
+		}
+	}
+}
+
+func TestArmAnnouncedLifecycle(t *testing.T) {
+	o := NewOCS(4, 8, 4, 3)
+	sched := o.Rotation(3, 1, sim.Millisecond, sim.Millisecond, 200*sim.Microsecond, 50*sim.Microsecond, 1)
+	fab := New(o.G, sched)
+	eng := &sim.Engine{}
+	rec := &recorder{}
+
+	var events []string
+	hooks := Hooks{
+		Announce: func(ch EpochChange) {
+			events = append(events, "announce")
+			// Announced before the boundary: removed circuits still live.
+			for _, id := range ch.Removed {
+				if o.G.Link(id).Failed {
+					t.Errorf("epoch %d: removed circuit %d already failed at announce", ch.Index, id)
+				}
+			}
+		},
+		Committed: func(ch EpochChange) {
+			events = append(events, "commit")
+			for _, id := range ch.Removed {
+				if !o.G.Link(id).Failed {
+					t.Errorf("epoch %d: removed circuit %d not failed at commit", ch.Index, id)
+				}
+			}
+			// Announced fabrics restore added circuits at commit (dark).
+			for _, id := range ch.Added {
+				if o.G.Link(id).Failed {
+					t.Errorf("epoch %d: added circuit %d still failed at commit", ch.Index, id)
+				}
+				if !fab.InDark(id) {
+					t.Errorf("epoch %d: added circuit %d not dark at commit", ch.Index, id)
+				}
+			}
+			if !fab.DarkOpen() {
+				t.Errorf("epoch %d: dark window not open at commit", ch.Index)
+			}
+			// Connectivity holds even inside the dark window: swap <
+			// LivePerLeaf leaves every leaf a circuit that is neither
+			// removed nor retraining.
+			assertHostsConnected(t, o.G)
+		},
+		Completed: func(ch EpochChange) {
+			events = append(events, "complete")
+			for _, id := range ch.Added {
+				if fab.InDark(id) {
+					t.Errorf("epoch %d: added circuit %d still dark at complete", ch.Index, id)
+				}
+			}
+		},
+	}
+	if err := fab.Arm(eng, rec, hooks); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"announce", "commit", "complete", "announce", "commit", "complete", "announce", "commit", "complete"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event[%d] = %s, want %s (%v)", i, events[i], want[i], events)
+		}
+	}
+	if fab.EpochsCommitted() != 3 {
+		t.Fatalf("committed = %d, want 3", fab.EpochsCommitted())
+	}
+	if fab.DarkOpen() {
+		t.Fatal("dark window left open after drain")
+	}
+	// The mapping moved but its cardinality is invariant: the same number
+	// of circuits is unmapped as at construction.
+	if got, want := o.G.NumFailedLinks(), 8*(4-3); got != want {
+		t.Fatalf("unmapped circuits after 3 epochs = %d, want %d", got, want)
+	}
+	// Darkener saw one dark=true and one dark=false per added circuit.
+	on, off := 0, 0
+	for _, c := range rec.calls {
+		if c.dark {
+			on++
+		} else {
+			off++
+		}
+	}
+	if on != 3*8 || off != 3*8 {
+		t.Fatalf("darkener calls on=%d off=%d, want 24 each", on, off)
+	}
+}
+
+func TestUnannouncedDefersInstallToWindowClose(t *testing.T) {
+	o := NewOCS(4, 4, 2, 3)
+	sched := o.Rotation(1, 1, sim.Millisecond, sim.Millisecond, 200*sim.Microsecond, 50*sim.Microsecond, 3)
+	fab := New(o.G, sched)
+	fab.Unannounced = true
+	eng := &sim.Engine{}
+	rec := &recorder{}
+	if err := fab.Arm(eng, rec, Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	e := sched.Epochs[0]
+	// Probe between commit and complete: added circuits must still be
+	// failed (an unannounced fabric has no deferral license — retraining
+	// circuits are just down).
+	eng.At(e.At+25*sim.Microsecond, func() {
+		for _, id := range e.Added {
+			if !o.G.Link(id).Failed {
+				t.Errorf("unannounced: added circuit %d live inside the retraining window", id)
+			}
+		}
+	})
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range e.Added {
+		if o.G.Link(id).Failed {
+			t.Errorf("unannounced: added circuit %d not restored after the window", id)
+		}
+	}
+	if len(rec.calls) != 0 {
+		t.Fatalf("unannounced fabric called the darkener: %v", rec.calls)
+	}
+}
+
+func TestArmValidation(t *testing.T) {
+	o := NewOCS(4, 4, 2, 3)
+	eng := &sim.Engine{}
+	eng.At(sim.Millisecond, func() {})
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	past := New(o.G, Schedule{Epochs: []Epoch{{At: sim.Microsecond}}})
+	if err := past.Arm(eng, nil, Hooks{}); err == nil {
+		t.Fatal("epoch in the past accepted")
+	}
+
+	overlap := New(o.G, Schedule{Dark: 100 * sim.Microsecond, Epochs: []Epoch{
+		{At: 2 * sim.Millisecond},
+		{At: 2*sim.Millisecond + 50*sim.Microsecond},
+	}})
+	if err := overlap.Arm(eng, nil, Hooks{}); err == nil {
+		t.Fatal("epoch overlapping the previous dark window accepted")
+	}
+
+	unknown := New(o.G, Schedule{Epochs: []Epoch{
+		{At: 2 * sim.Millisecond, Removed: []topology.LinkID{topology.LinkID(o.G.NumLinks())}},
+	}})
+	if err := unknown.Arm(eng, nil, Hooks{}); err == nil {
+		t.Fatal("unknown link ID accepted")
+	}
+}
+
+func TestRotationRejectsBadSwap(t *testing.T) {
+	o := NewOCS(4, 4, 2, 3)
+	for _, swap := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("swap=%d accepted", swap)
+				}
+			}()
+			o.Rotation(1, swap, sim.Millisecond, sim.Millisecond, 0, 0, 1)
+		}()
+	}
+	full := NewOCS(4, 4, 2, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("rotation with livePerLeaf == spines accepted")
+			}
+		}()
+		full.Rotation(1, 1, sim.Millisecond, sim.Millisecond, 0, 0, 1)
+	}()
+}
+
+// TestEpochConsistentMutation is the checker's self-test: a walk serving
+// a tree over a removed circuit must record a violation, and a clean walk
+// must record passes only.
+func TestEpochConsistentMutation(t *testing.T) {
+	removed := []topology.LinkID{7}
+	dirty := invtest.Capture(t, func() {
+		CheckEpochConsistent(invariant.Active(), removed, func(visit func(string, []topology.LinkID)) {
+			visit("clean", []topology.LinkID{1, 2, 3})
+			visit("stale", []topology.LinkID{5, 7})
+		})
+	})
+	if dirty.Violations(EpochConsistent) != 1 {
+		t.Fatalf("violations = %d, want 1", dirty.Violations(EpochConsistent))
+	}
+	clean := invtest.Capture(t, func() {
+		CheckEpochConsistent(invariant.Active(), removed, func(visit func(string, []topology.LinkID)) {
+			visit("clean", []topology.LinkID{1, 2, 3})
+		})
+	})
+	if clean.Violations(EpochConsistent) != 0 {
+		t.Fatalf("clean walk recorded violations")
+	}
+}

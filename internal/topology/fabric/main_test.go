@@ -1,0 +1,11 @@
+package fabric
+
+import (
+	"testing"
+
+	"peel/internal/invariant/invtest"
+)
+
+// TestMain enables invariant checking for every test in this package and
+// fails the binary if any checker records a violation.
+func TestMain(m *testing.M) { invtest.Main(m) }

@@ -1,0 +1,145 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"peel/internal/sim"
+	"peel/internal/topology"
+)
+
+// OCS couples a leaf–spine fabric to an optical circuit switch: every
+// leaf–spine pair has a candidate circuit created up front as a real
+// topology link, but only LivePerLeaf circuits per leaf are mapped at
+// any moment — the rest sit failed ("unmapped") until an epoch installs
+// them. Reconfiguration never creates or destroys links, it only toggles
+// which candidates are live, so LinkIDs are stable across epochs and the
+// whole failure-driven stack (invalidation, repair, netsim teardown)
+// applies unchanged.
+type OCS struct {
+	G            *topology.Graph
+	Spines       int
+	Leaves       int
+	HostsPerLeaf int
+	LivePerLeaf  int
+
+	circuit [][]topology.LinkID // [leaf][spine] candidate circuit
+	live    [][]int             // current spine mapping per leaf, ascending
+}
+
+// NewOCS builds the candidate mesh and maps the initial circuits: leaf l
+// starts with spines (l+i) mod Spines for i < livePerLeaf, the same
+// round-robin stagger LeafSpine-class fabrics use. livePerLeaf must be
+// in [1, spines].
+func NewOCS(spines, leaves, hostsPerLeaf, livePerLeaf int) *OCS {
+	if spines < 1 || leaves < 1 || hostsPerLeaf < 1 {
+		panic(fmt.Sprintf("fabric: OCS needs >=1 spine/leaf/host, got %d/%d/%d", spines, leaves, hostsPerLeaf))
+	}
+	if livePerLeaf < 1 || livePerLeaf > spines {
+		panic(fmt.Sprintf("fabric: livePerLeaf %d out of range [1,%d]", livePerLeaf, spines))
+	}
+	g := topology.NewGraph()
+	g.HostsPerEdge = hostsPerLeaf
+	sp := make([]topology.NodeID, spines)
+	for i := range sp {
+		sp[i] = g.AddNode(topology.Spine, -1, i, fmt.Sprintf("spine%d", i))
+	}
+	o := &OCS{G: g, Spines: spines, Leaves: leaves, HostsPerLeaf: hostsPerLeaf, LivePerLeaf: livePerLeaf}
+	o.circuit = make([][]topology.LinkID, leaves)
+	o.live = make([][]int, leaves)
+	for l := 0; l < leaves; l++ {
+		leaf := g.AddNode(topology.Leaf, -1, l, fmt.Sprintf("leaf%d", l))
+		o.circuit[l] = make([]topology.LinkID, spines)
+		for s := 0; s < spines; s++ {
+			o.circuit[l][s] = g.AddLink(leaf, sp[s])
+		}
+		for h := 0; h < hostsPerLeaf; h++ {
+			host := g.AddNode(topology.Host, -1, l*hostsPerLeaf+h, fmt.Sprintf("leaf%d/host%d", l, h))
+			g.AddLink(leaf, host)
+		}
+		mapped := make(map[int]bool, livePerLeaf)
+		for i := 0; i < livePerLeaf; i++ {
+			mapped[(l+i)%spines] = true
+		}
+		for s := 0; s < spines; s++ {
+			if mapped[s] {
+				o.live[l] = append(o.live[l], s)
+			} else {
+				g.FailLink(o.circuit[l][s])
+			}
+		}
+	}
+	return o
+}
+
+// Circuit returns the candidate circuit link between a leaf and a spine.
+func (o *OCS) Circuit(leaf, spine int) topology.LinkID { return o.circuit[leaf][spine] }
+
+// Live returns the spines currently mapped for a leaf (ascending copy).
+func (o *OCS) Live(leaf int) []int { return append([]int(nil), o.live[leaf]...) }
+
+// Rotation generates an n-epoch schedule starting at `start` with one
+// epoch every `period`: each epoch, every leaf retires `swap` of its
+// mapped circuits and installs `swap` currently-unmapped ones (seeded
+// draws), keeping LivePerLeaf constant. swap must be < LivePerLeaf so a
+// leaf always keeps at least one circuit that is neither removed nor
+// retraining — connectivity holds even inside dark windows. Rotation
+// advances the OCS's own live-mapping record; generate the schedule
+// before arming it, from the same OCS the graph came from.
+func (o *OCS) Rotation(n, swap int, start, period, announce, dark sim.Time, seed int64) Schedule {
+	if swap < 1 || swap >= o.LivePerLeaf {
+		panic(fmt.Sprintf("fabric: rotation swap %d must be in [1,%d)", swap, o.LivePerLeaf))
+	}
+	if o.LivePerLeaf == o.Spines {
+		panic("fabric: rotation needs unmapped spines to install (livePerLeaf == spines)")
+	}
+	if period <= dark {
+		panic(fmt.Sprintf("fabric: rotation period %v must exceed dark window %v", period, dark))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sched := Schedule{Announce: announce, Dark: dark}
+	for e := 0; e < n; e++ {
+		ep := Epoch{At: start + sim.Time(e)*period}
+		for l := 0; l < o.Leaves; l++ {
+			// Retire `swap` random mapped spines and install `swap`
+			// random unmapped ones for this leaf.
+			mapped := append([]int(nil), o.live[l]...)
+			rng.Shuffle(len(mapped), func(i, j int) { mapped[i], mapped[j] = mapped[j], mapped[i] })
+			retire := mapped[:swap]
+			keep := mapped[swap:]
+			inSet := make(map[int]bool, len(o.live[l]))
+			for _, s := range o.live[l] {
+				inSet[s] = true
+			}
+			var unmapped []int
+			for s := 0; s < o.Spines; s++ {
+				if !inSet[s] {
+					unmapped = append(unmapped, s)
+				}
+			}
+			rng.Shuffle(len(unmapped), func(i, j int) { unmapped[i], unmapped[j] = unmapped[j], unmapped[i] })
+			install := unmapped[:swap]
+			for _, s := range retire {
+				ep.Removed = append(ep.Removed, o.circuit[l][s])
+			}
+			for _, s := range install {
+				ep.Added = append(ep.Added, o.circuit[l][s])
+			}
+			next := append(keep, install...)
+			sortInts(next)
+			o.live[l] = next
+		}
+		sortLinks(ep.Removed)
+		sortLinks(ep.Added)
+		sched.Epochs = append(sched.Epochs, ep)
+	}
+	return sched
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Heterogeneous two-layer fat-trees (Solnushkin, arXiv 1301.6179).
+//
+// Real two-layer fabrics are rarely the textbook k-ary Clos: pods are
+// populated incrementally, ToR models differ across procurement rounds,
+// and oversubscription is a per-rack budgeting decision rather than a
+// global constant. HeteroFatTree generates such fabrics from a seeded
+// spec — per-pod ToR counts, per-ToR host counts and uplink radixes all
+// drawn independently — so every scheme and invariant in this repository
+// can be exercised on irregular graphs instead of only symmetric ones.
+//
+// The generated graph uses the Leaf/Spine tiers (ToRs are Leaf nodes, the
+// upper layer Spine nodes), so EdgeSwitchOf, SwitchLinks, and TierLinks
+// all work unmodified. K stays 0 (the prefix planner requires a k-ary
+// fat-tree and is not applicable); PEEL falls back to the generic
+// layer-peeling construction, which is exactly the point of the sweep.
+
+// HeteroSpec parameterizes a heterogeneous two-layer fat-tree. Each
+// [2]int field is an inclusive {min, max} range sampled uniformly per
+// pod or per ToR.
+type HeteroSpec struct {
+	// Seed drives every draw; equal specs generate identical graphs.
+	Seed int64
+	// Spines is the upper-layer switch count.
+	Spines int
+	// Pods is the number of ToR groups.
+	Pods int
+	// ToRsPerPod is the {min, max} ToR count drawn per pod.
+	ToRsPerPod [2]int
+	// HostsPerToR is the {min, max} host count drawn per ToR.
+	HostsPerToR [2]int
+	// UplinksPerToR is the {min, max} spine-uplink count drawn per ToR,
+	// clamped to [1, Spines] so every ToR stays connected.
+	UplinksPerToR [2]int
+}
+
+// DefaultHeteroSpec returns a small irregular fabric: 4 spines, 4 pods
+// of 1–3 ToRs, each ToR with 2–6 hosts behind 1–4 uplinks (up to 6:1
+// oversubscribed per ToR).
+func DefaultHeteroSpec(seed int64) HeteroSpec {
+	return HeteroSpec{
+		Seed:          seed,
+		Spines:        4,
+		Pods:          4,
+		ToRsPerPod:    [2]int{1, 3},
+		HostsPerToR:   [2]int{2, 6},
+		UplinksPerToR: [2]int{1, 4},
+	}
+}
+
+// HeteroToR records one generated ToR's draw: its node, host count, and
+// uplink count (its oversubscription ratio is Hosts/Uplinks).
+type HeteroToR struct {
+	Node    NodeID
+	Pod     int
+	Hosts   int
+	Uplinks int
+}
+
+// Oversub returns the ToR's declared oversubscription ratio.
+func (t HeteroToR) Oversub() float64 { return float64(t.Hosts) / float64(t.Uplinks) }
+
+// HeteroShape is the realized structure of a generated fabric: what the
+// seeded draws produced, for tests and reports to assert against.
+type HeteroShape struct {
+	Spec   HeteroSpec
+	Spines []NodeID
+	ToRs   []HeteroToR
+	Hosts  int
+}
+
+// MaxOversub returns the largest per-ToR oversubscription ratio drawn.
+func (sh *HeteroShape) MaxOversub() float64 {
+	max := 0.0
+	for _, t := range sh.ToRs {
+		if r := t.Oversub(); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// validate rejects nonsensical specs; ranges are normalized (min>max is
+// swapped) rather than rejected.
+func (s *HeteroSpec) validate() error {
+	if s.Spines < 1 || s.Pods < 1 {
+		return fmt.Errorf("topology: hetero spec needs >=1 spine and >=1 pod, got %d/%d", s.Spines, s.Pods)
+	}
+	norm := func(r *[2]int, lo int) {
+		if r[0] > r[1] {
+			r[0], r[1] = r[1], r[0]
+		}
+		if r[0] < lo {
+			r[0] = lo
+		}
+		if r[1] < r[0] {
+			r[1] = r[0]
+		}
+	}
+	norm(&s.ToRsPerPod, 1)
+	norm(&s.HostsPerToR, 1)
+	norm(&s.UplinksPerToR, 1)
+	if s.UplinksPerToR[0] > s.Spines {
+		s.UplinksPerToR[0] = s.Spines
+	}
+	if s.UplinksPerToR[1] > s.Spines {
+		s.UplinksPerToR[1] = s.Spines
+	}
+	return nil
+}
+
+// draw samples an inclusive range.
+func draw(rng *rand.Rand, r [2]int) int {
+	if r[0] == r[1] {
+		return r[0]
+	}
+	return r[0] + rng.Intn(r[1]-r[0]+1)
+}
+
+// HeteroFatTree generates a heterogeneous two-layer fat-tree from the
+// spec and returns it with the realized shape. ToR t's uplinks connect
+// to spines (t+j) mod Spines for j < uplinks, spreading uplink load
+// round-robin across the spine layer. Because a two-layer fabric has no
+// spine-to-spine links, single-uplink ToRs can land on mutually
+// unreachable spines; a connectivity post-pass grafts any isolated
+// component onto the first ToR's spine with one extra uplink (reflected
+// in the shape), so the failure-free graph is always connected.
+func HeteroFatTree(spec HeteroSpec) (*Graph, *HeteroShape) {
+	if err := spec.validate(); err != nil {
+		panic(err.Error())
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := NewGraph()
+	sh := &HeteroShape{Spec: spec}
+	sh.Spines = make([]NodeID, spec.Spines)
+	for i := range sh.Spines {
+		sh.Spines[i] = g.AddNode(Spine, -1, i, fmt.Sprintf("spine%d", i))
+	}
+	torGlobal := 0
+	for p := 0; p < spec.Pods; p++ {
+		tors := draw(rng, spec.ToRsPerPod)
+		for t := 0; t < tors; t++ {
+			hosts := draw(rng, spec.HostsPerToR)
+			uplinks := draw(rng, spec.UplinksPerToR)
+			tor := g.AddNode(Leaf, p, t, fmt.Sprintf("pod%d/tor%d", p, t))
+			for j := 0; j < uplinks; j++ {
+				g.AddLink(tor, sh.Spines[(torGlobal+j)%spec.Spines])
+			}
+			for h := 0; h < hosts; h++ {
+				host := g.AddNode(Host, p, sh.Hosts+h, fmt.Sprintf("pod%d/tor%d/host%d", p, t, h))
+				g.AddLink(tor, host)
+			}
+			sh.ToRs = append(sh.ToRs, HeteroToR{Node: tor, Pod: p, Hosts: hosts, Uplinks: uplinks})
+			sh.Hosts += hosts
+			torGlobal++
+		}
+	}
+	// Connectivity post-pass: ToR 0's first uplink is spine 0, so that
+	// spine anchors the main component; any ToR the anchor cannot reach
+	// gets one bridging uplink. A disconnected ToR necessarily misses the
+	// anchor spine, so the bridge never duplicates a link and never pushes
+	// the uplink count past Spines.
+	anchor := sh.Spines[0]
+	reach := func() map[NodeID]bool {
+		seen := map[NodeID]bool{anchor: true}
+		queue := []NodeID{anchor}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, he := range g.Adj(n) {
+				if !seen[he.Peer] {
+					seen[he.Peer] = true
+					queue = append(queue, he.Peer)
+				}
+			}
+		}
+		return seen
+	}
+	seen := reach()
+	for i := range sh.ToRs {
+		if seen[sh.ToRs[i].Node] {
+			continue
+		}
+		g.AddLink(sh.ToRs[i].Node, anchor)
+		sh.ToRs[i].Uplinks++
+		seen = reach()
+	}
+	return g, sh
+}
